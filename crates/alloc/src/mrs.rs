@@ -1,0 +1,384 @@
+//! The malloc revocation shim (`mrs`, paper §5).
+//!
+//! `mrs` interposes between the application and [`SnmallocLite`]:
+//!
+//! * `free` paints the object's granules in the revocation bitmap and
+//!   appends the region to the **accumulating quarantine buffer**;
+//! * when quarantine exceeds the policy bound — 1/4 of the total heap,
+//!   i.e. 1/3 of the allocated heap, with an 8 MiB (scaled) floor — and no
+//!   pass is in flight, it asks for a revocation pass;
+//! * the quarantine is double-buffered: frees continue into a fresh buffer
+//!   while sealed buffers wait out their release epochs (§2.2.3);
+//! * if the accumulating buffer *also* exceeds policy while a pass is in
+//!   flight, allocation blocks until the pass completes (the §5.3
+//!   tail-latency pathology).
+
+use crate::snmalloc::{AllocError, Allocation, FreedRegion, SnmallocLite};
+use crate::HeapLayout;
+use cheri_cap::Capability;
+use cheri_mem::CoreId;
+use cheri_vm::Machine;
+use cornucopia::{EpochClock, Revoker};
+use std::collections::VecDeque;
+
+/// Quarantine policy knobs (paper §5 defaults, §7.2 tuning surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrsConfig {
+    /// Trigger revocation when quarantine exceeds `allocated / divisor`
+    /// (the paper's policy: divisor 3 ⇒ 1/3 of allocated = 1/4 of total).
+    pub quarantine_divisor: u64,
+    /// Do not trigger below this many quarantined bytes (paper: 8 MiB;
+    /// scale it with the workload's memory scale).
+    pub min_quarantine_bytes: u64,
+    /// Block allocations when total quarantine exceeds this multiple of
+    /// the policy bound while a pass is in flight (mrs blocks at 2x).
+    pub hard_multiple: u64,
+    /// Whether `free` requests revocation at all (false for Paint+sync
+    /// runs driven externally — kept true in all paper configurations).
+    pub trigger_revocation: bool,
+}
+
+impl Default for MrsConfig {
+    fn default() -> Self {
+        MrsConfig {
+            quarantine_divisor: 3,
+            min_quarantine_bytes: 8 << 20,
+            hard_multiple: 2,
+            trigger_revocation: true,
+        }
+    }
+}
+
+/// Statistics the evaluation reports (Table 2 and Figure 3 inputs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MrsStats {
+    /// Total bytes passed through `free` (Table 2 "Sum Freed").
+    pub total_freed_bytes: u64,
+    /// Number of revocation requests made (Table 2 "Revocations").
+    pub revocations_requested: u64,
+    /// Sum of allocated-heap sizes sampled at each revocation request
+    /// (Table 2 "Mean Alloc" numerator).
+    pub allocated_at_revocation_sum: u64,
+    /// Sum of quarantine sizes sampled at each revocation request.
+    pub quarantine_at_revocation_sum: u64,
+    /// Number of `free` calls.
+    pub frees: u64,
+    /// Number of allocations.
+    pub allocs: u64,
+    /// Times allocation had to block on an in-flight pass.
+    pub blocked_allocs: u64,
+}
+
+/// Effect of a `free` call, surfaced to the simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreeEffect {
+    /// Cycles spent in the shim (painting + bookkeeping).
+    pub cycles: u64,
+    /// The shim wants a revocation pass started now.
+    pub trigger_revocation: bool,
+}
+
+#[derive(Debug)]
+struct SealedBatch {
+    regions: Vec<FreedRegion>,
+    bytes: u64,
+    /// Epoch counter observed when the batch was sealed; reusable at
+    /// [`EpochClock::release_epoch`] of this.
+    sealed_epoch: u64,
+}
+
+/// The quarantining heap: [`SnmallocLite`] + quarantine + policy.
+#[derive(Debug)]
+pub struct Mrs {
+    alloc: SnmallocLite,
+    cfg: MrsConfig,
+    /// Accumulating (open) quarantine buffer.
+    open: Vec<FreedRegion>,
+    open_bytes: u64,
+    /// Sealed buffers awaiting their release epoch.
+    sealed: VecDeque<SealedBatch>,
+    sealed_bytes: u64,
+    stats: MrsStats,
+}
+
+impl Mrs {
+    /// Creates the shimmed heap over `layout`.
+    #[must_use]
+    pub fn new(layout: HeapLayout, cfg: MrsConfig) -> Self {
+        Mrs {
+            alloc: SnmallocLite::new(layout),
+            cfg,
+            open: Vec::new(),
+            open_bytes: 0,
+            sealed: VecDeque::new(),
+            sealed_bytes: 0,
+            stats: MrsStats::default(),
+        }
+    }
+
+    /// The underlying allocator (e.g. to disable zeroing in ablations).
+    pub fn allocator_mut(&mut self) -> &mut SnmallocLite {
+        &mut self.alloc
+    }
+
+    /// Live heap bytes.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.alloc.allocated_bytes()
+    }
+
+    /// Total quarantined bytes (open + sealed buffers).
+    #[must_use]
+    pub fn quarantine_bytes(&self) -> u64 {
+        self.open_bytes + self.sealed_bytes
+    }
+
+    /// Shim statistics.
+    #[must_use]
+    pub fn stats(&self) -> MrsStats {
+        self.stats
+    }
+
+    /// The policy bound above which the open buffer requests revocation.
+    #[must_use]
+    pub fn policy_bound(&self) -> u64 {
+        (self.alloc.allocated_bytes() / self.cfg.quarantine_divisor).max(self.cfg.min_quarantine_bytes)
+    }
+
+    /// Whether allocation must block right now (quarantine hard-full while
+    /// a pass is in flight; §5.3's 99.9th-percentile pathology).
+    #[must_use]
+    pub fn must_block(&self, revoker: &Revoker) -> bool {
+        revoker.is_revoking() && self.quarantine_bytes() > self.policy_bound() * self.cfg.hard_multiple
+    }
+
+    /// Allocates `size` bytes.
+    pub fn alloc(&mut self, machine: &mut Machine, core: CoreId, size: u64) -> Result<Allocation, AllocError> {
+        self.stats.allocs += 1;
+        self.alloc.alloc(machine, core, size)
+    }
+
+    /// Frees `cap`: paints the bitmap, quarantines the region, and reports
+    /// whether policy wants a revocation pass.
+    pub fn free(
+        &mut self,
+        machine: &mut Machine,
+        revoker: &mut Revoker,
+        core: CoreId,
+        cap: Capability,
+    ) -> Result<FreeEffect, AllocError> {
+        let region = self.alloc.free_lookup(cap)?;
+        self.stats.frees += 1;
+        self.stats.total_freed_bytes += region.len;
+        let mut cycles = 40;
+        cycles += revoker.paint(machine, core, region.base, region.len);
+        self.open.push(region);
+        self.open_bytes += region.len;
+        let mut trigger = false;
+        if self.cfg.trigger_revocation
+            && !revoker.is_revoking()
+            && self.quarantine_bytes() > self.policy_bound()
+        {
+            trigger = true;
+            self.seal(revoker);
+        }
+        Ok(FreeEffect { cycles, trigger_revocation: trigger })
+    }
+
+    /// Frees `cap` with immediate reuse — **no quarantine, no painting, no
+    /// temporal safety**. This is the no-revocation baseline configuration
+    /// (plain snmalloc without mrs). Returns the cycle cost.
+    pub fn free_immediate(
+        &mut self,
+        _machine: &mut Machine,
+        _core: CoreId,
+        cap: Capability,
+    ) -> Result<u64, AllocError> {
+        let region = self.alloc.free_lookup(cap)?;
+        self.stats.frees += 1;
+        self.stats.total_freed_bytes += region.len;
+        self.alloc.recycle(region);
+        Ok(40)
+    }
+
+    /// Seals the open buffer against the current epoch (called when a
+    /// revocation pass is about to start). Public so external drivers
+    /// (e.g. a Paint+sync pseudo-pass) can cycle quarantine too.
+    pub fn seal(&mut self, revoker: &Revoker) {
+        if self.open.is_empty() {
+            return;
+        }
+        self.stats.revocations_requested += 1;
+        self.stats.allocated_at_revocation_sum += self.alloc.allocated_bytes();
+        self.stats.quarantine_at_revocation_sum += self.quarantine_bytes();
+        let batch = SealedBatch {
+            regions: std::mem::take(&mut self.open),
+            bytes: std::mem::take(&mut self.open_bytes),
+            sealed_epoch: revoker.epoch(),
+        };
+        self.sealed_bytes += batch.bytes;
+        self.sealed.push_back(batch);
+    }
+
+    /// Releases every sealed batch whose release epoch has passed:
+    /// unpaints the bitmap and recycles storage to the allocator's free
+    /// lists. Returns the cycle cost. Call after epochs advance.
+    pub fn poll_release(&mut self, machine: &mut Machine, revoker: &mut Revoker, core: CoreId) -> u64 {
+        let mut cycles = 0;
+        while let Some(front) = self.sealed.front() {
+            if revoker.epoch() < EpochClock::release_epoch(front.sealed_epoch) {
+                break;
+            }
+            let batch = self.sealed.pop_front().expect("front exists");
+            self.sealed_bytes -= batch.bytes;
+            for region in batch.regions {
+                cycles += revoker.unpaint(machine, core, region.base, region.len);
+                cycles += 20;
+                self.alloc.recycle(region);
+            }
+        }
+        cycles
+    }
+
+    /// Notes that an allocation blocked on revocation (for statistics).
+    pub fn note_blocked_alloc(&mut self) {
+        self.stats.blocked_allocs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornucopia::{RevokerConfig, StepOutcome, Strategy};
+
+    fn setup(strategy: Strategy, min_q: u64) -> (Machine, Revoker, Mrs) {
+        let layout = HeapLayout::new(0x4000_0000, 64 << 20);
+        let machine = Machine::new(2);
+        let revoker = Revoker::new(
+            RevokerConfig { strategy, ..RevokerConfig::default() },
+            layout.base,
+            layout.total_len,
+        );
+        let mrs = Mrs::new(layout, MrsConfig { min_quarantine_bytes: min_q, ..MrsConfig::default() });
+        (machine, revoker, mrs)
+    }
+
+    fn drain(machine: &mut Machine, revoker: &mut Revoker) {
+        while revoker.is_revoking() {
+            if revoker.background_step(machine, 1_000_000) == StepOutcome::NeedsFinalStw {
+                revoker.finish_stw(machine, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn freed_memory_is_painted_and_quarantined() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Reloaded, 8 << 20);
+        let p = mrs.alloc(&mut m, 0, 256).unwrap().cap;
+        mrs.free(&mut m, &mut rev, 0, p).unwrap();
+        assert!(rev.bitmap().probe(p.base()));
+        assert_eq!(mrs.quarantine_bytes(), 256);
+    }
+
+    #[test]
+    fn policy_triggers_at_floor() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Reloaded, 64 << 10);
+        let mut triggered = false;
+        for _ in 0..20 {
+            let p = mrs.alloc(&mut m, 0, 8 << 10).unwrap().cap;
+            let e = mrs.free(&mut m, &mut rev, 0, p).unwrap();
+            if e.trigger_revocation {
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered, "quarantine passed the floor but never triggered");
+        assert_eq!(mrs.stats().revocations_requested, 1);
+    }
+
+    #[test]
+    fn quarantined_memory_is_not_reused_before_epoch() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Reloaded, 1 << 10);
+        let p = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        let e = mrs.free(&mut m, &mut rev, 0, p).unwrap();
+        assert!(e.trigger_revocation);
+        // Before any epoch completes, a same-size allocation must not alias
+        // the quarantined object.
+        let q = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        assert_ne!(q.base(), p.base());
+    }
+
+    #[test]
+    fn release_happens_only_after_full_epoch() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Reloaded, 1 << 10);
+        let p = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        let e = mrs.free(&mut m, &mut rev, 0, p).unwrap();
+        assert!(e.trigger_revocation);
+        rev.start_epoch(&mut m);
+        mrs.poll_release(&mut m, &mut rev, 0);
+        assert_eq!(mrs.quarantine_bytes(), 2048, "in-flight epoch must not release");
+        drain(&mut m, &mut rev);
+        mrs.poll_release(&mut m, &mut rev, 0);
+        assert_eq!(mrs.quarantine_bytes(), 0);
+        assert!(!rev.bitmap().probe(p.base()), "bitmap unpainted on release");
+        // Now the storage may be reused.
+        let q = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        assert_eq!(q.base(), p.base());
+    }
+
+    #[test]
+    fn frees_during_revocation_wait_an_extra_epoch() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Reloaded, 1 << 10);
+        let p = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        let q = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        mrs.free(&mut m, &mut rev, 0, p).unwrap();
+        rev.start_epoch(&mut m);
+        // Freed while epoch 1 is odd/in flight.
+        mrs.free(&mut m, &mut rev, 0, q).unwrap();
+        mrs.seal(&rev);
+        drain(&mut m, &mut rev);
+        mrs.poll_release(&mut m, &mut rev, 0);
+        // p (sealed at epoch 0) is out; q (sealed at epoch 1) must wait.
+        assert_eq!(mrs.quarantine_bytes(), 2048);
+        rev.start_epoch(&mut m);
+        drain(&mut m, &mut rev);
+        mrs.poll_release(&mut m, &mut rev, 0);
+        assert_eq!(mrs.quarantine_bytes(), 0);
+    }
+
+    #[test]
+    fn must_block_kicks_in_at_hard_bound() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Cornucopia, 1 << 10);
+        // Fill quarantine way past 2x policy while a pass is in flight.
+        let caps: Vec<_> = (0..40).map(|_| mrs.alloc(&mut m, 0, 4096).unwrap().cap).collect();
+        let mut started = false;
+        for c in caps {
+            let e = mrs.free(&mut m, &mut rev, 0, c).unwrap();
+            if e.trigger_revocation && !started {
+                rev.start_epoch(&mut m);
+                started = true;
+            }
+        }
+        assert!(started);
+        assert!(mrs.must_block(&rev));
+        drain(&mut m, &mut rev);
+        assert!(!mrs.must_block(&rev));
+    }
+
+    #[test]
+    fn use_after_free_is_dead_after_epoch_for_every_safe_strategy() {
+        for strategy in [Strategy::CheriVoke, Strategy::Cornucopia, Strategy::Reloaded] {
+            let (mut m, mut rev, mut mrs) = setup(strategy, 1 << 10);
+            let heap_slot = mrs.alloc(&mut m, 0, 64).unwrap().cap;
+            let p = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+            // Stash a copy of p in memory (the UAF primitive).
+            m.store_cap(0, &heap_slot, p).unwrap();
+            mrs.free(&mut m, &mut rev, 0, p).unwrap();
+            mrs.seal(&rev);
+            rev.start_epoch(&mut m);
+            drain(&mut m, &mut rev);
+            let (stale, _) = m.load_cap(0, &heap_slot).unwrap();
+            assert!(!stale.is_tagged(), "{strategy:?} left a stale cap alive");
+        }
+    }
+}

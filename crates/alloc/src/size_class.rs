@@ -1,0 +1,118 @@
+//! snmalloc-style size classes.
+//!
+//! Small sizes round to 16-byte granules; medium sizes use four
+//! geometrically-spaced classes per power of two (1, 1.25, 1.5, 1.75 ×
+//! 2^k), capping internal fragmentation at 25%. Everything above
+//! [`LARGE_THRESHOLD`] is a "large" allocation served directly from chunk
+//! space with CHERI-representable rounding.
+
+use cheri_cap::CAP_SIZE;
+
+/// Sizes above this are allocated as dedicated chunks, not from slabs.
+pub const LARGE_THRESHOLD: u64 = 16 * 1024;
+
+/// A small/medium size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeClass {
+    /// Class index (dense, `0..NUM_SIZE_CLASSES`).
+    pub index: usize,
+    /// Object size in bytes (16-byte multiple).
+    pub size: u64,
+}
+
+const SMALL_MAX: u64 = 128;
+const SMALL_CLASSES: usize = (SMALL_MAX / CAP_SIZE) as usize; // 8: 16..=128
+
+/// Total number of size classes for slab allocation.
+pub const NUM_SIZE_CLASSES: usize = SMALL_CLASSES + medium_class_count();
+
+const fn medium_class_count() -> usize {
+    // Classes from 128 (exclusive) to LARGE_THRESHOLD (inclusive):
+    // 4 per doubling over 128->16384 = 7 doublings.
+    7 * 4
+}
+
+/// All class sizes, ascending (computed once, cached).
+#[must_use]
+pub fn class_sizes() -> &'static [u64] {
+    static SIZES: std::sync::OnceLock<Vec<u64>> = std::sync::OnceLock::new();
+    SIZES.get_or_init(compute_class_sizes)
+}
+
+fn compute_class_sizes() -> Vec<u64> {
+    let mut v: Vec<u64> = (1..=SMALL_CLASSES as u64).map(|i| i * CAP_SIZE).collect();
+    let mut base = SMALL_MAX;
+    while base < LARGE_THRESHOLD {
+        for quarter in 1..=4u64 {
+            let s = base + base * quarter / 4;
+            if s <= LARGE_THRESHOLD {
+                v.push(s.div_ceil(CAP_SIZE) * CAP_SIZE);
+            }
+        }
+        base *= 2;
+    }
+    v.dedup();
+    v
+}
+
+/// The smallest size class whose objects fit `size` bytes.
+///
+/// Returns `None` for `size > LARGE_THRESHOLD` (a large allocation) — and
+/// treats `size == 0` as 1 (malloc(0) must return a unique pointer).
+#[must_use]
+pub fn size_class_for(size: u64) -> Option<SizeClass> {
+    let size = size.max(1);
+    if size > LARGE_THRESHOLD {
+        return None;
+    }
+    let sizes = class_sizes();
+    let idx = sizes.partition_point(|&s| s < size);
+    Some(SizeClass { index: idx, size: sizes[idx] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes_are_sorted_granule_multiples() {
+        let sizes = class_sizes();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert!(sizes.iter().all(|s| s % CAP_SIZE == 0));
+        assert_eq!(sizes[0], 16);
+        assert_eq!(*sizes.last().unwrap(), LARGE_THRESHOLD);
+        assert_eq!(sizes.len(), NUM_SIZE_CLASSES);
+    }
+
+    #[test]
+    fn rounding_never_shrinks_and_caps_waste() {
+        for size in [1u64, 16, 17, 128, 129, 1000, 5000, 16384] {
+            let c = size_class_for(size).unwrap();
+            assert!(c.size >= size, "size={size}");
+            assert!(c.size <= size.max(CAP_SIZE) * 2, "size={size} class={}", c.size);
+            // Medium classes waste at most ~25% + granule rounding.
+            if size > 128 {
+                assert!(c.size - size < size / 3 + CAP_SIZE, "size={size} class={}", c.size);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_size_maps_to_smallest_class() {
+        assert_eq!(size_class_for(0).unwrap().size, 16);
+    }
+
+    #[test]
+    fn large_sizes_have_no_class() {
+        assert!(size_class_for(LARGE_THRESHOLD + 1).is_none());
+        assert!(size_class_for(1 << 20).is_none());
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        let sizes = class_sizes();
+        for (i, &s) in sizes.iter().enumerate() {
+            assert_eq!(size_class_for(s).unwrap().index, i);
+        }
+    }
+}

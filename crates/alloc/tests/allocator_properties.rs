@@ -1,0 +1,145 @@
+//! Property tests for the allocator stack: spatial disjointness, free-list
+//! hygiene, and quarantine-protocol safety under random op sequences.
+
+use cheri_alloc::{HeapLayout, Mrs, MrsConfig};
+use cheri_cap::Capability;
+use cheri_vm::Machine;
+use cornucopia::{Revoker, RevokerConfig, StepOutcome};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn stack(min_q: u64) -> (Machine, Revoker, Mrs) {
+    let layout = HeapLayout::new(0x4000_0000, 32 << 20);
+    let machine = Machine::new(2);
+    let revoker = Revoker::new(
+        RevokerConfig { strategy: cornucopia::Strategy::Reloaded, ..RevokerConfig::default() },
+        layout.base,
+        layout.total_len,
+    );
+    let mrs = Mrs::new(layout, MrsConfig { min_quarantine_bytes: min_q, ..MrsConfig::default() });
+    (machine, revoker, mrs)
+}
+
+fn drain(machine: &mut Machine, revoker: &mut Revoker) {
+    while revoker.is_revoking() {
+        if revoker.background_step(machine, 10_000_000) == StepOutcome::NeedsFinalStw {
+            revoker.finish_stw(machine, 1);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc { size: u64 },
+    Free { victim: usize },
+    Epoch,
+}
+
+fn op_strategy() -> impl proptest::strategy::Strategy<Value = HeapOp> {
+    prop_oneof![
+        4 => (1u64..40_000).prop_map(|size| HeapOp::Alloc { size }),
+        3 => any::<usize>().prop_map(|victim| HeapOp::Free { victim }),
+        1 => Just(HeapOp::Epoch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Under any alloc/free/epoch interleaving:
+    /// 1. live allocations never overlap;
+    /// 2. freed storage is never handed out again before its release epoch;
+    /// 3. every returned capability covers at least the requested size.
+    #[test]
+    fn allocator_invariants(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let (mut m, mut rev, mut heap) = stack(16 << 10);
+        let mut live: Vec<Capability> = Vec::new();
+        // base -> epoch at which the region was quarantined.
+        let mut quarantined: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                HeapOp::Alloc { size } => {
+                    let Ok(a) = heap.alloc(&mut m, 0, size) else { continue };
+                    let cap = a.cap;
+                    prop_assert!(cap.is_tagged());
+                    prop_assert!(cap.len() >= size.max(1), "short grant: {} < {size}", cap.len());
+                    for other in &live {
+                        prop_assert!(
+                            cap.top() <= other.base() || other.top() <= cap.base(),
+                            "overlap: {cap} vs {other}"
+                        );
+                    }
+                    // Reuse of quarantined storage before release = UAR window.
+                    if let Some(&sealed) = quarantined.get(&cap.base()) {
+                        prop_assert!(
+                            rev.epoch() >= cornucopia::EpochClock::release_epoch(sealed),
+                            "storage at {:#x} reused before its release epoch",
+                            cap.base()
+                        );
+                    }
+                    quarantined.remove(&cap.base());
+                    live.push(cap);
+                }
+                HeapOp::Free { victim } if !live.is_empty() => {
+                    let cap = live.swap_remove(victim % live.len());
+                    heap.free(&mut m, &mut rev, 0, cap).unwrap();
+                    quarantined.insert(cap.base(), rev.epoch());
+                    prop_assert!(rev.bitmap().probe(cap.base()));
+                }
+                HeapOp::Free { .. } => {}
+                HeapOp::Epoch => {
+                    if !rev.is_revoking() {
+                        heap.seal(&rev);
+                        rev.start_epoch(&mut m);
+                        drain(&mut m, &mut rev);
+                        heap.poll_release(&mut m, &mut rev, 0);
+                    }
+                }
+            }
+        }
+        // Double-frees of stale capabilities must always be rejected.
+        if let Some(first) = live.first().copied() {
+            heap.free(&mut m, &mut rev, 0, first).unwrap();
+            prop_assert!(heap.free(&mut m, &mut rev, 0, first).is_err());
+        }
+    }
+
+    /// Quarantine accounting: quarantine_bytes equals the sum of freed
+    /// region lengths and returns to zero after two epochs.
+    #[test]
+    fn quarantine_bytes_balance(sizes in proptest::collection::vec(16u64..8192, 1..24)) {
+        let (mut m, mut rev, mut heap) = stack(1 << 30); // never auto-trigger
+        let caps: Vec<Capability> =
+            sizes.iter().map(|&s| heap.alloc(&mut m, 0, s).unwrap().cap).collect();
+        let mut expected = 0u64;
+        for c in caps {
+            heap.free(&mut m, &mut rev, 0, c).unwrap();
+            expected += c.len().max(16).div_ceil(16) * 16; // class rounding lower bound
+            prop_assert!(heap.quarantine_bytes() >= expected, "quarantine under-counts");
+        }
+        heap.seal(&rev);
+        rev.start_epoch(&mut m);
+        drain(&mut m, &mut rev);
+        heap.poll_release(&mut m, &mut rev, 0);
+        prop_assert_eq!(heap.quarantine_bytes(), 0);
+        prop_assert_eq!(rev.bitmap().painted_granules(), 0, "release must unpaint fully");
+    }
+
+    /// allocated_bytes is conserved: allocs add, frees subtract, and the
+    /// ledger ends at zero when everything is freed.
+    #[test]
+    fn allocated_bytes_ledger(sizes in proptest::collection::vec(1u64..20_000, 1..30)) {
+        let (mut m, mut rev, mut heap) = stack(1 << 30);
+        let mut caps = Vec::new();
+        for &s in &sizes {
+            let before = heap.allocated_bytes();
+            let cap = heap.alloc(&mut m, 0, s).unwrap().cap;
+            prop_assert!(heap.allocated_bytes() >= before + s.min(cap.len()));
+            caps.push(cap);
+        }
+        for c in caps {
+            heap.free(&mut m, &mut rev, 0, c).unwrap();
+        }
+        prop_assert_eq!(heap.allocated_bytes(), 0);
+    }
+}

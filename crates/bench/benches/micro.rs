@@ -1,0 +1,187 @@
+//! Criterion micro-benchmarks for the revocation stack's primitives.
+//!
+//! These measure *host* performance of the simulation's hot paths — the
+//! quantities that bound how large a workload the harness can replay —
+//! and, more interestingly, the relative costs of the architectural
+//! operations themselves (bitmap probe vs. page sweep vs. fault handling).
+
+use cheri_cap::{compress, Capability, Perms};
+use cheri_vm::{MapFlags, Machine};
+use cheri_alloc::{HeapLayout, Mrs, MrsConfig};
+use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const HEAP: u64 = 0x4000_0000;
+
+fn bench_capability_ops(c: &mut Criterion) {
+    let root = Capability::new_root(HEAP, 1 << 30, Perms::rw());
+    c.bench_function("cap/set_bounds", |b| {
+        b.iter(|| black_box(root.set_bounds(black_box(HEAP + 0x1000), black_box(4096)).unwrap()))
+    });
+    c.bench_function("cap/representable_length", |b| {
+        b.iter(|| black_box(compress::representable_length(black_box(0x12345))))
+    });
+    c.bench_function("cap/check_access", |b| {
+        let cap = root.set_bounds(HEAP, 4096).unwrap();
+        b.iter(|| black_box(cap.check_access(Perms::LOAD, 16)))
+    });
+}
+
+fn machine_with_caps(pages: u64, caps_per_page: u64) -> (Machine, Capability) {
+    let mut m = Machine::new(4);
+    let len = pages * 4096;
+    m.map_range(HEAP, len, MapFlags::user_rw()).unwrap();
+    let heap = Capability::new_root(HEAP, len, Perms::rw());
+    for p in 0..pages {
+        for s in 0..caps_per_page {
+            let a = HEAP + p * 4096 + s * 128;
+            let c = heap.set_bounds(a, 64).unwrap();
+            m.store_cap(3, &heap.set_addr(a), c).unwrap();
+        }
+    }
+    (m, heap)
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut m = Machine::new(4);
+    let mut rev = Revoker::new(RevokerConfig::default(), HEAP, 64 << 20);
+    c.bench_function("bitmap/paint_4k", |b| {
+        b.iter(|| black_box(rev.paint(&mut m, 3, HEAP + 0x10000, 4096)))
+    });
+    rev.paint(&mut m, 3, HEAP + 0x20000, 4096);
+    c.bench_function("bitmap/probe", |b| {
+        b.iter(|| black_box(rev.bitmap().probe(black_box(HEAP + 0x20040))))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    c.bench_function("revoker/full_epoch_64_pages", |b| {
+        b.iter_batched(
+            || {
+                let (mut m, _) = machine_with_caps(64, 8);
+                let mut rev = Revoker::new(
+                    RevokerConfig { strategy: Strategy::Reloaded, ..RevokerConfig::default() },
+                    HEAP,
+                    64 << 20,
+                );
+                rev.paint(&mut m, 3, HEAP + 0x3000, 4096);
+                (m, rev)
+            },
+            |(mut m, mut rev)| {
+                rev.start_epoch(&mut m);
+                while rev.is_revoking() {
+                    if rev.background_step(&mut m, u64::MAX / 4) == StepOutcome::NeedsFinalStw {
+                        rev.finish_stw(&mut m, 1);
+                    }
+                }
+                black_box(rev.stats().pages_swept)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_load_fault(c: &mut Criterion) {
+    c.bench_function("revoker/load_fault_heal", |b| {
+        b.iter_batched(
+            || {
+                let (mut m, heap) = machine_with_caps(16, 4);
+                let mut rev = Revoker::new(
+                    RevokerConfig { strategy: Strategy::Reloaded, ..RevokerConfig::default() },
+                    HEAP,
+                    64 << 20,
+                );
+                rev.paint(&mut m, 3, HEAP + 0x1000, 64);
+                rev.start_epoch(&mut m);
+                (m, rev, heap)
+            },
+            |(mut m, mut rev, heap)| {
+                let auth = heap.set_addr(HEAP);
+                match m.load_cap(3, &auth) {
+                    Err(cheri_vm::VmFault::CapLoadGeneration { vaddr }) => {
+                        black_box(rev.handle_load_fault(&mut m, 3, vaddr));
+                    }
+                    other => {
+                        let _ = black_box(other);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    c.bench_function("mrs/alloc_free_cycle", |b| {
+        let mut m = Machine::new(4);
+        let layout = HeapLayout::new(HEAP, 64 << 20);
+        let mut rev = Revoker::new(RevokerConfig::default(), HEAP, 64 << 20);
+        let mut heap =
+            Mrs::new(layout, MrsConfig { min_quarantine_bytes: 1 << 20, ..MrsConfig::default() });
+        // Amortized cost: the occasional policy-triggered epoch is part of
+        // the cycle (and keeps the arena from exhausting).
+        b.iter(|| {
+            let a = heap.alloc(&mut m, 3, 256).unwrap();
+            let e = heap.free(&mut m, &mut rev, 3, a.cap).unwrap();
+            if e.trigger_revocation {
+                rev.start_epoch(&mut m);
+                while rev.is_revoking() {
+                    if rev.background_step(&mut m, u64::MAX / 4) == StepOutcome::NeedsFinalStw {
+                        rev.finish_stw(&mut m, 1);
+                    }
+                }
+                heap.poll_release(&mut m, &mut rev, 3);
+            }
+            black_box(e.cycles)
+        })
+    });
+    c.bench_function("mrs/alloc_free_immediate", |b| {
+        let mut m = Machine::new(4);
+        let layout = HeapLayout::new(HEAP, 64 << 20);
+        let mut heap = Mrs::new(layout, MrsConfig::default());
+        b.iter(|| {
+            let a = heap.alloc(&mut m, 3, 256).unwrap();
+            black_box(heap.free_immediate(&mut m, 3, a.cap).unwrap());
+        })
+    });
+}
+
+fn bench_strategies_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_by_strategy");
+    group.sample_size(10);
+    for strategy in [Strategy::CheriVoke, Strategy::Cornucopia, Strategy::Reloaded] {
+        group.bench_function(strategy.label(), |b| {
+            b.iter_batched(
+                || {
+                    let (mut m, _) = machine_with_caps(128, 16);
+                    let mut rev = Revoker::new(
+                        RevokerConfig { strategy, ..RevokerConfig::default() },
+                        HEAP,
+                        64 << 20,
+                    );
+                    rev.paint(&mut m, 3, HEAP + 0x5000, 4096);
+                    (m, rev)
+                },
+                |(mut m, mut rev)| {
+                    rev.start_epoch(&mut m);
+                    while rev.is_revoking() {
+                        if rev.background_step(&mut m, u64::MAX / 4) == StepOutcome::NeedsFinalStw {
+                            rev.finish_stw(&mut m, 1);
+                        }
+                    }
+                    black_box(rev.epoch())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_capability_ops, bench_bitmap, bench_sweep, bench_load_fault, bench_alloc_free, bench_strategies_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation study (see DESIGN.md). Honours REPRO_SCALE.
+use rev_bench::harness::Scale;
+
+fn main() {
+    println!("{}", rev_bench::ablations::cheriot(Scale::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Ablation: the §7.3 CHERI + memory-coloring composition (see
+//! `rev_bench::ablations::coloring`).
+
+fn main() {
+    println!("{}", rev_bench::ablations::coloring());
+}

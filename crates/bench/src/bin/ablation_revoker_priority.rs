@@ -1,0 +1,6 @@
+//! Ablation study (see DESIGN.md). Honours REPRO_SCALE.
+use rev_bench::harness::Scale;
+
+fn main() {
+    println!("{}", rev_bench::ablations::revoker_priority(Scale::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Ablation study (§7.1 multi-threaded background revocation).
+use rev_bench::harness::Scale;
+
+fn main() {
+    println!("{}", rev_bench::ablations::revoker_threads(Scale::from_env()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure (1). Honours REPRO_SCALE / REPRO_REPS.
+use rev_bench::harness::{spec_suite, Scale, CONDITIONS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite = spec_suite(&CONDITIONS, scale);
+    println!("{}", rev_bench::figures::fig1_spec_wall(&suite));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure (3). Honours REPRO_SCALE / REPRO_REPS.
+use rev_bench::harness::{spec_suite, Scale, CONDITIONS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite = spec_suite(&CONDITIONS, scale);
+    println!("{}", rev_bench::figures::fig3_peak_rss(&suite));
+}

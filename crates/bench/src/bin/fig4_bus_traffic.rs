@@ -1,0 +1,8 @@
+//! Regenerates Figure (4). Honours REPRO_SCALE / REPRO_REPS.
+use rev_bench::harness::{spec_suite, Scale, CONDITIONS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite = spec_suite(&CONDITIONS, scale);
+    println!("{}", rev_bench::figures::fig4_bus_traffic(&suite));
+}

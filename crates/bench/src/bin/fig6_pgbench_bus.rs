@@ -1,0 +1,8 @@
+//! Regenerates Figure (6). Honours REPRO_SCALE / REPRO_REPS.
+use rev_bench::harness::{pgbench_suite, Scale, CONDITIONS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite = pgbench_suite(&CONDITIONS, scale);
+    println!("{}", rev_bench::figures::fig6_pgbench_bus(&suite));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8 (gRPC QPS latency percentiles). Honours
+//! REPRO_SCALE / REPRO_REPS. CHERIvoke is excluded, as in the paper.
+use rev_bench::harness::{grpc_suite, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite = grpc_suite(scale);
+    println!("{}", rev_bench::figures::fig8_grpc_latency(&suite));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 1 (pgbench latency percentiles under fixed arrival
+//! rates, Reloaded). Honours REPRO_SCALE.
+use rev_bench::harness::{pgbench_rate_suite, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite = pgbench_rate_suite(&[Some(800.0), Some(1200.0), Some(2000.0), None], scale);
+    println!("{}", rev_bench::figures::table1_rates(&suite));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2 (Reloaded revocation-rate statistics). Honours
+//! REPRO_SCALE / REPRO_REPS.
+use rev_bench::harness::{grpc_suite, pgbench_suite, spec_suite, Scale, CONDITIONS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_suite(&CONDITIONS, scale);
+    let pg = pgbench_suite(&CONDITIONS, scale);
+    let grpc = grpc_suite(scale);
+    println!("{}", rev_bench::figures::table2_revocation_rates(&spec, &pg, &grpc));
+}

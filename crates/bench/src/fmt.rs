@@ -1,0 +1,83 @@
+//! Markdown table formatting and small numeric helpers.
+
+/// Renders a GitHub-flavoured Markdown table.
+#[must_use]
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Geometric mean of strictly positive values; 0 when empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Formats a ratio as a signed percentage overhead ("+12.3%").
+#[must_use]
+pub fn pct(overhead: f64) -> String {
+    format!("{:+.1}%", overhead * 100.0)
+}
+
+/// Formats cycles as milliseconds at 2.5 GHz.
+#[must_use]
+pub fn ms(cycles: u64) -> String {
+    format!("{:.3}", cycles as f64 / morello_sim::CYCLES_PER_MS as f64)
+}
+
+/// Formats cycles as microseconds at 2.5 GHz.
+#[must_use]
+pub fn us(cycles: u64) -> String {
+    format!("{:.1}", cycles as f64 / 2500.0)
+}
+
+/// Formats bytes as MiB with two decimals.
+#[must_use]
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| 1 | 2 |"));
+        assert!(t.lines().nth(1).unwrap().matches("---").count() == 2);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.05), "-5.0%");
+        assert_eq!(ms(2_500_000), "1.000");
+        assert_eq!(us(2500), "1.0");
+        assert_eq!(mib(1 << 20), "1.00");
+    }
+}

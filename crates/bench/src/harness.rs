@@ -1,0 +1,246 @@
+//! Suite running: executes each workload under every condition, with
+//! repetitions, and indexes the results for the figure generators.
+
+use morello_sim::{Condition, RunStats, System};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use workloads::{grpc_qps, pgbench, spec, GrpcParams, PgbenchParams, SpecProgram, SPEC_PROGRAMS};
+
+/// The conditions every figure draws from, in the paper's order.
+pub const CONDITIONS: [Condition; 5] = [
+    Condition::Baseline,
+    Condition::Safe(cornucopia::Strategy::PaintSync),
+    Condition::Safe(cornucopia::Strategy::CheriVoke),
+    Condition::Safe(cornucopia::Strategy::Cornucopia),
+    Condition::Safe(cornucopia::Strategy::Reloaded),
+];
+
+/// Run-size controls, read from `REPRO_SCALE` (workload fraction, default
+/// 1.0) and `REPRO_REPS` (repetitions per condition, default 2 — the paper
+/// uses 12 executions on real hardware; the simulator is deterministic per
+/// seed, so repetitions only sample workload-generation randomness).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Fraction of each workload's full op stream to run.
+    pub fraction: f64,
+    /// Repetitions (distinct workload seeds) per condition.
+    pub reps: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { fraction: 1.0, reps: 2 }
+    }
+}
+
+impl Scale {
+    /// Reads `REPRO_SCALE` / `REPRO_REPS` from the environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut s = Scale::default();
+        if let Ok(v) = std::env::var("REPRO_SCALE") {
+            if let Ok(f) = v.parse::<f64>() {
+                s.fraction = f.clamp(0.001, 1.0);
+            }
+        }
+        if let Ok(v) = std::env::var("REPRO_REPS") {
+            if let Ok(r) = v.parse::<u64>() {
+                s.reps = r.clamp(1, 12);
+            }
+        }
+        s
+    }
+
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Scale { fraction: 0.02, reps: 1 }
+    }
+}
+
+/// Results of running a set of workloads under a set of conditions.
+#[derive(Debug, Default)]
+pub struct Suite {
+    runs: BTreeMap<(String, String), Vec<RunStats>>,
+}
+
+impl Suite {
+    /// Records one run's statistics under `(workload, condition)`. Public
+    /// so custom harnesses can assemble suites from their own runs and
+    /// reuse the figure generators.
+    pub fn insert(&mut self, workload: &str, condition: Condition, stats: RunStats) {
+        self.runs.entry((workload.to_string(), condition.label().to_string())).or_default().push(stats);
+    }
+
+    /// All repetitions of `(workload, condition)`.
+    #[must_use]
+    pub fn stats(&self, workload: &str, condition: &str) -> &[RunStats] {
+        self.runs
+            .get(&(workload.to_string(), condition.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Workload names present, in insertion (BTree) order.
+    #[must_use]
+    pub fn workloads(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.runs.keys().map(|(w, _)| w.clone()).collect();
+        v.dedup();
+        v
+    }
+
+    /// Mean of `metric` across repetitions.
+    pub fn mean<F: Fn(&RunStats) -> f64>(&self, workload: &str, condition: &str, metric: F) -> f64 {
+        let s = self.stats(workload, condition);
+        if s.is_empty() {
+            return f64::NAN;
+        }
+        s.iter().map(&metric).sum::<f64>() / s.len() as f64
+    }
+
+    /// `mean(condition) / mean(baseline) - 1` for `metric`.
+    pub fn overhead<F: Fn(&RunStats) -> f64 + Copy>(
+        &self,
+        workload: &str,
+        condition: &str,
+        metric: F,
+    ) -> f64 {
+        self.mean(workload, condition, metric) / self.mean(workload, "baseline", metric) - 1.0
+    }
+
+    /// Ratio `mean(condition) / mean(baseline)` for `metric`.
+    pub fn ratio<F: Fn(&RunStats) -> f64 + Copy>(
+        &self,
+        workload: &str,
+        condition: &str,
+        metric: F,
+    ) -> f64 {
+        self.mean(workload, condition, metric) / self.mean(workload, "baseline", metric)
+    }
+}
+
+fn progress(msg: &str) {
+    let mut err = std::io::stderr();
+    let _ = writeln!(err, "  [run] {msg}");
+}
+
+/// Runs all SPEC surrogates under `conditions`.
+#[must_use]
+pub fn spec_suite(conditions: &[Condition], scale: Scale) -> Suite {
+    let mut suite = Suite::default();
+    for rep in 0..scale.reps {
+        for program in SPEC_PROGRAMS {
+            let mut w = spec(program, 1000 + rep);
+            if scale.fraction < 1.0 {
+                w.scale_churn(scale.fraction);
+            }
+            for &cond in conditions {
+                progress(&format!("spec {} rep {rep} {}", w.name, cond.label()));
+                let mut cfg = w.config.clone();
+                cfg.condition = cond;
+                let stats = System::new(cfg).run(w.ops.clone()).expect("spec surrogate must run clean");
+                suite.insert(&w.name, cond, stats);
+            }
+        }
+    }
+    suite
+}
+
+/// Runs a single SPEC surrogate under one condition (used by ablations).
+#[must_use]
+pub fn spec_single(program: SpecProgram, condition: Condition, scale: Scale, seed: u64) -> RunStats {
+    let mut w = spec(program, seed);
+    if scale.fraction < 1.0 {
+        w.scale_churn(scale.fraction);
+    }
+    let mut cfg = w.config.clone();
+    cfg.condition = condition;
+    System::new(cfg).run(w.ops).expect("spec surrogate must run clean")
+}
+
+/// Runs the pgbench surrogate under `conditions`.
+#[must_use]
+pub fn pgbench_suite(conditions: &[Condition], scale: Scale) -> Suite {
+    let mut suite = Suite::default();
+    let tx = ((20_000_f64 * scale.fraction) as u64).max(200);
+    for rep in 0..scale.reps {
+        let w = pgbench(PgbenchParams { transactions: tx, rate: None, seed: 2000 + rep });
+        for &cond in conditions {
+            progress(&format!("pgbench rep {rep} {}", cond.label()));
+            let mut cfg = w.config.clone();
+            cfg.condition = cond;
+            let stats = System::new(cfg).run(w.ops.clone()).expect("pgbench surrogate must run clean");
+            suite.insert(&w.name, cond, stats);
+        }
+    }
+    suite
+}
+
+/// Runs the rate-scheduled pgbench variants (Table 1) under Reloaded.
+#[must_use]
+pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale) -> Suite {
+    let mut suite = Suite::default();
+    let tx = ((20_000_f64 * scale.fraction) as u64).max(200);
+    for &rate in rates {
+        let label = rate.map_or("unscheduled".to_string(), |r| format!("{r:.0} tx/s"));
+        let w = pgbench(PgbenchParams { transactions: tx, rate, seed: 3000 });
+        progress(&format!("pgbench --rate {label}"));
+        let mut cfg = w.config.clone();
+        cfg.condition = Condition::reloaded();
+        let stats = System::new(cfg).run(w.ops.clone()).expect("pgbench rate run must run clean");
+        suite.insert(&label, Condition::reloaded(), stats);
+    }
+    suite
+}
+
+/// Runs the gRPC QPS surrogate. CHERIvoke is excluded, mirroring the
+/// paper (§5.3: "a bug in our implementation... we are unable to obtain
+/// CHERIvoke results for this experiment").
+#[must_use]
+pub fn grpc_suite(scale: Scale) -> Suite {
+    let mut suite = Suite::default();
+    let msgs = ((30_000_f64 * scale.fraction) as u64).max(500);
+    let conditions = [
+        Condition::Baseline,
+        Condition::Safe(cornucopia::Strategy::PaintSync),
+        Condition::Safe(cornucopia::Strategy::Cornucopia),
+        Condition::Safe(cornucopia::Strategy::Reloaded),
+    ];
+    for rep in 0..scale.reps {
+        let w = grpc_qps(GrpcParams { messages: msgs, seed: 4000 + rep });
+        for cond in conditions {
+            progress(&format!("grpc rep {rep} {}", cond.label()));
+            let mut cfg = w.config.clone();
+            cfg.condition = cond;
+            let stats = System::new(cfg).run(w.ops.clone()).expect("grpc surrogate must run clean");
+            suite.insert(&w.name, cond, stats);
+        }
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_indexing_and_means() {
+        let mut s = Suite::default();
+        let mut a = RunStats::default();
+        a.wall_cycles = 100;
+        let mut b = RunStats::default();
+        b.wall_cycles = 200;
+        s.insert("w", Condition::Baseline, a);
+        s.insert("w", Condition::reloaded(), b);
+        assert_eq!(s.stats("w", "baseline").len(), 1);
+        assert_eq!(s.mean("w", "Reloaded", |r| r.wall_cycles as f64), 200.0);
+        assert!((s.overhead("w", "Reloaded", |r| r.wall_cycles as f64) - 1.0).abs() < 1e-9);
+        assert_eq!(s.workloads(), vec!["w".to_string()]);
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        let s = Scale::default();
+        assert_eq!(s.reps, 2);
+        assert!((s.fraction - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,34 @@
+//! The evaluation harness: one regenerator per table and figure of the
+//! paper (§5), plus ablation studies for the design choices in DESIGN.md.
+//!
+//! Figures are produced as Markdown tables written to stdout (and collected
+//! into `EXPERIMENTS.md` by the `reproduce_all` binary). Absolute numbers
+//! are simulated cycles at a nominal 2.5 GHz and 1/64 memory scale; the
+//! claims under reproduction are the *shapes*: who wins, by what factor,
+//! and where the crossovers fall.
+//!
+//! Binaries (all honour `REPRO_SCALE` ∈ (0,1] and `REPRO_REPS`):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig1_spec_wall` | Figure 1: SPEC wall-clock overheads |
+//! | `fig2_cpu_time` | Figure 2: total CPU-time overheads |
+//! | `fig3_peak_rss` | Figure 3: peak-RSS ratios |
+//! | `fig4_bus_traffic` | Figure 4: DRAM-traffic overheads |
+//! | `fig5_pgbench_time` | Figure 5: pgbench time overheads |
+//! | `fig6_pgbench_bus` | Figure 6: pgbench bus overheads |
+//! | `fig7_pgbench_cdf` | Figure 7: pgbench latency CDF |
+//! | `fig8_grpc_latency` | Figure 8: gRPC QPS latency percentiles |
+//! | `fig9_phase_times` | Figure 9: revocation phase times |
+//! | `table1_pgbench_rates` | Table 1: latency vs fixed tx rates |
+//! | `table2_revocation_rates` | Table 2: revocation-rate statistics |
+//! | `reproduce_all` | Everything, into `EXPERIMENTS.md` |
+//! | `ablation_*` | DESIGN.md's five ablation studies |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod fmt;
+pub mod harness;

@@ -1,0 +1,169 @@
+//! Capability permission bits.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr};
+
+/// A set of capability permissions.
+///
+/// Modelled as a small hand-rolled bitset (per C-BITFLAG) covering the
+/// permissions relevant to heap temporal safety. `LOAD_CAP`/`STORE_CAP`
+/// gate tag-preserving transfers and are what the MMU's capability
+/// load/store barriers interpose on.
+///
+/// # Example
+///
+/// ```
+/// use cheri_cap::Perms;
+///
+/// let p = Perms::rw();
+/// assert!(p.contains(Perms::LOAD | Perms::STORE_CAP));
+/// let ro = p.intersection(Perms::LOAD | Perms::LOAD_CAP);
+/// assert!(!ro.contains(Perms::STORE));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u16);
+
+impl Perms {
+    /// Permission to load data.
+    pub const LOAD: Perms = Perms(1 << 0);
+    /// Permission to store data.
+    pub const STORE: Perms = Perms(1 << 1);
+    /// Permission to load capabilities (tag-preserving loads).
+    pub const LOAD_CAP: Perms = Perms(1 << 2);
+    /// Permission to store capabilities (tag-preserving stores).
+    pub const STORE_CAP: Perms = Perms(1 << 3);
+    /// Permission to execute.
+    pub const EXECUTE: Perms = Perms(1 << 4);
+    /// Global (may be stored via non-local-only capabilities).
+    pub const GLOBAL: Perms = Perms(1 << 5);
+    /// System/kernel permission, held only by the simulated kernel.
+    pub const SYSTEM: Perms = Perms(1 << 6);
+    /// Authority to re-color memory and to set capability color fields —
+    /// held by allocators in the §7.3 CHERI+coloring composition.
+    pub const RECOLOR: Perms = Perms(1 << 7);
+
+    /// The empty permission set.
+    #[must_use]
+    pub const fn empty() -> Perms {
+        Perms(0)
+    }
+
+    /// Every permission bit; only primordial capabilities hold this.
+    #[must_use]
+    pub const fn all() -> Perms {
+        Perms(0xff)
+    }
+
+    /// The usual data+capability read/write set handed to user heaps.
+    #[must_use]
+    pub const fn rw() -> Perms {
+        Perms(Perms::LOAD.0 | Perms::STORE.0 | Perms::LOAD_CAP.0 | Perms::STORE_CAP.0 | Perms::GLOBAL.0)
+    }
+
+    /// Whether every bit of `other` is present in `self`.
+    #[must_use]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The intersection of two permission sets (monotonic refinement).
+    #[must_use]
+    pub const fn intersection(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Whether no permissions are present.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bit representation (stable within this crate's major version).
+    #[must_use]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a permission set from [`Perms::bits`], masking unknown
+    /// bits.
+    #[must_use]
+    pub const fn from_bits_truncate(bits: u16) -> Perms {
+        Perms(bits & Perms::all().0)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        self.intersection(rhs)
+    }
+}
+
+fn fmt_perms(p: Perms, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let flags = [
+        (Perms::LOAD, 'r'),
+        (Perms::STORE, 'w'),
+        (Perms::LOAD_CAP, 'R'),
+        (Perms::STORE_CAP, 'W'),
+        (Perms::EXECUTE, 'x'),
+        (Perms::GLOBAL, 'g'),
+        (Perms::SYSTEM, 's'),
+        (Perms::RECOLOR, 'c'),
+    ];
+    for (flag, ch) in flags {
+        write!(f, "{}", if p.contains(flag) { ch } else { '-' })?;
+    }
+    Ok(())
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_perms(*self, f)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_perms(*self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_contains_cap_transfer_perms() {
+        assert!(Perms::rw().contains(Perms::LOAD_CAP));
+        assert!(Perms::rw().contains(Perms::STORE_CAP));
+        assert!(!Perms::rw().contains(Perms::EXECUTE));
+        assert!(!Perms::rw().contains(Perms::SYSTEM));
+    }
+
+    #[test]
+    fn intersection_shrinks() {
+        let p = Perms::rw().intersection(Perms::LOAD | Perms::EXECUTE);
+        assert_eq!(p, Perms::LOAD);
+        assert!(Perms::rw().contains(p));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let p = Perms::rw();
+        assert_eq!(Perms::from_bits_truncate(p.bits()), p);
+        assert_eq!(Perms::from_bits_truncate(0xffff), Perms::all());
+    }
+
+    #[test]
+    fn display_shows_flags() {
+        assert_eq!(Perms::rw().to_string(), "rwRW-g--");
+        assert_eq!(Perms::empty().to_string(), "--------");
+    }
+}

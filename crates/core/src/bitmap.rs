@@ -1,0 +1,184 @@
+//! The revocation ("shadow") bitmap (paper §2.2.2).
+//!
+//! Each 16-byte, naturally-aligned granule of the heap has one bit; a set
+//! bit means capabilities whose **base** points at that granule are to be
+//! revoked (bases, not cursors, because CHERI guarantees bases cannot be
+//! forged out of bounds — footnote 9). The bitmap is a kernel-provided
+//! object in virtual memory: user allocators paint it on `free` and the
+//! kernel reads it during sweeps, so probes and paints are charged memory
+//! traffic at the bitmap's own virtual addresses.
+
+use cheri_cap::CAP_SIZE;
+use cheri_mem::CoreId;
+use cheri_vm::Machine;
+
+/// Virtual base address at which the bitmap is nominally mapped (for
+/// traffic accounting; well above any simulated heap).
+pub const BITMAP_VA_BASE: u64 = 0x10_0000_0000;
+
+/// A revocation bitmap covering one contiguous heap arena.
+#[derive(Debug, Clone)]
+pub struct RevocationBitmap {
+    heap_base: u64,
+    heap_len: u64,
+    words: Vec<u64>,
+    painted_granules: u64,
+}
+
+impl RevocationBitmap {
+    /// Creates a bitmap covering `[heap_base, heap_base + heap_len)`.
+    /// `heap_base` and `heap_len` must be granule-aligned.
+    #[must_use]
+    pub fn new(heap_base: u64, heap_len: u64) -> Self {
+        assert_eq!(heap_base % CAP_SIZE, 0, "heap base must be granule-aligned");
+        assert_eq!(heap_len % CAP_SIZE, 0, "heap length must be granule-aligned");
+        let granules = (heap_len / CAP_SIZE) as usize;
+        RevocationBitmap {
+            heap_base,
+            heap_len,
+            words: vec![0; granules.div_ceil(64)],
+            painted_granules: 0,
+        }
+    }
+
+    /// The covered heap range.
+    #[must_use]
+    pub fn heap_range(&self) -> (u64, u64) {
+        (self.heap_base, self.heap_len)
+    }
+
+    fn index(&self, addr: u64) -> Option<usize> {
+        if addr < self.heap_base || addr >= self.heap_base + self.heap_len {
+            return None;
+        }
+        Some(((addr - self.heap_base) / CAP_SIZE) as usize)
+    }
+
+    /// The bitmap's own virtual address holding the bit for `addr` (used
+    /// for traffic charging).
+    #[must_use]
+    pub fn shadow_addr(&self, addr: u64) -> u64 {
+        BITMAP_VA_BASE + (addr.saturating_sub(self.heap_base) / CAP_SIZE) / 8
+    }
+
+    /// Paints `[base, base+len)` as quarantined (all corresponding bits
+    /// set), charging `core` the store traffic. Returns the cycle cost.
+    /// Addresses outside the covered arena are ignored.
+    pub fn paint(&mut self, machine: &mut Machine, core: CoreId, base: u64, len: u64) -> u64 {
+        self.set_range(base, len, true);
+        let bytes = (len / CAP_SIZE / 8).max(1);
+        machine.mem_mut().touch_write(core, self.shadow_addr(base), bytes) + len / CAP_SIZE
+    }
+
+    /// Clears `[base, base+len)` (dequarantine after a completed epoch),
+    /// charging `core` the store traffic. Returns the cycle cost.
+    pub fn unpaint(&mut self, machine: &mut Machine, core: CoreId, base: u64, len: u64) -> u64 {
+        self.set_range(base, len, false);
+        let bytes = (len / CAP_SIZE / 8).max(1);
+        machine.mem_mut().touch_write(core, self.shadow_addr(base), bytes) + len / CAP_SIZE
+    }
+
+    fn set_range(&mut self, base: u64, len: u64, value: bool) {
+        let mut addr = base;
+        let end = base.saturating_add(len);
+        while addr < end {
+            if let Some(i) = self.index(addr) {
+                let (w, b) = (i / 64, i % 64);
+                let was = self.words[w] >> b & 1 == 1;
+                if value && !was {
+                    self.words[w] |= 1 << b;
+                    self.painted_granules += 1;
+                } else if !value && was {
+                    self.words[w] &= !(1 << b);
+                    self.painted_granules -= 1;
+                }
+            }
+            addr += CAP_SIZE;
+        }
+    }
+
+    /// Probes the bit for `addr` without traffic accounting (pure lookup).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        self.index(addr).is_some_and(|i| self.words[i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Probes the bit for `addr`, charging `core` the bitmap-load traffic.
+    /// Returns `(painted, cycles)`.
+    pub fn probe_charged(&self, machine: &mut Machine, core: CoreId, addr: u64) -> (bool, u64) {
+        let cycles = machine.mem_mut().touch_read(core, self.shadow_addr(addr), 8) + 2;
+        (self.probe(addr), cycles)
+    }
+
+    /// Number of currently painted granules.
+    #[must_use]
+    pub fn painted_granules(&self) -> u64 {
+        self.painted_granules
+    }
+
+    /// Painted bytes (granules × 16).
+    #[must_use]
+    pub fn painted_bytes(&self) -> u64 {
+        self.painted_granules * CAP_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> (Machine, RevocationBitmap) {
+        (Machine::new(1), RevocationBitmap::new(0x4000_0000, 0x10_0000))
+    }
+
+    #[test]
+    fn paint_probe_unpaint_roundtrip() {
+        let (mut m, mut b) = mk();
+        assert!(!b.probe(0x4000_1000));
+        b.paint(&mut m, 0, 0x4000_1000, 64);
+        for g in 0..4 {
+            assert!(b.probe(0x4000_1000 + g * 16));
+        }
+        assert!(!b.probe(0x4000_0ff0));
+        assert!(!b.probe(0x4000_1040));
+        assert_eq!(b.painted_bytes(), 64);
+        b.unpaint(&mut m, 0, 0x4000_1000, 64);
+        assert!(!b.probe(0x4000_1000));
+        assert_eq!(b.painted_granules(), 0);
+    }
+
+    #[test]
+    fn out_of_arena_addresses_are_ignored() {
+        let (mut m, mut b) = mk();
+        b.paint(&mut m, 0, 0x1000, 64); // below the arena
+        assert_eq!(b.painted_granules(), 0);
+        assert!(!b.probe(0x1000));
+    }
+
+    #[test]
+    fn double_paint_is_idempotent() {
+        let (mut m, mut b) = mk();
+        b.paint(&mut m, 0, 0x4000_0000, 32);
+        b.paint(&mut m, 0, 0x4000_0000, 32);
+        assert_eq!(b.painted_bytes(), 32);
+    }
+
+    #[test]
+    fn probe_charged_costs_traffic() {
+        let (mut m, mut b) = mk();
+        b.paint(&mut m, 0, 0x4000_0000, 16);
+        let before = m.mem().traffic(0).dram_transactions;
+        let (hit, cycles) = b.probe_charged(&mut m, 0, 0x4000_0000);
+        assert!(hit);
+        assert!(cycles > 0);
+        assert!(m.mem().traffic(0).dram_transactions >= before);
+    }
+
+    #[test]
+    fn shadow_addresses_are_dense() {
+        let (_, b) = mk();
+        // 16 bytes/granule, 8 granules/byte: 128 heap bytes per bitmap byte.
+        assert_eq!(b.shadow_addr(0x4000_0000), BITMAP_VA_BASE);
+        assert_eq!(b.shadow_addr(0x4000_0000 + 128), BITMAP_VA_BASE + 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The publicly readable revocation epoch counter (paper §2.2.3).
+//!
+//! The counter starts at zero and is incremented immediately **before** a
+//! revocation pass begins and again **after** it ends; it is therefore odd
+//! exactly while revocation is in flight. An allocator that painted memory
+//! and then observed counter value `e` may reuse that memory once the
+//! counter reaches [`EpochClock::release_epoch`]`(e)` — two advances if `e`
+//! was even (a full pass has begun and ended since the paint), three if odd
+//! (the in-flight pass may have already swept past the painted bits).
+
+/// The epoch counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochClock {
+    counter: u64,
+}
+
+impl EpochClock {
+    /// A fresh clock at epoch zero (idle).
+    #[must_use]
+    pub fn new() -> Self {
+        EpochClock::default()
+    }
+
+    /// Current counter value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.counter
+    }
+
+    /// Whether a revocation pass is in flight (counter is odd).
+    #[must_use]
+    pub fn is_revoking(&self) -> bool {
+        self.counter % 2 == 1
+    }
+
+    /// Marks the start of a revocation pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass is already in flight.
+    pub fn begin(&mut self) {
+        assert!(!self.is_revoking(), "epoch already in flight");
+        self.counter += 1;
+    }
+
+    /// Marks the end of a revocation pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pass is in flight.
+    pub fn end(&mut self) {
+        assert!(self.is_revoking(), "no epoch in flight");
+        self.counter += 1;
+    }
+
+    /// The counter value at which memory painted while observing value
+    /// `observed` becomes safe to reuse.
+    #[must_use]
+    pub fn release_epoch(observed: u64) -> u64 {
+        if observed.is_multiple_of(2) {
+            observed + 2
+        } else {
+            observed + 3
+        }
+    }
+
+    /// Whether memory painted at `observed` is reusable now.
+    #[must_use]
+    pub fn can_release(&self, observed: u64) -> bool {
+        self.counter >= EpochClock::release_epoch(observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_parity_tracks_inflight() {
+        let mut e = EpochClock::new();
+        assert!(!e.is_revoking());
+        e.begin();
+        assert!(e.is_revoking());
+        assert_eq!(e.value(), 1);
+        e.end();
+        assert!(!e.is_revoking());
+        assert_eq!(e.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch already in flight")]
+    fn double_begin_panics() {
+        let mut e = EpochClock::new();
+        e.begin();
+        e.begin();
+    }
+
+    #[test]
+    fn release_rule_even_waits_two() {
+        // Painted while idle at epoch 0: the next pass (1..2) suffices.
+        assert_eq!(EpochClock::release_epoch(0), 2);
+        let mut e = EpochClock::new();
+        assert!(!e.can_release(0));
+        e.begin();
+        assert!(!e.can_release(0));
+        e.end();
+        assert!(e.can_release(0));
+    }
+
+    #[test]
+    fn release_rule_odd_waits_three() {
+        // Painted during pass 1: that pass may have already swept the bits,
+        // so a *full* later pass (3..4) is required.
+        assert_eq!(EpochClock::release_epoch(1), 4);
+        let mut e = EpochClock::new();
+        e.begin(); // 1
+        e.end(); // 2
+        assert!(!e.can_release(1));
+        e.begin(); // 3
+        assert!(!e.can_release(1));
+        e.end(); // 4
+        assert!(e.can_release(1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Kernel capability hoards (paper §4.4).
+//!
+//! User pointers flow freely into the kernel — ephemerally (a `write(2)`
+//! argument) or hoarded for later return (`kqueue`, `aio`, saved register
+//! files of descheduled threads). Every epoch must scan these hoards: a
+//! revoked capability divulged by the kernel after the epoch would break
+//! the revoker's guarantee. In Reloaded the scan happens in the initial
+//! stop-the-world phase; in CHERIvoke/Cornucopia it joins the (final) STW
+//! sweep.
+
+use cheri_cap::Capability;
+
+/// Named kernel subsystems that hoard user capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum HoardKind {
+    /// `kqueue`-style event registrations.
+    Kqueue,
+    /// Asynchronous I/O control blocks.
+    Aio,
+    /// Saved register files of descheduled threads (beyond the on-core
+    /// files scanned via the [`cheri_vm::Machine`] directly).
+    SavedContext,
+}
+
+/// The kernel's hoarded capabilities, grouped by subsystem.
+#[derive(Debug, Default, Clone)]
+pub struct KernelHoards {
+    kqueue: Vec<Capability>,
+    aio: Vec<Capability>,
+    saved: Vec<Capability>,
+}
+
+impl KernelHoards {
+    /// An empty hoard set.
+    #[must_use]
+    pub fn new() -> Self {
+        KernelHoards::default()
+    }
+
+    fn bucket_mut(&mut self, kind: HoardKind) -> &mut Vec<Capability> {
+        match kind {
+            HoardKind::Kqueue => &mut self.kqueue,
+            HoardKind::Aio => &mut self.aio,
+            HoardKind::SavedContext => &mut self.saved,
+        }
+    }
+
+    /// Deposits a user capability into a hoard (e.g. registering a kevent).
+    /// Returns a handle for later retrieval.
+    pub fn deposit(&mut self, kind: HoardKind, cap: Capability) -> usize {
+        let b = self.bucket_mut(kind);
+        b.push(cap);
+        b.len() - 1
+    }
+
+    /// Returns the hoarded capability at `handle` (e.g. the kernel
+    /// divulging a pointer back to user space). Revocation may have cleared
+    /// its tag in the meantime — exactly the behaviour the scan guarantees.
+    #[must_use]
+    pub fn divulge(&self, kind: HoardKind, handle: usize) -> Option<Capability> {
+        match kind {
+            HoardKind::Kqueue => self.kqueue.get(handle).copied(),
+            HoardKind::Aio => self.aio.get(handle).copied(),
+            HoardKind::SavedContext => self.saved.get(handle).copied(),
+        }
+    }
+
+    /// Total number of hoarded capabilities (drives STW scan cost).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kqueue.len() + self.aio.len() + self.saved.len()
+    }
+
+    /// Whether no capabilities are hoarded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scans every hoarded capability with `revoke_if`, clearing tags where
+    /// it returns `true`. Returns `(scanned, revoked)`.
+    pub fn scan<F: FnMut(&Capability) -> bool>(&mut self, mut revoke_if: F) -> (u64, u64) {
+        let mut scanned = 0;
+        let mut revoked = 0;
+        for bucket in [&mut self.kqueue, &mut self.aio, &mut self.saved] {
+            for cap in bucket.iter_mut() {
+                scanned += 1;
+                if cap.is_tagged() && revoke_if(cap) {
+                    *cap = cap.with_tag_cleared();
+                    revoked += 1;
+                }
+            }
+        }
+        (scanned, revoked)
+    }
+
+    /// Drops everything (process teardown).
+    pub fn clear(&mut self) {
+        self.kqueue.clear();
+        self.aio.clear();
+        self.saved.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::Perms;
+
+    fn cap(base: u64) -> Capability {
+        Capability::new_root(base, 64, Perms::rw())
+    }
+
+    #[test]
+    fn deposit_and_divulge_roundtrip() {
+        let mut h = KernelHoards::new();
+        let hd = h.deposit(HoardKind::Kqueue, cap(0x1000));
+        assert_eq!(h.divulge(HoardKind::Kqueue, hd).unwrap().base(), 0x1000);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn scan_revokes_matching_caps_across_subsystems() {
+        let mut h = KernelHoards::new();
+        let k = h.deposit(HoardKind::Kqueue, cap(0x1000));
+        let a = h.deposit(HoardKind::Aio, cap(0x2000));
+        let s = h.deposit(HoardKind::SavedContext, cap(0x1000));
+        let (scanned, revoked) = h.scan(|c| c.base() == 0x1000);
+        assert_eq!((scanned, revoked), (3, 2));
+        assert!(!h.divulge(HoardKind::Kqueue, k).unwrap().is_tagged());
+        assert!(h.divulge(HoardKind::Aio, a).unwrap().is_tagged());
+        assert!(!h.divulge(HoardKind::SavedContext, s).unwrap().is_tagged());
+    }
+
+    #[test]
+    fn scan_skips_already_untagged() {
+        let mut h = KernelHoards::new();
+        h.deposit(HoardKind::Aio, cap(0x1000).with_tag_cleared());
+        let (scanned, revoked) = h.scan(|_| true);
+        assert_eq!((scanned, revoked), (1, 0));
+    }
+}

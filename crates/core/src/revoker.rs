@@ -1,0 +1,888 @@
+//! The revoker state machines: CHERIvoke, Cornucopia, Cornucopia Reloaded,
+//! Paint+sync, and the CHERIoT-style load filter.
+//!
+//! The revoker is deliberately *driven* rather than threaded: a simulator
+//! (or test) interleaves application work with [`Revoker::background_step`]
+//! slices and routes load-barrier faults to
+//! [`Revoker::handle_load_fault`]. Every operation returns its cycle cost,
+//! and all memory traffic goes through the machine's cache model, so the
+//! evaluation can account wall time, CPU time, and DRAM traffic exactly as
+//! the paper does (§5).
+
+use crate::bitmap::RevocationBitmap;
+use crate::epoch::EpochClock;
+use crate::hoards::KernelHoards;
+use cheri_cap::Capability;
+use cheri_mem::{CoreId, PAGE_SIZE};
+use cheri_vm::Machine;
+use std::collections::BTreeSet;
+
+/// Which revocation algorithm to run (paper §5: the four studied systems,
+/// plus the CHERIoT-style filter of §6.3 as an ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Single stop-the-world sweep per epoch (Xia et al., MICRO'19).
+    CheriVoke,
+    /// Concurrent sweep + stop-the-world re-sweep of re-dirtied pages
+    /// (Filardo et al., Oakland'20), using the capability store barrier.
+    Cornucopia,
+    /// Cornucopia Reloaded: brief STW (generation flip + register/hoard
+    /// scan) + concurrent sweep with on-demand load-barrier faults.
+    Reloaded,
+    /// Quarantine bookkeeping only; **no revocation, no temporal safety**.
+    /// Used to characterize the prerequisite overheads (paper §5).
+    PaintSync,
+    /// CHERIoT-style non-trapping load filter: every capability load probes
+    /// the revocation bitmap and clears the tag of revoked capabilities on
+    /// their way into the register file (§6.3).
+    CheriotFilter,
+}
+
+impl Strategy {
+    /// Whether the strategy actually expunges stale capabilities.
+    #[must_use]
+    pub fn provides_safety(&self) -> bool {
+        !matches!(self, Strategy::PaintSync)
+    }
+
+    /// Short display name matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::CheriVoke => "CHERIvoke",
+            Strategy::Cornucopia => "Cornucopia",
+            Strategy::Reloaded => "Reloaded",
+            Strategy::PaintSync => "Paint+sync",
+            Strategy::CheriotFilter => "CHERIoT-filter",
+        }
+    }
+}
+
+/// How PTE load-generation state is maintained per epoch (§4.1 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PteUpdateMode {
+    /// The paper's design: flip only the in-core generation registers at
+    /// epoch start; each PTE is written once, when visited.
+    #[default]
+    Generation,
+    /// The strawman rejected in §4.1: rewrite every PTE (clearing a
+    /// load-permission flag) at epoch start, with TLB shootdowns, and again
+    /// on visit — twice per epoch.
+    RewriteEachEpoch,
+}
+
+/// Revoker configuration.
+#[derive(Debug, Clone)]
+pub struct RevokerConfig {
+    /// The algorithm to run.
+    pub strategy: Strategy,
+    /// Core(s) executing background revocation work (§7.1: more than one
+    /// enables parallel background sweeping).
+    pub revoker_cores: Vec<CoreId>,
+    /// PTE maintenance mode (§4.1 ablation).
+    pub pte_mode: PteUpdateMode,
+    /// §7.6 proposal: put capability-clean pages in an "always trap" state
+    /// so their generations need no maintenance.
+    pub always_trap_clean: bool,
+    /// Cycles to synchronize/quiesce the requesting thread's own core.
+    pub stw_sync_base_cycles: u64,
+    /// Additional cycles per *other* busy application thread that must be
+    /// interrupted and quiesced (syscall completion/abort; §4.4, §5.4).
+    pub stw_sync_per_busy_thread: u64,
+    /// Trap entry/exit overhead for a load-barrier fault.
+    pub fault_trap_cycles: u64,
+}
+
+impl Default for RevokerConfig {
+    fn default() -> Self {
+        RevokerConfig {
+            strategy: Strategy::Reloaded,
+            revoker_cores: vec![1],
+            pte_mode: PteUpdateMode::Generation,
+            always_trap_clean: false,
+            stw_sync_base_cycles: 40_000,       // ~16 us at 2.5 GHz
+            stw_sync_per_busy_thread: 760_000,  // ~300 us: thread_single() + syscalls
+            fault_trap_cycles: 3_000,           // ~1.2 us trap entry/exit
+        }
+    }
+}
+
+/// Phases whose durations the evaluation reports (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// CHERIvoke's single world-stopped sweep.
+    CheriVokeStw,
+    /// Cornucopia's concurrent sweep.
+    CornucopiaConcurrent,
+    /// Cornucopia's world-stopped re-sweep.
+    CornucopiaStw,
+    /// Reloaded's world-stopped entry (generation flip + register scan).
+    ReloadedStw,
+    /// Reloaded's background concurrent sweep.
+    ReloadedConcurrent,
+    /// Cumulative load-barrier fault handling in application threads
+    /// during one Reloaded epoch.
+    ReloadedFaults,
+}
+
+impl PhaseKind {
+    /// Display label matching Figure 9's legend.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseKind::CheriVokeStw => "CHERIvoke STW",
+            PhaseKind::CornucopiaConcurrent => "Cornucopia concurrent",
+            PhaseKind::CornucopiaStw => "Cornucopia STW",
+            PhaseKind::ReloadedStw => "Reloaded STW",
+            PhaseKind::ReloadedConcurrent => "Reloaded concurrent",
+            PhaseKind::ReloadedFaults => "Reloaded faults (cum.)",
+        }
+    }
+}
+
+/// One phase duration observation.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseRecord {
+    /// Epoch ordinal (counting completed revocation passes).
+    pub epoch_index: u64,
+    /// Which phase.
+    pub kind: PhaseKind,
+    /// Duration in cycles.
+    pub cycles: u64,
+}
+
+/// Aggregate revoker statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RevStats {
+    /// Completed revocation passes.
+    pub epochs: u64,
+    /// Page content scans performed (all phases).
+    pub pages_swept: u64,
+    /// Cheap page visits (generation update only, no content scan).
+    pub pages_visited_clean: u64,
+    /// Capabilities tested against the bitmap.
+    pub caps_checked: u64,
+    /// Capabilities revoked (tags cleared), including registers/hoards.
+    pub caps_revoked: u64,
+    /// Load-barrier faults handled.
+    pub load_faults: u64,
+    /// Cycles spent handling load-barrier faults (application threads).
+    pub fault_cycles: u64,
+    /// Total world-stopped cycles.
+    pub stw_cycles: u64,
+    /// Total background (concurrent) cycles.
+    pub concurrent_cycles: u64,
+    /// Capabilities filtered by the CHERIoT-style load filter.
+    pub filtered_loads: u64,
+    /// Read-only pages upgraded to writable because a capability on them
+    /// had to be revoked (§4.3's heuristic; pages needing no writes are
+    /// put back into service untouched).
+    pub ro_pages_upgraded: u64,
+}
+
+/// Result of a [`Revoker::background_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// No revocation is in flight.
+    Idle,
+    /// Background work consumed `used` cycles; more remains.
+    Working {
+        /// Cycles consumed on the revoker core(s).
+        used: u64,
+    },
+    /// Concurrent work is done but the strategy needs a final
+    /// stop-the-world phase — call [`Revoker::finish_stw`].
+    NeedsFinalStw,
+    /// The epoch completed during this step. `used` cycles were consumed.
+    Finished {
+        /// Cycles consumed on the revoker core(s).
+        used: u64,
+    },
+}
+
+#[derive(Debug)]
+enum State {
+    Idle,
+    /// Cornucopia's concurrent phase over a snapshot of tracked pages.
+    CornConcurrent { pending: BTreeSet<u64> },
+    /// Cornucopia: concurrent work done, awaiting the final STW.
+    CornAwaitStw,
+    /// Reloaded's (or CHERIoT's) concurrent phase.
+    RelConcurrent { pending: BTreeSet<u64> },
+}
+
+/// The in-kernel revocation subsystem.
+///
+/// Owns the [`RevocationBitmap`], the [`EpochClock`], the [`KernelHoards`],
+/// and the sticky set of pages known to (have) hold capabilities. See the
+/// crate docs for the driving protocol.
+#[derive(Debug)]
+pub struct Revoker {
+    cfg: RevokerConfig,
+    bitmap: RevocationBitmap,
+    epoch: EpochClock,
+    hoards: KernelHoards,
+    state: State,
+    /// Pages ever observed capability-dirty. Our re-implementation (like
+    /// the paper's, §4.5) never un-tracks a page that becomes clean.
+    tracked: BTreeSet<u64>,
+    stats: RevStats,
+    phases: Vec<PhaseRecord>,
+    /// Cycles of fault handling accumulated in the current epoch.
+    epoch_fault_cycles: u64,
+    /// Concurrent-phase cycles accumulated in the current epoch.
+    epoch_concurrent_cycles: u64,
+}
+
+impl Revoker {
+    /// Creates a revoker whose bitmap covers `[heap_base, heap_base+len)`.
+    #[must_use]
+    pub fn new(cfg: RevokerConfig, heap_base: u64, heap_len: u64) -> Self {
+        assert!(!cfg.revoker_cores.is_empty(), "need at least one revoker core");
+        Revoker {
+            bitmap: RevocationBitmap::new(heap_base, heap_len),
+            cfg,
+            epoch: EpochClock::new(),
+            hoards: KernelHoards::new(),
+            state: State::Idle,
+            tracked: BTreeSet::new(),
+            stats: RevStats::default(),
+            phases: Vec::new(),
+            epoch_fault_cycles: 0,
+            epoch_concurrent_cycles: 0,
+        }
+    }
+
+    /// The strategy in use.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.cfg.strategy
+    }
+
+    /// The publicly readable epoch counter value (§2.2.3).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.value()
+    }
+
+    /// Whether a revocation pass is in flight.
+    #[must_use]
+    pub fn is_revoking(&self) -> bool {
+        self.epoch.is_revoking()
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> RevStats {
+        self.stats
+    }
+
+    /// Recorded phase durations (Figure 9's raw data).
+    #[must_use]
+    pub fn phase_records(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// The kernel hoards (workloads deposit/divulge through these).
+    pub fn hoards_mut(&mut self) -> &mut KernelHoards {
+        &mut self.hoards
+    }
+
+    /// Read-only view of the bitmap.
+    #[must_use]
+    pub fn bitmap(&self) -> &RevocationBitmap {
+        &self.bitmap
+    }
+
+    /// User-space shim painting `[base, base+len)` into quarantine.
+    /// Returns the cycle cost, charged to `core`.
+    pub fn paint(&mut self, machine: &mut Machine, core: CoreId, base: u64, len: u64) -> u64 {
+        self.bitmap.paint(machine, core, base, len)
+    }
+
+    /// User-space shim clearing quarantine marks after a completed epoch.
+    pub fn unpaint(&mut self, machine: &mut Machine, core: CoreId, base: u64, len: u64) -> u64 {
+        self.bitmap.unpaint(machine, core, base, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch driving
+    // ------------------------------------------------------------------
+
+    /// Begins a revocation pass. Performs the strategy's *initial*
+    /// synchronous work and returns the stop-the-world pause in cycles,
+    /// which the caller must charge to all application threads.
+    ///
+    /// `busy_threads` is the number of runnable application threads; each
+    /// one beyond the requester must be interrupted and quiesced (§4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass is already in flight.
+    pub fn start_epoch(&mut self, machine: &mut Machine) -> u64 {
+        self.start_epoch_with_busy_threads(machine, 1)
+    }
+
+    /// [`Revoker::start_epoch`] with an explicit busy-thread count.
+    pub fn start_epoch_with_busy_threads(&mut self, machine: &mut Machine, busy_threads: usize) -> u64 {
+        self.epoch.begin();
+        self.epoch_fault_cycles = 0;
+        self.epoch_concurrent_cycles = 0;
+        // Union newly capability-dirty pages into the sticky tracked set.
+        for p in machine.cap_dirty_pages() {
+            self.tracked.insert(p);
+        }
+        let sync = self.sync_cost(busy_threads);
+        match self.cfg.strategy {
+            Strategy::PaintSync => {
+                // One no-op "syscall"; the epoch ends immediately.
+                self.epoch.end();
+                self.stats.epochs += 1;
+                2_000
+            }
+            Strategy::CheriVoke => {
+                // Everything happens with the world stopped.
+                let mut cycles = sync;
+                cycles += self.scan_registers_and_hoards(machine);
+                let pages: Vec<u64> = self.tracked.iter().copied().collect();
+                for page in pages {
+                    cycles += self.sweep_page_contents(machine, self.cfg.revoker_cores[0], page);
+                }
+                self.epoch.end();
+                self.stats.epochs += 1;
+                self.stats.stw_cycles += cycles;
+                self.record_phase(PhaseKind::CheriVokeStw, cycles);
+                cycles
+            }
+            Strategy::Cornucopia => {
+                // No initial STW: snapshot the tracked pages and go
+                // concurrent. Clear CD bits as pages are visited so
+                // re-dirtying is observable.
+                self.state = State::CornConcurrent { pending: self.tracked.clone() };
+                0
+            }
+            Strategy::Reloaded => {
+                let mut cycles = sync;
+                // Fast global enablement: flip only in-core generation bits.
+                machine.flip_core_generations();
+                cycles += 1_000; // IPI broadcast
+                if self.cfg.pte_mode == PteUpdateMode::RewriteEachEpoch {
+                    // Strawman: touch every PTE up front, with shootdowns.
+                    let pages: Vec<u64> = machine.mapped_pages().collect();
+                    for p in &pages {
+                        machine.set_page_generation(*p, !machine.space_generation());
+                        machine.set_page_generation(*p, machine.space_generation());
+                    }
+                    // Undo: leave them stale so the sweep still visits them.
+                    for p in &pages {
+                        machine.set_page_generation(*p, !machine.space_generation());
+                    }
+                    cycles += pages.len() as u64 * 150;
+                }
+                cycles += self.scan_registers_and_hoards(machine);
+                let pending: BTreeSet<u64> = machine.stale_generation_pages().into_iter().collect();
+                self.state = State::RelConcurrent { pending };
+                self.stats.stw_cycles += cycles;
+                self.record_phase(PhaseKind::ReloadedStw, cycles);
+                cycles
+            }
+            Strategy::CheriotFilter => {
+                // No traps, no thread quiescence: the load filter already
+                // protects the mutator. Scan registers/hoards (the
+                // cycle-stealing engine does this too) and sweep in the
+                // background so bitmap bits can eventually be recycled.
+                let cycles = self.scan_registers_and_hoards(machine);
+                self.state = State::RelConcurrent { pending: self.tracked.clone() };
+                self.stats.stw_cycles += cycles;
+                cycles
+            }
+        }
+    }
+
+    /// Runs up to `budget` cycles of background revocation on the
+    /// configured revoker core(s).
+    pub fn background_step(&mut self, machine: &mut Machine, budget: u64) -> StepOutcome {
+        let threads = self.cfg.revoker_cores.len() as u64;
+        let effective_budget = budget.saturating_mul(threads);
+        let core = self.cfg.revoker_cores[0];
+        match std::mem::replace(&mut self.state, State::Idle) {
+            State::Idle => StepOutcome::Idle,
+            State::CornAwaitStw => {
+                self.state = State::CornAwaitStw;
+                StepOutcome::NeedsFinalStw
+            }
+            State::CornConcurrent { mut pending } => {
+                let mut used = 0;
+                while used < effective_budget {
+                    let Some(&page) = pending.iter().next() else { break };
+                    pending.remove(&page);
+                    // Visit: clear CD first so stores during/after the scan
+                    // re-dirty the page for the STW re-sweep.
+                    machine.clear_page_cap_dirty(page);
+                    used += 120; // PTE write + shootdown
+                    used += self.sweep_page_contents(machine, core, page);
+                }
+                let used = used / threads.max(1);
+                self.epoch_concurrent_cycles += used;
+                self.stats.concurrent_cycles += used;
+                if pending.is_empty() {
+                    self.state = State::CornAwaitStw;
+                    if used == 0 {
+                        return StepOutcome::NeedsFinalStw;
+                    }
+                } else {
+                    self.state = State::CornConcurrent { pending };
+                }
+                StepOutcome::Working { used }
+            }
+            State::RelConcurrent { mut pending } => {
+                let mut used = 0;
+                while used < effective_budget {
+                    let Some(&page) = pending.iter().next() else { break };
+                    pending.remove(&page);
+                    used += self.visit_page_reloaded(machine, core, page);
+                }
+                let used = used / threads.max(1);
+                self.epoch_concurrent_cycles += used;
+                self.stats.concurrent_cycles += used;
+                if pending.is_empty() {
+                    self.finish_reloaded_epoch();
+                    return StepOutcome::Finished { used };
+                }
+                self.state = State::RelConcurrent { pending };
+                StepOutcome::Working { used }
+            }
+        }
+    }
+
+    /// Executes Cornucopia's final stop-the-world phase (re-sweep of pages
+    /// re-dirtied during the concurrent phase, plus the register and hoard
+    /// scan) and ends the epoch. Returns the pause in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Revoker::background_step`] returned
+    /// [`StepOutcome::NeedsFinalStw`].
+    pub fn finish_stw(&mut self, machine: &mut Machine, busy_threads: usize) -> u64 {
+        assert!(matches!(self.state, State::CornAwaitStw), "finish_stw called out of phase");
+        let mut cycles = self.sync_cost(busy_threads);
+        cycles += self.scan_registers_and_hoards(machine);
+        // Pages dirtied *for the first time* during the concurrent phase
+        // must join the sweep too, not just re-dirtied ones.
+        for p in machine.cap_dirty_pages() {
+            self.tracked.insert(p);
+        }
+        // Re-dirtied pages have their CD bit set again.
+        let redirtied: Vec<u64> =
+            self.tracked.iter().copied().filter(|&p| machine.page_cap_dirty(p)).collect();
+        let core = self.cfg.revoker_cores[0];
+        for page in redirtied {
+            machine.clear_page_cap_dirty(page);
+            cycles += 120;
+            cycles += self.sweep_page_contents(machine, core, page);
+        }
+        self.state = State::Idle;
+        self.epoch.end();
+        self.stats.epochs += 1;
+        self.stats.stw_cycles += cycles;
+        self.record_phase(PhaseKind::CornucopiaConcurrent, self.epoch_concurrent_cycles);
+        self.record_phase(PhaseKind::CornucopiaStw, cycles);
+        cycles
+    }
+
+    /// Handles a [`cheri_vm::VmFault::CapLoadGeneration`] fault taken by an
+    /// application thread on `core` at `vaddr` (Reloaded's foreground
+    /// self-healing path, §4.3). Sweeps the page, updates its PTE, and
+    /// returns the cycles to charge to the faulting thread. The faulted
+    /// load can then be retried.
+    pub fn handle_load_fault(&mut self, machine: &mut Machine, core: CoreId, vaddr: u64) -> u64 {
+        let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+        let mut cycles = self.cfg.fault_trap_cycles;
+        // Re-check under the pmap lock: another thread may have already
+        // revoked this page (§4.3).
+        if machine.page_generation(page) == Some(machine.space_generation())
+            && !matches!(self.state, State::RelConcurrent { ref pending } if pending.contains(&page))
+        {
+            return cycles;
+        }
+        cycles += self.visit_page_reloaded(machine, core, page);
+        let mut finished = false;
+        if let State::RelConcurrent { pending } = &mut self.state {
+            pending.remove(&page);
+            finished = pending.is_empty();
+        }
+        self.stats.load_faults += 1;
+        self.stats.fault_cycles += cycles;
+        self.epoch_fault_cycles += cycles;
+        if finished {
+            self.finish_reloaded_epoch();
+        }
+        cycles
+    }
+
+    /// CHERIoT-style load filter (§6.3): applied to every capability load
+    /// when [`Strategy::CheriotFilter`] is active. Returns the (possibly
+    /// detagged) capability and the filter's cycle cost.
+    pub fn filter_loaded(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        cap: Capability,
+    ) -> (Capability, u64) {
+        if self.cfg.strategy != Strategy::CheriotFilter || !cap.is_tagged() {
+            return (cap, 0);
+        }
+        self.stats.filtered_loads += 1;
+        // The probe is architectural and rides the load pipeline; its cost
+        // is a tightly-coupled-memory lookup, not a cache miss.
+        let (painted, _) = self.bitmap.probe_charged(machine, core, cap.base());
+        if painted {
+            self.stats.caps_revoked += 1;
+            (cap.with_tag_cleared(), 1)
+        } else {
+            (cap, 1)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn sync_cost(&self, busy_threads: usize) -> u64 {
+        self.cfg.stw_sync_base_cycles
+            + self.cfg.stw_sync_per_busy_thread * busy_threads.saturating_sub(1) as u64
+    }
+
+    fn finish_reloaded_epoch(&mut self) {
+        self.state = State::Idle;
+        self.epoch.end();
+        self.stats.epochs += 1;
+        if self.cfg.strategy == Strategy::Reloaded {
+            self.record_phase(PhaseKind::ReloadedConcurrent, self.epoch_concurrent_cycles);
+            self.record_phase(PhaseKind::ReloadedFaults, self.epoch_fault_cycles);
+        }
+    }
+
+    fn record_phase(&mut self, kind: PhaseKind, cycles: u64) {
+        self.phases.push(PhaseRecord { epoch_index: self.stats.epochs, kind, cycles });
+    }
+
+    /// Scans all thread register files and kernel hoards, revoking painted
+    /// capabilities. Returns the cycle cost.
+    fn scan_registers_and_hoards(&mut self, machine: &mut Machine) -> u64 {
+        let mut cycles = 0;
+        let bitmap = &self.bitmap;
+        let mut checked = 0u64;
+        let mut revoked = 0u64;
+        for t in 0..machine.num_threads() {
+            for cap in machine.regs_mut(t).iter_mut() {
+                checked += 1;
+                if cap.is_tagged() && bitmap.probe(cap.base()) {
+                    *cap = cap.with_tag_cleared();
+                    revoked += 1;
+                }
+            }
+        }
+        cycles += checked * 6;
+        let (scanned, hrevoked) = self.hoards.scan(|c| bitmap.probe(c.base()));
+        cycles += scanned * 6;
+        self.stats.caps_checked += checked + scanned;
+        self.stats.caps_revoked += revoked + hrevoked;
+        cycles
+    }
+
+    /// Scans the contents of one page, revoking painted capabilities in
+    /// place. Returns the cycle cost (traffic charged to `core`).
+    fn sweep_page_contents(&mut self, machine: &mut Machine, core: CoreId, page: u64) -> u64 {
+        // Morello-calibrated fixed visit cost: pmap locking, page
+        // quiescing, and per-visit kernel accounting dominate the raw
+        // 4 KiB read (§4.3; CheriBSD page visits measure ~3-5 us).
+        let mut cycles = machine.charge_page_scan(core, page) + 12_000;
+        self.stats.pages_swept += 1;
+        // §4.3 read-only heuristic: scan without write intent; only a page
+        // that actually needs a revocation is upgraded (full page fault).
+        let mut writable = machine.page_user_writable(page);
+        for (addr, cap) in machine.peek_tagged_caps(page) {
+            self.stats.caps_checked += 1;
+            // §7.3: a capability whose color no longer matches its target
+            // memory is permanently useless and may be revoked on sight —
+            // a purely architectural test, no bitmap consultation needed.
+            if cap.color() != machine.granule_color(cap.base()) {
+                if !writable {
+                    cycles += machine.upgrade_page_writable(page);
+                    writable = true;
+                    self.stats.ro_pages_upgraded += 1;
+                }
+                cycles += machine.revoke_granule(core, addr) + 2;
+                self.stats.caps_revoked += 1;
+                continue;
+            }
+            let (painted, c) = self.bitmap.probe_charged(machine, core, cap.base());
+            cycles += c + 4;
+            if painted {
+                if !writable {
+                    cycles += machine.upgrade_page_writable(page);
+                    writable = true;
+                    self.stats.ro_pages_upgraded += 1;
+                }
+                cycles += machine.revoke_granule(core, addr);
+                self.stats.caps_revoked += 1;
+            }
+        }
+        cycles
+    }
+
+    /// Reloaded page visit: content-scan pages that may hold capabilities;
+    /// cheaply refresh the generation of clean pages. Idempotent.
+    ///
+    /// Unlike the Cornucopia/CHERIvoke sweep sets (sticky per §4.5), the
+    /// Reloaded implementation *does* detect pages that have become
+    /// capability-clean: a scan that leaves no tagged granule un-tracks
+    /// the page (and clears its CD bit so a later capability store
+    /// re-tracks it through the store barrier). This is safe under the
+    /// load-barrier invariant — any capability stored after the scan was
+    /// already revocation-checked — and is where Reloaded's bus-traffic
+    /// advantage on churn-heavy workloads comes from (Figure 6).
+    fn visit_page_reloaded(&mut self, machine: &mut Machine, core: CoreId, page: u64) -> u64 {
+        let mut cycles = 0;
+        if self.tracked.contains(&page) || machine.page_cap_dirty(page) {
+            cycles += self.sweep_page_contents(machine, core, page);
+            if !machine.mem().phys().page_has_tags(page) {
+                self.tracked.remove(&page);
+                machine.clear_page_cap_dirty(page);
+                cycles += 120;
+            }
+        } else {
+            // Capability-clean page: maintain its generation bit without a
+            // content scan (§4.1 footnote 19), or park it in the
+            // always-trap disposition (§7.6) at no recurring cost.
+            self.stats.pages_visited_clean += 1;
+            cycles += 200;
+            if self.cfg.always_trap_clean {
+                machine.set_always_trap(page, true);
+            }
+        }
+        machine.set_page_generation(page, machine.space_generation());
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::Perms;
+    use cheri_vm::MapFlags;
+
+    const HEAP: u64 = 0x4000_0000;
+    const HLEN: u64 = 0x4_0000; // 256 KiB
+
+    fn setup(strategy: Strategy) -> (Machine, Revoker, Capability) {
+        let mut m = Machine::new(2);
+        m.map_range(HEAP, HLEN, MapFlags::user_rw()).unwrap();
+        let rev = Revoker::new(RevokerConfig { strategy, ..RevokerConfig::default() }, HEAP, HLEN);
+        let heap = Capability::new_root(HEAP, HLEN, Perms::rw());
+        (m, rev, heap)
+    }
+
+    /// Plants a stale capability to `[HEAP+0x1000, +64)` in memory, a
+    /// register, and a hoard; paints it; returns the object cap.
+    #[allow(unused_variables)]
+    fn plant(m: &mut Machine, rev: &mut Revoker, heap: &Capability) -> Capability {
+        let obj = heap.set_bounds(HEAP + 0x1000, 64).unwrap();
+        m.store_cap(0, &heap.set_addr(HEAP), obj).unwrap();
+        m.regs_mut(0).set(5, obj);
+        rev.hoards_mut().deposit(crate::hoards::HoardKind::Aio, obj);
+        rev.paint(m, 0, HEAP + 0x1000, 64);
+        obj
+    }
+
+    fn run_to_completion(m: &mut Machine, rev: &mut Revoker) {
+        rev.start_epoch(m);
+        let mut guard = 0;
+        while rev.is_revoking() {
+            match rev.background_step(m, 1_000_000) {
+                StepOutcome::NeedsFinalStw => {
+                    rev.finish_stw(m, 1);
+                }
+                StepOutcome::Idle => break,
+                _ => {}
+            }
+            guard += 1;
+            assert!(guard < 10_000, "revocation did not terminate");
+        }
+    }
+
+    fn assert_expunged(m: &mut Machine, _rev: &Revoker, heap: &Capability) {
+        let (mem_copy, _) = m.load_cap(0, &heap.set_addr(HEAP)).unwrap();
+        assert!(!mem_copy.is_tagged(), "stale cap survived in memory");
+        assert!(!m.regs(0).get(5).is_tagged(), "stale cap survived in a register");
+    }
+
+    #[test]
+    fn cherivoke_expunges_everything_in_one_stw() {
+        let (mut m, mut rev, heap) = setup(Strategy::CheriVoke);
+        plant(&mut m, &mut rev, &heap);
+        let pause = rev.start_epoch(&mut m);
+        assert!(pause > 0);
+        assert!(!rev.is_revoking(), "CHERIvoke completes synchronously");
+        assert_expunged(&mut m, &rev, &heap);
+        assert_eq!(rev.epoch(), 2);
+    }
+
+    #[test]
+    fn cornucopia_expunges_after_concurrent_plus_stw() {
+        let (mut m, mut rev, heap) = setup(Strategy::Cornucopia);
+        plant(&mut m, &mut rev, &heap);
+        run_to_completion(&mut m, &mut rev);
+        assert_expunged(&mut m, &rev, &heap);
+        let kinds: Vec<PhaseKind> = rev.phase_records().iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PhaseKind::CornucopiaConcurrent));
+        assert!(kinds.contains(&PhaseKind::CornucopiaStw));
+    }
+
+    #[test]
+    fn reloaded_expunges_with_background_only() {
+        let (mut m, mut rev, heap) = setup(Strategy::Reloaded);
+        plant(&mut m, &mut rev, &heap);
+        run_to_completion(&mut m, &mut rev);
+        assert_expunged(&mut m, &rev, &heap);
+        assert_eq!(rev.stats().load_faults, 0, "no app loads, so no faults");
+    }
+
+    #[test]
+    fn reloaded_register_scan_happens_at_entry() {
+        let (mut m, mut rev, heap) = setup(Strategy::Reloaded);
+        plant(&mut m, &mut rev, &heap);
+        rev.start_epoch(&mut m);
+        // Before any background work, registers and hoards are clean.
+        assert!(!m.regs(0).get(5).is_tagged());
+        // ...but memory still holds the (unreachable-via-load) stale cap.
+        assert!(m.mem().phys().tag(HEAP));
+    }
+
+    #[test]
+    fn reloaded_fault_heals_page_and_load_retries() {
+        let (mut m, mut rev, heap) = setup(Strategy::Reloaded);
+        let _obj = plant(&mut m, &mut rev, &heap);
+        // A *live* cap on the same page as the stale one.
+        let live = heap.set_bounds(HEAP + 0x2000, 64).unwrap();
+        m.store_cap(0, &heap.set_addr(HEAP + 0x10), live).unwrap();
+        rev.start_epoch(&mut m);
+        // App loads the live cap: the barrier faults, the handler heals.
+        let auth = heap.set_addr(HEAP + 0x10);
+        let err = m.load_cap(0, &auth).unwrap_err();
+        let cheri_vm::VmFault::CapLoadGeneration { vaddr } = err else {
+            panic!("expected load-generation fault, got {err:?}");
+        };
+        let cycles = rev.handle_load_fault(&mut m, 0, vaddr);
+        assert!(cycles > 0);
+        // Retry succeeds and the live cap is intact...
+        let (got, _) = m.load_cap(0, &auth).unwrap();
+        assert!(got.is_tagged());
+        assert_eq!(got.base(), HEAP + 0x2000);
+        // ...while the stale cap on the same page is already gone.
+        assert!(!m.mem().phys().tag(HEAP));
+        assert_eq!(rev.stats().load_faults, 1);
+    }
+
+    #[test]
+    fn paint_sync_provides_no_safety() {
+        let (mut m, mut rev, heap) = setup(Strategy::PaintSync);
+        plant(&mut m, &mut rev, &heap);
+        let pause = rev.start_epoch(&mut m);
+        assert!(pause < 10_000);
+        assert!(!rev.is_revoking());
+        // The stale capability survives: Paint+sync is overhead-only.
+        let (mem_copy, _) = m.load_cap(0, &heap.set_addr(HEAP)).unwrap();
+        assert!(mem_copy.is_tagged());
+        assert!(!Strategy::PaintSync.provides_safety());
+    }
+
+    #[test]
+    fn cheriot_filter_blocks_loads_without_epochs() {
+        let (mut m, mut rev, heap) = setup(Strategy::CheriotFilter);
+        let _obj = plant(&mut m, &mut rev, &heap);
+        // No epoch has run at all; the filter alone protects loads.
+        let (raw, _) = m.load_cap(0, &heap.set_addr(HEAP)).unwrap();
+        assert!(raw.is_tagged(), "raw memory still tagged");
+        let (filtered, _) = rev.filter_loaded(&mut m, 0, raw);
+        assert!(!filtered.is_tagged(), "filter must detag painted caps");
+        assert_eq!(rev.stats().filtered_loads, 1);
+    }
+
+    #[test]
+    fn cornucopia_restw_covers_redirtied_pages() {
+        let (mut m, mut rev, heap) = setup(Strategy::Cornucopia);
+        let _obj = plant(&mut m, &mut rev, &heap);
+        rev.start_epoch(&mut m);
+        // Drain the concurrent phase.
+        while !matches!(rev.background_step(&mut m, 1_000_000), StepOutcome::NeedsFinalStw) {}
+        // Application now stores a *stale* cap to a cleaned page (it still
+        // holds one in a register-like variable: simulate via direct store
+        // of the painted cap).
+        let stale = heap.set_bounds(HEAP + 0x1000, 64).unwrap();
+        m.store_cap(0, &heap.set_addr(HEAP + 0x3000), stale).unwrap();
+        let pause = rev.finish_stw(&mut m, 1);
+        assert!(pause > 0);
+        // The re-dirtied page was re-swept: the stale copy is gone.
+        assert!(!m.mem().phys().tag(HEAP + 0x3000));
+    }
+
+    #[test]
+    fn reloaded_stw_is_orders_of_magnitude_shorter_than_cherivoke() {
+        // Populate many capability-bearing pages, then compare pauses.
+        let mut pauses = Vec::new();
+        for strategy in [Strategy::CheriVoke, Strategy::Reloaded] {
+            let (mut m, mut rev, heap) = setup(strategy);
+            for page in 0..32u64 {
+                for slot in 0..8u64 {
+                    let a = HEAP + page * 4096 + slot * 128;
+                    let c = heap.set_bounds(a, 64).unwrap();
+                    m.store_cap(0, &heap.set_addr(a), c).unwrap();
+                }
+            }
+            rev.paint(&mut m, 0, HEAP + 0x1000, 64);
+            let pause = rev.start_epoch(&mut m);
+            pauses.push(pause);
+            while rev.is_revoking() {
+                if rev.background_step(&mut m, 1_000_000) == StepOutcome::NeedsFinalStw {
+                    rev.finish_stw(&mut m, 1);
+                }
+            }
+        }
+        assert!(
+            pauses[0] > pauses[1] * 4,
+            "CHERIvoke pause {} should dwarf Reloaded pause {}",
+            pauses[0],
+            pauses[1]
+        );
+    }
+
+    #[test]
+    fn epoch_counter_follows_protocol() {
+        let (mut m, mut rev, heap) = setup(Strategy::Reloaded);
+        plant(&mut m, &mut rev, &heap);
+        assert_eq!(rev.epoch(), 0);
+        rev.start_epoch(&mut m);
+        assert_eq!(rev.epoch(), 1);
+        assert!(rev.is_revoking());
+        while rev.is_revoking() {
+            rev.background_step(&mut m, 1_000_000);
+        }
+        assert_eq!(rev.epoch(), 2);
+    }
+
+    #[test]
+    fn clean_pages_get_cheap_visits() {
+        let (mut m, mut rev, heap) = setup(Strategy::Reloaded);
+        // One page with caps, the rest only data.
+        let obj = heap.set_bounds(HEAP + 0x1000, 64).unwrap();
+        m.store_cap(0, &heap.set_addr(HEAP + 0x1000), obj).unwrap();
+        m.write_data(0, &heap.set_addr(HEAP + 0x8000), 4096).unwrap();
+        rev.paint(&mut m, 0, HEAP + 0x1000, 64);
+        run_to_completion(&mut m, &mut rev);
+        let s = rev.stats();
+        assert!(s.pages_visited_clean > 0, "data pages should be cheap visits");
+        assert_eq!(s.pages_swept, 1, "only the cap-bearing page is content-scanned");
+    }
+}

@@ -1,0 +1,398 @@
+//! Sparse, demand-zero tagged physical memory.
+
+use cheri_cap::{Capability, CAP_SIZE};
+use std::collections::HashMap;
+
+/// Page size in bytes (Morello and CheriBSD use 4 KiB base pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Tagged 16-byte granules per page.
+pub const GRANULES_PER_PAGE: usize = (PAGE_SIZE / CAP_SIZE) as usize;
+
+/// One physical page frame: 4 KiB of data, a 256-bit tag vector, and shadow
+/// storage for the decompressed capabilities whose encodings live in the
+/// data bytes.
+///
+/// The simulator holds full (decompressed) capabilities out-of-band rather
+/// than implementing a bit-exact 128-bit codec; the data bytes still carry
+/// the capability's address so that *data* reads of a pointer see a
+/// plausible integer (programs do inspect pointer values).
+#[derive(Debug)]
+struct Frame {
+    data: Box<[u8]>,
+    /// One bit per granule; bit set ⇒ the granule holds a valid capability.
+    tags: [u64; GRANULES_PER_PAGE / 64],
+    /// Shadow capability storage, allocated on first capability store.
+    caps: Option<Box<[Capability]>>,
+    /// Per-granule memory colors (paper §7.3), allocated on first recolor.
+    colors: Option<Box<[u8]>>,
+}
+
+impl Frame {
+    fn new() -> Frame {
+        Frame {
+            data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+            tags: [0; GRANULES_PER_PAGE / 64],
+            caps: None,
+            colors: None,
+        }
+    }
+
+    fn tag(&self, granule: usize) -> bool {
+        self.tags[granule / 64] >> (granule % 64) & 1 == 1
+    }
+
+    fn set_tag(&mut self, granule: usize, value: bool) {
+        let (w, b) = (granule / 64, granule % 64);
+        if value {
+            self.tags[w] |= 1 << b;
+        } else {
+            self.tags[w] &= !(1 << b);
+        }
+    }
+
+    fn caps_mut(&mut self) -> &mut [Capability] {
+        self.caps.get_or_insert_with(|| vec![Capability::null(); GRANULES_PER_PAGE].into_boxed_slice())
+    }
+
+    fn any_tag(&self) -> bool {
+        self.tags.iter().any(|&w| w != 0)
+    }
+}
+
+/// Sparse physical memory with per-granule capability tags.
+///
+/// Frames materialize (zero-filled) on first touch and are accounted toward
+/// the resident-set size, which the evaluation's Figure 3 reports.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Frame>,
+    peak_resident: u64,
+}
+
+impl PhysMem {
+    /// Creates an empty memory; every page reads as zero until written.
+    #[must_use]
+    pub fn new() -> Self {
+        PhysMem::default()
+    }
+
+    fn frame_mut(&mut self, addr: u64) -> &mut Frame {
+        let fno = addr / PAGE_SIZE;
+        let frame = self.frames.entry(fno).or_insert_with(Frame::new);
+        let _ = frame; // borrow ends; recompute peak below
+        let resident = self.frames.len() as u64 * PAGE_SIZE;
+        if resident > self.peak_resident {
+            self.peak_resident = resident;
+        }
+        self.frames.get_mut(&fno).expect("frame just inserted")
+    }
+
+    /// Materializes (demand-zeroes) the frame backing `addr`, as a store
+    /// through the MMU would. Counts toward residency.
+    pub fn materialize_page(&mut self, addr: u64) {
+        let _ = self.frame_mut(addr);
+    }
+
+    /// Reads bytes starting at `addr`. Unmaterialized memory reads as zero.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let in_page = (PAGE_SIZE - a % PAGE_SIZE) as usize;
+            let n = in_page.min(buf.len() - off);
+            match self.frames.get(&(a / PAGE_SIZE)) {
+                Some(f) => {
+                    let s = (a % PAGE_SIZE) as usize;
+                    buf[off..off + n].copy_from_slice(&f.data[s..s + n]);
+                }
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    /// Writes bytes starting at `addr`, clearing the tag of every granule
+    /// the write overlaps (data stores never preserve capability validity).
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let in_page = (PAGE_SIZE - a % PAGE_SIZE) as usize;
+            let n = in_page.min(buf.len() - off);
+            let frame = self.frame_mut(a);
+            let s = (a % PAGE_SIZE) as usize;
+            frame.data[s..s + n].copy_from_slice(&buf[off..off + n]);
+            let g0 = s / CAP_SIZE as usize;
+            let g1 = (s + n - 1) / CAP_SIZE as usize;
+            for g in g0..=g1 {
+                frame.set_tag(g, false);
+            }
+            off += n;
+        }
+    }
+
+    /// Convenience: reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Convenience: writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Loads the capability at 16-byte-aligned `addr`. If the granule's tag
+    /// is clear, the result is an untagged capability whose address is the
+    /// granule's first 8 data bytes (what a data load would see).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 16-byte aligned (the ISA requires natural
+    /// alignment for capability accesses).
+    #[must_use]
+    pub fn load_cap(&self, addr: u64) -> Capability {
+        assert_eq!(addr % CAP_SIZE, 0, "capability load must be 16-byte aligned");
+        let Some(frame) = self.frames.get(&(addr / PAGE_SIZE)) else {
+            return Capability::null();
+        };
+        let g = (addr % PAGE_SIZE / CAP_SIZE) as usize;
+        if frame.tag(g) {
+            frame.caps.as_ref().expect("tagged granule must have shadow storage")[g]
+        } else {
+            let s = (addr % PAGE_SIZE) as usize;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&frame.data[s..s + 8]);
+            Capability::null().set_addr(u64::from_le_bytes(b))
+        }
+    }
+
+    /// Stores `cap` at 16-byte-aligned `addr`. The granule's tag follows the
+    /// capability's tag; the data bytes record the cursor address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 16-byte aligned.
+    pub fn store_cap(&mut self, addr: u64, cap: Capability) {
+        assert_eq!(addr % CAP_SIZE, 0, "capability store must be 16-byte aligned");
+        let frame = self.frame_mut(addr);
+        let s = (addr % PAGE_SIZE) as usize;
+        let g = s / CAP_SIZE as usize;
+        frame.data[s..s + 8].copy_from_slice(&cap.addr().to_le_bytes());
+        frame.data[s + 8..s + 16].fill(0);
+        frame.set_tag(g, cap.is_tagged());
+        if cap.is_tagged() {
+            frame.caps_mut()[g] = cap;
+        }
+    }
+
+    /// The tag of the granule containing `addr`.
+    #[must_use]
+    pub fn tag(&self, addr: u64) -> bool {
+        self.frames
+            .get(&(addr / PAGE_SIZE))
+            .is_some_and(|f| f.tag((addr % PAGE_SIZE / CAP_SIZE) as usize))
+    }
+
+    /// Clears the tag of the granule containing `addr` (revocation's
+    /// in-place invalidation).
+    pub fn clear_tag(&mut self, addr: u64) {
+        if let Some(f) = self.frames.get_mut(&(addr / PAGE_SIZE)) {
+            f.set_tag((addr % PAGE_SIZE / CAP_SIZE) as usize, false);
+        }
+    }
+
+    /// Whether the page containing `addr` holds any tagged granule.
+    #[must_use]
+    pub fn page_has_tags(&self, addr: u64) -> bool {
+        self.frames.get(&(addr / PAGE_SIZE)).is_some_and(Frame::any_tag)
+    }
+
+    /// Returns the tagged capabilities on the page containing `page_addr`,
+    /// as `(granule_addr, capability)` pairs. This is the revoker's
+    /// page-visit primitive.
+    pub fn tagged_caps_in_page(&self, page_addr: u64) -> Vec<(u64, Capability)> {
+        let base = page_addr / PAGE_SIZE * PAGE_SIZE;
+        let Some(frame) = self.frames.get(&(base / PAGE_SIZE)) else {
+            return Vec::new();
+        };
+        let Some(caps) = frame.caps.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (w, &word) in frame.tags.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let g = w * 64 + b;
+                out.push((base + g as u64 * CAP_SIZE, caps[g]));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Whether the page containing `addr` has been materialized.
+    #[must_use]
+    pub fn page_resident(&self, addr: u64) -> bool {
+        self.frames.contains_key(&(addr / PAGE_SIZE))
+    }
+
+    /// Releases the frame backing `page_addr` (munmap / page reclaim). The
+    /// page's contents and tags are discarded; subsequent reads see zero.
+    pub fn release_page(&mut self, page_addr: u64) {
+        self.frames.remove(&(page_addr / PAGE_SIZE));
+    }
+
+    /// The memory color of the granule containing `addr` (0 if never
+    /// recolored; paper §7.3).
+    #[must_use]
+    pub fn granule_color(&self, addr: u64) -> u8 {
+        self.frames
+            .get(&(addr / PAGE_SIZE))
+            .and_then(|f| f.colors.as_ref())
+            .map_or(0, |c| c[(addr % PAGE_SIZE / CAP_SIZE) as usize])
+    }
+
+    /// Recolors every granule of `[base, base+len)` (the allocator's
+    /// free-time recoloring; paper §7.3). Granule-aligned.
+    pub fn set_color_range(&mut self, base: u64, len: u64, color: u8) {
+        assert_eq!(base % CAP_SIZE, 0, "recolor must be granule-aligned");
+        let mut addr = base;
+        let end = base.saturating_add(len);
+        while addr < end {
+            let frame = self.frame_mut(addr);
+            let colors = frame
+                .colors
+                .get_or_insert_with(|| vec![0u8; GRANULES_PER_PAGE].into_boxed_slice());
+            let g0 = (addr % PAGE_SIZE / CAP_SIZE) as usize;
+            let in_page = GRANULES_PER_PAGE - g0;
+            let n = (((end - addr) / CAP_SIZE) as usize).min(in_page);
+            colors[g0..g0 + n].fill(color);
+            addr += (n as u64) * CAP_SIZE;
+        }
+    }
+
+    /// Currently resident bytes (materialized frames only).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.frames.len() as u64 * PAGE_SIZE
+    }
+
+    /// High-water mark of [`PhysMem::resident_bytes`]; the evaluation's
+    /// peak-RSS metric (Figure 3).
+    #[must_use]
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::Perms;
+
+    fn cap(base: u64) -> Capability {
+        Capability::new_root(base, 64, Perms::rw())
+    }
+
+    #[test]
+    fn unmapped_memory_reads_zero() {
+        let mem = PhysMem::new();
+        assert_eq!(mem.read_u64(0xdead_0000), 0);
+        assert!(!mem.tag(0xdead_0000));
+        assert!(!mem.load_cap(0xdead_0000).is_tagged());
+    }
+
+    #[test]
+    fn data_roundtrip_across_page_boundary() {
+        let mut mem = PhysMem::new();
+        let data: Vec<u8> = (0..100u8).collect();
+        mem.write_bytes(PAGE_SIZE - 50, &data);
+        let mut back = vec![0u8; 100];
+        mem.read_bytes(PAGE_SIZE - 50, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(mem.resident_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn cap_store_sets_tag_and_roundtrips() {
+        let mut mem = PhysMem::new();
+        let c = cap(0x1234_0000);
+        mem.store_cap(0x8000, c);
+        assert!(mem.tag(0x8000));
+        assert_eq!(mem.load_cap(0x8000), c);
+        // Data view of the granule shows the address.
+        assert_eq!(mem.read_u64(0x8000), 0x1234_0000);
+    }
+
+    #[test]
+    fn data_write_clears_overlapping_tags() {
+        let mut mem = PhysMem::new();
+        mem.store_cap(0x8000, cap(0x1000));
+        mem.store_cap(0x8010, cap(0x2000));
+        // A single byte write into the second granule clears only its tag.
+        mem.write_bytes(0x8017, &[1]);
+        assert!(mem.tag(0x8000));
+        assert!(!mem.tag(0x8010));
+        // A spanning write clears both.
+        mem.write_bytes(0x8008, &[0u8; 16]);
+        assert!(!mem.tag(0x8000));
+    }
+
+    #[test]
+    fn untagged_store_clears_tag() {
+        let mut mem = PhysMem::new();
+        mem.store_cap(0x8000, cap(0x1000));
+        mem.store_cap(0x8000, cap(0x1000).with_tag_cleared());
+        assert!(!mem.tag(0x8000));
+    }
+
+    #[test]
+    fn tagged_caps_in_page_enumerates_exactly_tags() {
+        let mut mem = PhysMem::new();
+        let addrs = [0x8000u64, 0x8040, 0x8ff0];
+        for (i, &a) in addrs.iter().enumerate() {
+            mem.store_cap(a, cap(0x1000 * (i as u64 + 1)));
+        }
+        mem.write_bytes(0x8040, &[0]); // kill the middle one
+        let got = mem.tagged_caps_in_page(0x8000);
+        let got_addrs: Vec<u64> = got.iter().map(|(a, _)| *a).collect();
+        assert_eq!(got_addrs, vec![0x8000, 0x8ff0]);
+    }
+
+    #[test]
+    fn clear_tag_revokes_in_place() {
+        let mut mem = PhysMem::new();
+        mem.store_cap(0x8000, cap(0x1000));
+        mem.clear_tag(0x8000);
+        assert!(!mem.load_cap(0x8000).is_tagged());
+        // The address residue is still readable as data (paper §2.2.2: we
+        // tolerate address extraction, not dereference).
+        assert_eq!(mem.read_u64(0x8000), 0x1000);
+    }
+
+    #[test]
+    fn release_page_drops_residency_and_contents() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(0x8000, 7);
+        let peak = mem.peak_resident_bytes();
+        mem.release_page(0x8000);
+        assert_eq!(mem.resident_bytes(), 0);
+        assert_eq!(mem.peak_resident_bytes(), peak);
+        assert_eq!(mem.read_u64(0x8000), 0);
+    }
+
+    #[test]
+    fn page_has_tags_tracks_population() {
+        let mut mem = PhysMem::new();
+        assert!(!mem.page_has_tags(0x8000));
+        mem.store_cap(0x8000, cap(0x1000));
+        assert!(mem.page_has_tags(0x8abc));
+        mem.clear_tag(0x8000);
+        assert!(!mem.page_has_tags(0x8000));
+    }
+}

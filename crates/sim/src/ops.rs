@@ -1,0 +1,110 @@
+//! The application operation vocabulary.
+//!
+//! Workloads compile to streams of these operations. Object identity is a
+//! slot index into a **root table** — a large, permanently-live array of
+//! capabilities in the simulated heap. Keeping the roots *in simulated
+//! memory* (rather than in host-side bookkeeping) is what makes the
+//! revokers honest: every pointer the application can reach is either in a
+//! register file, a kernel hoard, or sweepable memory.
+
+/// Index of an object's slot in the root table.
+pub type ObjId = u64;
+
+/// One application operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Op {
+    /// `malloc(size)`; the returned capability is stored into the object's
+    /// root-table slot (a capability store).
+    Alloc {
+        /// Destination root slot.
+        obj: ObjId,
+        /// Requested bytes.
+        size: u64,
+    },
+    /// Loads the capability from the root slot (through the load barrier),
+    /// passes it to `free`, and nulls the slot.
+    Free {
+        /// Root slot to free.
+        obj: ObjId,
+    },
+    /// Loads the object's capability into a register (a capability load —
+    /// the op that takes Reloaded load-barrier faults).
+    LoadObj {
+        /// Root slot to load.
+        obj: ObjId,
+    },
+    /// Loads the object's capability, then reads `len` bytes of its data.
+    ReadData {
+        /// Root slot.
+        obj: ObjId,
+        /// Bytes to read (clamped to the object).
+        len: u64,
+    },
+    /// Loads the object's capability, then writes `len` bytes of data.
+    WriteData {
+        /// Root slot.
+        obj: ObjId,
+        /// Bytes to write (clamped to the object).
+        len: u64,
+    },
+    /// Stores a pointer to `to` inside object `from` at capability slot
+    /// `slot` (pointer-graph construction; drives capability-dirty pages).
+    LinkPtr {
+        /// Object receiving the pointer.
+        from: ObjId,
+        /// 16-byte slot index within `from`.
+        slot: u64,
+        /// Object pointed to.
+        to: ObjId,
+    },
+    /// Loads the pointer stored in object `from` at `slot` (pointer
+    /// chasing; a capability load from object memory).
+    ChasePtr {
+        /// Object holding the pointer.
+        from: ObjId,
+        /// 16-byte slot index within `from`.
+        slot: u64,
+    },
+    /// Pure computation: burns CPU and wall time.
+    Compute {
+        /// Cycles of work.
+        cycles: u64,
+    },
+    /// Idle wall time (e.g. waiting for a client): wall advances, the app
+    /// core is free, and background revocation can hide here (§5.2).
+    ThinkIdle {
+        /// Idle cycles.
+        cycles: u64,
+    },
+    /// Deposits the object's capability into a kernel hoard (models
+    /// `kqueue`/`aio` registration; scanned at every epoch, §4.4).
+    SyscallHoard {
+        /// Root slot whose capability the kernel will hoard.
+        obj: ObjId,
+    },
+    /// `mmap(len)`: maps an anonymous reservation (paper §6.2) and stores
+    /// its capability into the object's root-table slot.
+    Mmap {
+        /// Destination root slot.
+        obj: ObjId,
+        /// Requested bytes.
+        len: u64,
+    },
+    /// Fully unmaps the reservation in the object's slot; its address
+    /// space is quarantined until a revocation pass.
+    Munmap {
+        /// Root slot holding the mapping.
+        obj: ObjId,
+    },
+    /// Begins a latency-measured transaction.
+    TxBegin {
+        /// Transaction id (for schedule pairing).
+        id: u64,
+    },
+    /// Ends the transaction started with the same id.
+    TxEnd {
+        /// Transaction id.
+        id: u64,
+    },
+}

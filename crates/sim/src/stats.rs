@@ -1,0 +1,220 @@
+//! Run statistics and percentile utilities.
+
+/// Simulated clock frequency: 2.5 GHz, matching the Morello SoC.
+pub const CYCLES_PER_SEC: u64 = 2_500_000_000;
+
+/// Cycles per millisecond.
+pub const CYCLES_PER_MS: u64 = CYCLES_PER_SEC / 1000;
+
+/// Everything a single run produces; the raw material for every figure
+/// and table in the evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct RunStats {
+    /// Total simulated wall-clock cycles.
+    pub wall_cycles: u64,
+    /// CPU cycles consumed by the application thread(s) (includes fault
+    /// handling and STW pauses spent spinning).
+    pub app_cpu_cycles: u64,
+    /// CPU cycles consumed by the background revoker.
+    pub revoker_cpu_cycles: u64,
+    /// DRAM transactions attributed to application cores.
+    pub app_dram: u64,
+    /// DRAM transactions attributed to the revoker core.
+    pub revoker_dram: u64,
+    /// Peak resident set in bytes.
+    pub peak_rss: u64,
+    /// Every stop-the-world pause observed (cycles).
+    pub pauses: Vec<u64>,
+    /// Cycles the application spent blocked waiting for an in-flight pass
+    /// (quarantine hard-full; §5.3's pathology).
+    pub blocked_cycles: u64,
+    /// Per-transaction latencies in cycles (TxBegin..TxEnd), in
+    /// completion order.
+    pub tx_latencies: Vec<u64>,
+    /// Cumulative fault-handling cycles (application side).
+    pub fault_cycles: u64,
+    /// Load-barrier faults taken.
+    pub faults: u64,
+    /// Completed revocation epochs.
+    pub revocations: u64,
+    /// Mean allocated heap sampled at each revocation request (bytes).
+    pub mean_alloc_at_revocation: u64,
+    /// Total bytes passed through free() (Table 2 "Sum Freed").
+    pub total_freed_bytes: u64,
+    /// Allocation operations performed.
+    pub allocs: u64,
+    /// Free operations performed.
+    pub frees: u64,
+    /// Revocation phase durations (Figure 9's raw data).
+    pub phases: Vec<cornucopia::PhaseRecord>,
+    /// Times allocation blocked on an in-flight pass.
+    pub blocked_allocs: u64,
+}
+
+impl RunStats {
+    /// Total DRAM transactions (all cores).
+    #[must_use]
+    pub fn total_dram(&self) -> u64 {
+        self.app_dram + self.revoker_dram
+    }
+
+    /// Total CPU cycles (all cores).
+    #[must_use]
+    pub fn total_cpu(&self) -> u64 {
+        self.app_cpu_cycles + self.revoker_cpu_cycles
+    }
+
+    /// Wall time in milliseconds.
+    #[must_use]
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_cycles as f64 / CYCLES_PER_MS as f64
+    }
+
+    /// Latency summary of the recorded transactions.
+    #[must_use]
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_cycles(&self.tx_latencies)
+    }
+}
+
+/// Standard latency percentiles (cycles), as gRPC QPS reports (Figure 8).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latency samples (not necessarily sorted).
+    #[must_use]
+    pub fn from_cycles(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        LatencySummary {
+            count: s.len(),
+            p50: percentile(&s, 50.0),
+            p90: percentile(&s, 90.0),
+            p95: percentile(&s, 95.0),
+            p99: percentile(&s, 99.0),
+            p999: percentile(&s, 99.9),
+            max: *s.last().expect("nonempty"),
+            mean: (s.iter().map(|&x| x as u128).sum::<u128>() / s.len() as u128) as u64,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice. `p` in `[0,100]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is out of range.
+#[must_use]
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+// (BoxStats is exported from the crate root; Figure 9's harness uses it.)
+
+/// Five-number summary for boxplots (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: u64,
+    /// First quartile.
+    pub q1: u64,
+    /// Median.
+    pub median: u64,
+    /// Third quartile.
+    pub q3: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl BoxStats {
+    /// Computes the five-number summary of `samples` (unsorted OK).
+    /// Returns `None` when empty.
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        Some(BoxStats {
+            min: s[0],
+            q1: percentile(&s, 25.0),
+            median: percentile(&s, 50.0),
+            q3: percentile(&s, 75.0),
+            max: *s.last().expect("nonempty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 99.9), 100);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[42], 99.9), 42);
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let samples: Vec<u64> = (0..1000).map(|i| i * i % 7919).collect();
+        let s = LatencySummary::from_cycles(&samples);
+        assert!(s.p50 <= s.p90);
+        assert!(s.p90 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.p999);
+        assert!(s.p999 <= s.max);
+        assert_eq!(s.count, 1000);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencySummary::from_cycles(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn boxstats_five_numbers() {
+        let b = BoxStats::from_samples(&[5, 1, 3, 2, 4]).unwrap();
+        assert_eq!((b.min, b.median, b.max), (1, 3, 5));
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+        assert!(BoxStats::from_samples(&[]).is_none());
+    }
+}

@@ -1,0 +1,883 @@
+//! The simulated system: machine + revoker + heap, driven by an op stream.
+
+use crate::ops::{ObjId, Op};
+use crate::stats::RunStats;
+use cheri_cap::{Capability, CAP_SIZE};
+use cheri_mem::CoreId;
+use cheri_vm::{Machine, ThreadId, VmFault};
+use cheri_alloc::{AllocError, HeapLayout, Mrs, MrsConfig};
+use cornucopia::{PteUpdateMode, Revoker, RevokerConfig, StepOutcome, Strategy};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Which condition a run measures: the spatial-safety-only baseline, or a
+/// temporal-safety strategy (paper §5: every figure normalizes against the
+/// same CHERI pure-capability baseline binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// snmalloc without mrs: immediate reuse, no quarantine, no revoker.
+    Baseline,
+    /// mrs + the given revocation strategy.
+    Safe(Strategy),
+}
+
+impl Condition {
+    /// The no-revocation baseline.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Condition::Baseline
+    }
+
+    /// Cornucopia Reloaded.
+    #[must_use]
+    pub fn reloaded() -> Self {
+        Condition::Safe(Strategy::Reloaded)
+    }
+
+    /// Cornucopia (re-implementation).
+    #[must_use]
+    pub fn cornucopia() -> Self {
+        Condition::Safe(Strategy::Cornucopia)
+    }
+
+    /// CHERIvoke (Cornucopia without the concurrent phase).
+    #[must_use]
+    pub fn cherivoke() -> Self {
+        Condition::Safe(Strategy::CheriVoke)
+    }
+
+    /// Paint+sync (quarantine bookkeeping only; no safety).
+    #[must_use]
+    pub fn paint_sync() -> Self {
+        Condition::Safe(Strategy::PaintSync)
+    }
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Condition::Baseline => "baseline",
+            Condition::Safe(s) => s.label(),
+        }
+    }
+}
+
+/// Simulation configuration (defaults reproduce §5.1's setup at 1/64
+/// memory scale: app pinned to core 3, revoker to core 2).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Measured condition.
+    pub condition: Condition,
+    /// Heap arena base.
+    pub heap_base: u64,
+    /// Heap arena length.
+    pub heap_len: u64,
+    /// Root-table capacity (max simultaneously-tracked objects).
+    pub max_objects: u64,
+    /// mrs minimum quarantine (paper: 8 MiB; scale with the workload).
+    pub min_quarantine: u64,
+    /// mrs quarantine divisor (3 ⇒ revoke at 1/3 of allocated heap).
+    pub quarantine_divisor: u64,
+    /// Core running the application thread.
+    pub app_core: CoreId,
+    /// Core running the background revoker.
+    pub rev_core: CoreId,
+    /// Number of busy application threads (affects STW sync cost, §5.3).
+    pub app_threads: usize,
+    /// Whether the revoker has a spare core to itself. When `false`, the
+    /// revoker competes with application threads: application work slows
+    /// while a pass is in flight and the revoker only gets a share of the
+    /// elapsed wall time (the gRPC configuration, §5.3).
+    pub spare_revoker_core: bool,
+    /// PTE maintenance mode ablation (§4.1).
+    pub pte_mode: PteUpdateMode,
+    /// §7.6 always-trap-clean-pages ablation.
+    pub always_trap_clean: bool,
+    /// Number of background revoker threads (§7.1 ablation).
+    pub revoker_threads: usize,
+    /// Fixed transaction arrival interval in cycles (pgbench `--rate`,
+    /// Table 1). `None` runs transactions back-to-back.
+    pub tx_interval: Option<u64>,
+    /// Measure transaction latency from the scheduled *arrival* time
+    /// (open-loop queueing, as gRPC QPS reports) rather than from service
+    /// start (pgbench's "ignoring schedule lag"). Only meaningful with
+    /// `tx_interval`.
+    pub latency_from_arrival: bool,
+    /// Extra application cycles per DRAM transaction the background
+    /// revoker issues while the application is busy — shared memory-bus
+    /// contention, the dominant wall-clock cost of *concurrent* revocation
+    /// (§5.6: sweeps contend with useful application data).
+    pub bus_penalty_per_rev_txn: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            condition: Condition::reloaded(),
+            heap_base: 0x4000_0000,
+            heap_len: 64 << 20,
+            max_objects: 1 << 16,
+            min_quarantine: 128 << 10, // 8 MiB / 64
+            quarantine_divisor: 3,
+            app_core: 3,
+            rev_core: 2,
+            app_threads: 1,
+            spare_revoker_core: true,
+            pte_mode: PteUpdateMode::Generation,
+            always_trap_clean: false,
+            revoker_threads: 1,
+            tx_interval: None,
+            latency_from_arrival: false,
+            bus_penalty_per_rev_txn: 210,
+        }
+    }
+}
+
+/// Simulation failures (workload or configuration bugs; a correct run
+/// never produces one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An architectural fault that is not a handleable barrier fault.
+    Vm(VmFault),
+    /// Allocator error (bad free).
+    Alloc(AllocError),
+    /// The arena is exhausted even after forcing revocation.
+    OutOfMemory,
+    /// Operation referenced a slot with no live object.
+    UnknownObj(ObjId),
+    /// Alloc targeted a slot that already holds a live object.
+    SlotBusy(ObjId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Vm(e) => write!(f, "vm fault: {e}"),
+            SimError::Alloc(e) => write!(f, "allocator: {e}"),
+            SimError::OutOfMemory => f.write_str("arena exhausted after forced revocation"),
+            SimError::UnknownObj(o) => write!(f, "operation on dead object {o}"),
+            SimError::SlotBusy(o) => write!(f, "alloc into live slot {o}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<VmFault> for SimError {
+    fn from(e: VmFault) -> Self {
+        SimError::Vm(e)
+    }
+}
+
+impl From<AllocError> for SimError {
+    fn from(e: AllocError) -> Self {
+        SimError::Alloc(e)
+    }
+}
+
+/// The simulated system. Construct with [`System::new`], execute with
+/// [`System::run`], or drive op-by-op with [`System::exec`] and finish
+/// with [`System::into_stats`].
+#[derive(Debug)]
+pub struct System {
+    cfg: SimConfig,
+    machine: Machine,
+    revoker: Revoker,
+    heap: Mrs,
+    mmap_space: cheri_alloc::MmapSpace,
+    root: Capability,
+    app_thread: ThreadId,
+    live: HashSet<ObjId>,
+    // Clocks and ledgers.
+    wall: u64,
+    app_cpu: u64,
+    rev_cpu: u64,
+    /// Wall point up to which background revoker progress was applied.
+    rev_mark: u64,
+    stats: RunStats,
+    tx_start: HashMap<u64, u64>,
+    next_arrival: u64,
+    last_release_epoch: u64,
+    reg_rr: usize,
+}
+
+impl System {
+    /// Builds a system: maps the arena, allocates the root table, and
+    /// configures the revoker per `cfg`.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let layout = HeapLayout::new(cfg.heap_base, cfg.heap_len);
+        let mut machine = Machine::new(4);
+        let strategy = match cfg.condition {
+            Condition::Baseline => Strategy::PaintSync, // unused
+            Condition::Safe(s) => s,
+        };
+        let mut revoker_cores = vec![cfg.rev_core];
+        for extra in 1..cfg.revoker_threads {
+            revoker_cores.push(cfg.rev_core.saturating_sub(extra));
+        }
+        let revoker = Revoker::new(
+            RevokerConfig {
+                strategy,
+                revoker_cores,
+                pte_mode: cfg.pte_mode,
+                always_trap_clean: cfg.always_trap_clean,
+                ..RevokerConfig::default()
+            },
+            layout.base,
+            layout.total_len,
+        );
+        let mut heap = Mrs::new(
+            layout,
+            MrsConfig {
+                min_quarantine_bytes: cfg.min_quarantine,
+                quarantine_divisor: cfg.quarantine_divisor,
+                ..MrsConfig::default()
+            },
+        );
+        // The root table: one permanently-live large allocation holding one
+        // capability slot per object id.
+        let root = heap
+            .alloc(&mut machine, cfg.app_core, cfg.max_objects * CAP_SIZE)
+            .expect("arena must fit the root table")
+            .cap;
+        let app_thread = cfg.app_core; // threads are created per core
+        let mmap_space = cheri_alloc::MmapSpace::new(layout.mmap_base(), layout.mmap_len());
+        System {
+            cfg,
+            machine,
+            revoker,
+            heap,
+            mmap_space,
+            root,
+            app_thread,
+            live: HashSet::new(),
+            wall: 0,
+            app_cpu: 0,
+            rev_cpu: 0,
+            rev_mark: 0,
+            stats: RunStats::default(),
+            tx_start: HashMap::new(),
+            next_arrival: 0,
+            last_release_epoch: 0,
+            reg_rr: 0,
+        }
+    }
+
+    /// The simulated machine (for assertions in tests and examples).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The revoker (phase records, stats).
+    #[must_use]
+    pub fn revoker(&self) -> &Revoker {
+        &self.revoker
+    }
+
+    /// The heap shim.
+    #[must_use]
+    pub fn heap(&self) -> &Mrs {
+        &self.heap
+    }
+
+    /// Current wall clock in cycles.
+    #[must_use]
+    pub fn wall(&self) -> u64 {
+        self.wall
+    }
+
+    /// Runs an op stream to completion and returns the statistics.
+    pub fn run(mut self, ops: impl IntoIterator<Item = Op>) -> Result<RunStats, SimError> {
+        for op in ops {
+            self.exec(op)?;
+        }
+        Ok(self.into_stats())
+    }
+
+    /// Finalizes the run: drains any in-flight revocation and collects
+    /// statistics.
+    #[must_use]
+    pub fn into_stats(mut self) -> RunStats {
+        // Let an in-flight pass finish (without charging the app).
+        while self.revoker.is_revoking() {
+            match self.revoker.background_step(&mut self.machine, 10_000_000) {
+                StepOutcome::NeedsFinalStw => {
+                    let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
+                    self.rev_cpu += pause;
+                    self.stats.pauses.push(pause);
+                }
+                StepOutcome::Working { used } | StepOutcome::Finished { used } => {
+                    self.rev_cpu += used;
+                }
+                StepOutcome::Idle => break,
+            }
+        }
+        let mut s = self.stats;
+        s.wall_cycles = self.wall;
+        s.app_cpu_cycles = self.app_cpu;
+        s.revoker_cpu_cycles = self.rev_cpu;
+        let mut app_dram = 0;
+        for core in 0..4 {
+            let d = self.machine.mem().traffic(core).dram_transactions;
+            if core == self.cfg.rev_core {
+                s.revoker_dram += d;
+            } else {
+                app_dram += d;
+            }
+        }
+        s.app_dram = app_dram;
+        s.peak_rss = self.machine.peak_resident_bytes();
+        let rs = self.revoker.stats();
+        s.faults = rs.load_faults;
+        s.fault_cycles = rs.fault_cycles;
+        s.revocations = rs.epochs;
+        let ms = self.heap.stats();
+        s.total_freed_bytes = ms.total_freed_bytes;
+        s.allocs = ms.allocs;
+        s.frees = ms.frees;
+        s.mean_alloc_at_revocation = ms
+            .allocated_at_revocation_sum
+            .checked_div(ms.revocations_requested)
+            .unwrap_or(0);
+        s.blocked_allocs = ms.blocked_allocs;
+        s.phases = self.revoker.phase_records().to_vec();
+        s
+    }
+
+    /// Executes one operation.
+    pub fn exec(&mut self, op: Op) -> Result<(), SimError> {
+        match op {
+            Op::Alloc { obj, size } => self.op_alloc(obj, size),
+            Op::Free { obj } => self.op_free(obj),
+            Op::LoadObj { obj } => self.op_load(obj),
+            Op::ReadData { obj, len } => self.op_data(obj, len, false),
+            Op::WriteData { obj, len } => self.op_data(obj, len, true),
+            Op::LinkPtr { from, slot, to } => self.op_link(from, slot, to),
+            Op::ChasePtr { from, slot } => self.op_chase(from, slot),
+            Op::Compute { cycles } => {
+                self.advance(cycles, true);
+                Ok(())
+            }
+            Op::ThinkIdle { cycles } => {
+                self.advance(cycles, false);
+                Ok(())
+            }
+            Op::SyscallHoard { obj } => self.op_hoard(obj),
+            Op::Mmap { obj, len } => self.op_mmap(obj, len),
+            Op::Munmap { obj } => self.op_munmap(obj),
+            Op::TxBegin { id } => {
+                let mut start = self.wall;
+                if let Some(interval) = self.cfg.tx_interval {
+                    // The schedule starts at the first transaction, not at
+                    // boot: warmup happens before the benchmark window.
+                    let arrival = if self.next_arrival == 0 { self.wall } else { self.next_arrival };
+                    self.next_arrival = arrival + interval;
+                    if arrival > self.wall {
+                        // Early: idle until the scheduled arrival.
+                        let idle = arrival - self.wall;
+                        self.advance(idle, false);
+                        start = self.wall;
+                    } else if self.cfg.latency_from_arrival {
+                        // Late: the request queued while the server was
+                        // behind; its latency includes the wait.
+                        start = arrival;
+                    }
+                }
+                self.tx_start.insert(id, start);
+                Ok(())
+            }
+            Op::TxEnd { id } => {
+                if let Some(start) = self.tx_start.remove(&id) {
+                    self.stats.tx_latencies.push(self.wall - start);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time accounting
+    // ------------------------------------------------------------------
+
+    /// Advances the wall clock by `cycles` of application activity
+    /// (`busy`: CPU-consuming) and pumps the background revoker across the
+    /// same interval.
+    fn advance(&mut self, cycles: u64, busy: bool) {
+        let charged = if busy && self.contended() {
+            // Revoker competes for the application cores: 3 runnable
+            // threads on 2 cores => each op takes 1.5x wall time.
+            cycles + cycles / 2
+        } else {
+            cycles
+        };
+        self.wall += charged;
+        if busy {
+            self.app_cpu += cycles;
+        }
+        self.pump_revoker(busy);
+    }
+
+    fn contended(&self) -> bool {
+        !self.cfg.spare_revoker_core && self.revoker.is_revoking()
+    }
+
+    /// Gives the background revoker the wall time that elapsed since its
+    /// last pump. `app_busy` affects whether a final STW pause extends the
+    /// wall clock (a pause inside idle time is hidden; §5.2 discussion).
+    fn pump_revoker(&mut self, app_busy: bool) {
+        if !self.revoker.is_revoking() {
+            self.rev_mark = self.wall;
+            self.maybe_release();
+            return;
+        }
+        let elapsed = self.wall.saturating_sub(self.rev_mark);
+        // Without a spare core the revoker only gets a share of wall time.
+        let budget = if self.cfg.spare_revoker_core { elapsed } else { elapsed * 2 / 3 };
+        if budget == 0 {
+            return;
+        }
+        let rev_dram_before = self.machine.mem().traffic(self.cfg.rev_core).dram_transactions;
+        let outcome = self.revoker.background_step(&mut self.machine, budget);
+        if app_busy && self.cfg.spare_revoker_core {
+            // Shared-bus contention: the sweep's DRAM traffic stalls the
+            // application (§5.6). Only with a spare revoker core — when the
+            // revoker time-slices with the application, its traffic is
+            // serialized inside its own quantum and the CPU contention
+            // factor already accounts for the slowdown.
+            let delta = self.machine.mem().traffic(self.cfg.rev_core).dram_transactions - rev_dram_before;
+            let penalty = delta * self.cfg.bus_penalty_per_rev_txn;
+            self.wall += penalty;
+            self.app_cpu += penalty;
+        }
+        match outcome {
+            StepOutcome::Idle => {
+                self.rev_mark = self.wall;
+            }
+            StepOutcome::Working { used } => {
+                self.rev_cpu += used;
+                self.rev_mark = self.wall;
+            }
+            StepOutcome::Finished { used } => {
+                self.rev_cpu += used;
+                self.rev_mark = self.wall;
+                self.maybe_release();
+            }
+            StepOutcome::NeedsFinalStw => {
+                let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
+                self.stats.pauses.push(pause);
+                self.rev_cpu += pause;
+                if app_busy {
+                    // The world (including the app) stops.
+                    self.wall += pause;
+                }
+                self.rev_mark = self.wall;
+                self.maybe_release();
+            }
+        }
+    }
+
+    /// Blocks the application until the in-flight pass completes (mrs's
+    /// hard-full behaviour).
+    fn block_on_revocation(&mut self) {
+        self.heap.note_blocked_alloc();
+        while self.revoker.is_revoking() {
+            match self.revoker.background_step(&mut self.machine, 1_000_000) {
+                StepOutcome::NeedsFinalStw => {
+                    let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
+                    self.stats.pauses.push(pause);
+                    self.rev_cpu += pause;
+                    self.wall += pause;
+                    self.stats.blocked_cycles += pause;
+                }
+                StepOutcome::Working { used } | StepOutcome::Finished { used } => {
+                    self.rev_cpu += used;
+                    self.wall += used;
+                    self.stats.blocked_cycles += used;
+                }
+                StepOutcome::Idle => break,
+            }
+        }
+        self.rev_mark = self.wall;
+        self.maybe_release();
+    }
+
+    /// Starts a revocation pass now (policy fired during `free`).
+    fn start_revocation(&mut self) {
+        let pause = self.revoker.start_epoch_with_busy_threads(&mut self.machine, self.cfg.app_threads);
+        self.stats.pauses.push(pause);
+        self.wall += pause;
+        self.rev_cpu += pause;
+        self.rev_mark = self.wall;
+        self.maybe_release();
+    }
+
+    /// Releases quarantine batches if the epoch advanced.
+    fn maybe_release(&mut self) {
+        let e = self.revoker.epoch();
+        if e != self.last_release_epoch {
+            self.last_release_epoch = e;
+            let c = self.heap.poll_release(&mut self.machine, &mut self.revoker, self.cfg.app_core);
+            self.mmap_space.poll_release(&mut self.machine, &mut self.revoker, self.cfg.app_core);
+            self.wall += c;
+            self.app_cpu += c;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Capability plumbing
+    // ------------------------------------------------------------------
+
+    fn slot_auth(&self, obj: ObjId) -> Capability {
+        self.root.set_addr(self.root.base() + (obj % self.cfg.max_objects) * CAP_SIZE)
+    }
+
+    /// Loads a capability through the load barrier, handling (and
+    /// charging) generation faults.
+    fn barrier_load(&mut self, auth: &Capability) -> Result<(Capability, u64), SimError> {
+        let mut cycles = 0;
+        loop {
+            match self.machine.load_cap(self.cfg.app_core, auth) {
+                Ok((cap, c)) => {
+                    cycles += c;
+                    let (cap, fc) = self.revoker.filter_loaded(&mut self.machine, self.cfg.app_core, cap);
+                    cycles += fc;
+                    // Stash in a register so epoch entry has hoards to scan.
+                    self.reg_rr = (self.reg_rr + 1) % 24;
+                    self.machine.regs_mut(self.app_thread).set(4 + self.reg_rr, cap);
+                    return Ok((cap, cycles));
+                }
+                Err(VmFault::CapLoadGeneration { vaddr }) => {
+                    let fc = self.revoker.handle_load_fault(&mut self.machine, self.cfg.app_core, vaddr);
+                    cycles += fc;
+                    self.stats.faults += 1;
+                    self.stats.fault_cycles += fc;
+                    self.maybe_release();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn load_obj(&mut self, obj: ObjId) -> Result<(Capability, u64), SimError> {
+        if !self.live.contains(&obj) {
+            return Err(SimError::UnknownObj(obj));
+        }
+        let auth = self.slot_auth(obj);
+        let (cap, cycles) = self.barrier_load(&auth)?;
+        if !cap.is_tagged() {
+            return Err(SimError::UnknownObj(obj));
+        }
+        Ok((cap, cycles))
+    }
+
+    // ------------------------------------------------------------------
+    // Op implementations
+    // ------------------------------------------------------------------
+
+    fn op_alloc(&mut self, obj: ObjId, size: u64) -> Result<(), SimError> {
+        if self.live.contains(&obj) {
+            return Err(SimError::SlotBusy(obj));
+        }
+        if matches!(self.cfg.condition, Condition::Safe(_)) && self.heap.must_block(&self.revoker) {
+            self.block_on_revocation();
+        }
+        let allocation = match self.heap.alloc(&mut self.machine, self.cfg.app_core, size) {
+            Ok(a) => a,
+            Err(AllocError::OutOfMemory) => {
+                // Force quarantine turnover, then retry once.
+                if matches!(self.cfg.condition, Condition::Safe(_)) {
+                    if !self.revoker.is_revoking() {
+                        self.heap.seal(&self.revoker);
+                        self.start_revocation();
+                    }
+                    self.block_on_revocation();
+                    self.heap
+                        .alloc(&mut self.machine, self.cfg.app_core, size)
+                        .map_err(|_| SimError::OutOfMemory)?
+                } else {
+                    return Err(SimError::OutOfMemory);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let auth = self.slot_auth(obj);
+        let c = self.machine.store_cap(self.cfg.app_core, &auth, allocation.cap)?;
+        self.live.insert(obj);
+        self.advance(allocation.cycles + c + 20, true);
+        Ok(())
+    }
+
+    fn op_free(&mut self, obj: ObjId) -> Result<(), SimError> {
+        let (cap, c1) = self.load_obj(obj)?;
+        let effect = match self.cfg.condition {
+            Condition::Baseline => {
+                let c = self.heap.free_immediate(&mut self.machine, self.cfg.app_core, cap)?;
+                cheri_alloc::FreeEffect { cycles: c, trigger_revocation: false }
+            }
+            Condition::Safe(_) => self.heap.free(&mut self.machine, &mut self.revoker, self.cfg.app_core, cap)?,
+        };
+        let auth = self.slot_auth(obj);
+        let c2 = self.machine.store_cap(self.cfg.app_core, &auth, Capability::null())?;
+        self.live.remove(&obj);
+        self.advance(c1 + effect.cycles + c2 + 20, true);
+        if effect.trigger_revocation {
+            self.start_revocation();
+        }
+        Ok(())
+    }
+
+    fn op_load(&mut self, obj: ObjId) -> Result<(), SimError> {
+        let (_, c) = self.load_obj(obj)?;
+        self.advance(c + 4, true);
+        Ok(())
+    }
+
+    fn op_data(&mut self, obj: ObjId, len: u64, write: bool) -> Result<(), SimError> {
+        let (cap, c1) = self.load_obj(obj)?;
+        let len = len.clamp(1, cap.len().max(1));
+        let c2 = if write {
+            self.machine.write_data(self.cfg.app_core, &cap, len)?
+        } else {
+            self.machine.read_data(self.cfg.app_core, &cap, len)?
+        };
+        self.advance(c1 + c2 + len / 8, true);
+        Ok(())
+    }
+
+    fn op_link(&mut self, from: ObjId, slot: u64, to: ObjId) -> Result<(), SimError> {
+        let (fcap, c1) = self.load_obj(from)?;
+        let (tcap, c2) = self.load_obj(to)?;
+        let Some(auth) = cap_slot(&fcap, slot) else {
+            self.advance(c1 + c2, true);
+            return Ok(());
+        };
+        let c3 = self.machine.store_cap(self.cfg.app_core, &auth, tcap)?;
+        self.advance(c1 + c2 + c3 + 8, true);
+        Ok(())
+    }
+
+    fn op_chase(&mut self, from: ObjId, slot: u64) -> Result<(), SimError> {
+        let (fcap, c1) = self.load_obj(from)?;
+        let Some(auth) = cap_slot(&fcap, slot) else {
+            self.advance(c1, true);
+            return Ok(());
+        };
+        let (_, c2) = self.barrier_load(&auth)?;
+        self.advance(c1 + c2 + 4, true);
+        Ok(())
+    }
+
+    fn op_hoard(&mut self, obj: ObjId) -> Result<(), SimError> {
+        let (cap, c) = self.load_obj(obj)?;
+        let kind = match obj % 3 {
+            0 => cornucopia::HoardKind::Kqueue,
+            1 => cornucopia::HoardKind::Aio,
+            _ => cornucopia::HoardKind::SavedContext,
+        };
+        self.revoker.hoards_mut().deposit(kind, cap);
+        self.advance(c + 500, true); // syscall overhead
+        Ok(())
+    }
+}
+
+impl System {
+    fn op_mmap(&mut self, obj: ObjId, len: u64) -> Result<(), SimError> {
+        if self.live.contains(&obj) {
+            return Err(SimError::SlotBusy(obj));
+        }
+        let cap = self
+            .mmap_space
+            .mmap(&mut self.machine, len)
+            .map_err(|_| SimError::OutOfMemory)?;
+        let auth = self.slot_auth(obj);
+        let c = self.machine.store_cap(self.cfg.app_core, &auth, cap)?;
+        self.live.insert(obj);
+        self.advance(c + 2_000, true); // mmap syscall
+        Ok(())
+    }
+
+    fn op_munmap(&mut self, obj: ObjId) -> Result<(), SimError> {
+        let (cap, c1) = self.load_obj(obj)?;
+        let span = cap.len().div_ceil(cheri_mem::PAGE_SIZE) * cheri_mem::PAGE_SIZE;
+        if matches!(self.cfg.condition, Condition::Baseline) {
+            // No temporal safety: conventional munmap, instant reuse.
+            self.mmap_space
+                .munmap_immediate(&mut self.machine, cap.base(), span)
+                .map_err(SimError::Vm)?;
+            let auth = self.slot_auth(obj);
+            let c2 = self.machine.store_cap(self.cfg.app_core, &auth, Capability::null())?;
+            self.live.remove(&obj);
+            self.advance(c1 + c2 + 2_000, true);
+            return Ok(());
+        }
+        self.mmap_space
+            .munmap(&mut self.machine, &mut self.revoker, self.cfg.app_core, cap.base(), span)
+            .map_err(SimError::Vm)?;
+        let auth = self.slot_auth(obj);
+        let c2 = self.machine.store_cap(self.cfg.app_core, &auth, Capability::null())?;
+        self.live.remove(&obj);
+        self.advance(c1 + c2 + 2_500, true); // munmap syscall + guards
+        // Reservation quarantine can itself demand a pass (§6.2) once
+        // enough address space is parked behind guards.
+        if matches!(self.cfg.condition, Condition::Safe(_))
+            && !self.revoker.is_revoking()
+            && self.mmap_space.quarantined_bytes() > self.cfg.min_quarantine * 4
+        {
+            self.heap.seal(&self.revoker);
+            self.start_revocation();
+        }
+        Ok(())
+    }
+}
+
+/// The authority for 16-byte capability slot `slot` within `obj`, if the
+/// object has room for capability slots.
+fn cap_slot(obj: &Capability, slot: u64) -> Option<Capability> {
+    let slots = obj.len() / CAP_SIZE;
+    if slots == 0 {
+        return None;
+    }
+    // Slot addresses must be 16-aligned: round the object base up.
+    let first = obj.base().div_ceil(CAP_SIZE) * CAP_SIZE;
+    if first + CAP_SIZE > obj.top() {
+        return None;
+    }
+    let usable = (obj.top() - first) / CAP_SIZE;
+    Some(obj.set_addr(first + (slot % usable) * CAP_SIZE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn churn_ops(n: u64, size: u64) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for i in 0..n {
+            ops.push(Op::TxBegin { id: i });
+            ops.push(Op::Alloc { obj: i % 64, size });
+            ops.push(Op::WriteData { obj: i % 64, len: size });
+            ops.push(Op::LinkPtr { from: i % 64, slot: 0, to: i % 64 });
+            ops.push(Op::ChasePtr { from: i % 64, slot: 0 });
+            ops.push(Op::Free { obj: i % 64 });
+            ops.push(Op::TxEnd { id: i });
+        }
+        ops
+    }
+
+    fn run(condition: Condition, min_q: u64) -> RunStats {
+        let cfg = SimConfig { condition, min_quarantine: min_q, ..SimConfig::default() };
+        System::new(cfg).run(churn_ops(2000, 4096)).unwrap()
+    }
+
+    #[test]
+    fn all_conditions_complete_the_same_workload() {
+        for c in [
+            Condition::baseline(),
+            Condition::paint_sync(),
+            Condition::cherivoke(),
+            Condition::cornucopia(),
+            Condition::reloaded(),
+        ] {
+            let s = run(c, 256 << 10);
+            assert_eq!(s.tx_latencies.len(), 2000, "{}", c.label());
+            assert_eq!(s.allocs, 2001, "{}", c.label()); // + root table
+            assert_eq!(s.frees, 2000, "{}", c.label());
+        }
+    }
+
+    #[test]
+    fn safe_strategies_actually_revoke() {
+        for c in [Condition::cherivoke(), Condition::cornucopia(), Condition::reloaded()] {
+            let s = run(c, 256 << 10);
+            assert!(s.revocations > 0, "{} never revoked", c.label());
+        }
+    }
+
+    #[test]
+    fn revocation_makes_runs_slower_than_baseline() {
+        let base = run(Condition::baseline(), 256 << 10);
+        for c in [Condition::cherivoke(), Condition::cornucopia(), Condition::reloaded()] {
+            let s = run(c, 256 << 10);
+            assert!(
+                s.wall_cycles > base.wall_cycles,
+                "{} unexpectedly faster than baseline",
+                c.label()
+            );
+        }
+    }
+
+    #[test]
+    fn reloaded_pauses_are_far_shorter_than_cherivoke() {
+        let cv = run(Condition::cherivoke(), 256 << 10);
+        let rel = run(Condition::reloaded(), 256 << 10);
+        let max_cv = cv.pauses.iter().copied().max().unwrap();
+        let max_rel = rel.pauses.iter().copied().max().unwrap();
+        assert!(
+            max_rel * 3 < max_cv,
+            "Reloaded max pause {max_rel} not well below CHERIvoke {max_cv}"
+        );
+    }
+
+    #[test]
+    fn reloaded_takes_load_faults_cornucopia_does_not() {
+        let rel = run(Condition::reloaded(), 256 << 10);
+        let corn = run(Condition::cornucopia(), 256 << 10);
+        assert!(rel.faults > 0, "pointer churn under Reloaded must fault");
+        assert_eq!(corn.faults, 0);
+    }
+
+    #[test]
+    fn deterministic_given_same_ops() {
+        let a = run(Condition::reloaded(), 256 << 10);
+        let b = run(Condition::reloaded(), 256 << 10);
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.tx_latencies, b.tx_latencies);
+        assert_eq!(a.total_dram(), b.total_dram());
+    }
+
+    #[test]
+    fn quarantine_inflates_peak_rss() {
+        let base = run(Condition::baseline(), 256 << 10);
+        let rel = run(Condition::reloaded(), 256 << 10);
+        assert!(rel.peak_rss > base.peak_rss);
+    }
+
+    #[test]
+    fn rate_schedule_spaces_transactions() {
+        let interval = 2_000_000u64;
+        let cfg = SimConfig {
+            condition: Condition::baseline(),
+            tx_interval: Some(interval),
+            ..SimConfig::default()
+        };
+        let s = System::new(cfg).run(churn_ops(50, 256)).unwrap();
+        // Wall must cover the schedule span.
+        assert!(s.wall_cycles >= interval * 49);
+    }
+
+    #[test]
+    fn oom_recovers_via_forced_revocation() {
+        // Tiny arena: the live set fits, but only with quarantine turnover.
+        let cfg = SimConfig {
+            condition: Condition::reloaded(),
+            heap_len: 4 << 20,
+            max_objects: 1 << 10,
+            min_quarantine: 64 << 10,
+            ..SimConfig::default()
+        };
+        let s = System::new(cfg).run(churn_ops(3000, 8192)).unwrap();
+        assert!(s.revocations > 0);
+    }
+
+    #[test]
+    fn op_errors_are_reported() {
+        let cfg = SimConfig::default();
+        let mut sys = System::new(cfg);
+        assert_eq!(sys.exec(Op::Free { obj: 7 }), Err(SimError::UnknownObj(7)));
+        sys.exec(Op::Alloc { obj: 7, size: 64 }).unwrap();
+        assert_eq!(sys.exec(Op::Alloc { obj: 7, size: 64 }), Err(SimError::SlotBusy(7)));
+    }
+}

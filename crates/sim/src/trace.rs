@@ -1,0 +1,219 @@
+//! Workload trace serialization.
+//!
+//! Op streams can be recorded to (and replayed from) a compact, line-based
+//! text format, so workloads captured elsewhere — e.g. converted from a
+//! real allocator trace — can be replayed against any revocation strategy,
+//! and surrogate workloads can be archived alongside results.
+//!
+//! Format (`#cornucopia-trace v1` header, one op per line, `#` comments):
+//!
+//! ```text
+//! A <obj> <size>      Alloc          F <obj>         Free
+//! L <obj>             LoadObj        R <obj> <len>   ReadData
+//! W <obj> <len>       WriteData      P <from> <slot> <to>  LinkPtr
+//! C <from> <slot>     ChasePtr       X <cycles>      Compute
+//! I <cycles>          ThinkIdle      H <obj>         SyscallHoard
+//! B <id>              TxBegin        E <id>          TxEnd
+//! M <obj> <len>       Mmap           U <obj>         Munmap
+//! ```
+
+use crate::ops::Op;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The format header.
+pub const TRACE_HEADER: &str = "#cornucopia-trace v1";
+
+/// Trace parsing errors, with 1-based line numbers.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadHeader => write!(f, "missing `{TRACE_HEADER}` header"),
+            TraceError::Parse { line, text } => write!(f, "trace parse error at line {line}: {text:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Serializes an op stream.
+pub fn write_ops<W: Write>(ops: &[Op], mut w: W) -> io::Result<()> {
+    writeln!(w, "{TRACE_HEADER}")?;
+    for op in ops {
+        match *op {
+            Op::Alloc { obj, size } => writeln!(w, "A {obj} {size}")?,
+            Op::Free { obj } => writeln!(w, "F {obj}")?,
+            Op::LoadObj { obj } => writeln!(w, "L {obj}")?,
+            Op::ReadData { obj, len } => writeln!(w, "R {obj} {len}")?,
+            Op::WriteData { obj, len } => writeln!(w, "W {obj} {len}")?,
+            Op::LinkPtr { from, slot, to } => writeln!(w, "P {from} {slot} {to}")?,
+            Op::ChasePtr { from, slot } => writeln!(w, "C {from} {slot}")?,
+            Op::Compute { cycles } => writeln!(w, "X {cycles}")?,
+            Op::ThinkIdle { cycles } => writeln!(w, "I {cycles}")?,
+            Op::SyscallHoard { obj } => writeln!(w, "H {obj}")?,
+            Op::Mmap { obj, len } => writeln!(w, "M {obj} {len}")?,
+            Op::Munmap { obj } => writeln!(w, "U {obj}")?,
+            Op::TxBegin { id } => writeln!(w, "B {id}")?,
+            Op::TxEnd { id } => writeln!(w, "E {id}")?,
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes an op stream.
+pub fn read_ops<R: BufRead>(r: R) -> Result<Vec<Op>, TraceError> {
+    let mut lines = r.lines();
+    match lines.next() {
+        Some(Ok(h)) if h.trim() == TRACE_HEADER => {}
+        Some(Err(e)) => return Err(e.into()),
+        _ => return Err(TraceError::BadHeader),
+    }
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 2;
+        let mut parts = text.split_ascii_whitespace();
+        let bad = || TraceError::Parse { line: lineno, text: text.to_string() };
+        let tag = parts.next().ok_or_else(bad)?;
+        let mut num = || -> Result<u64, TraceError> {
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)
+        };
+        let op = match tag {
+            "A" => Op::Alloc { obj: num()?, size: num()? },
+            "F" => Op::Free { obj: num()? },
+            "L" => Op::LoadObj { obj: num()? },
+            "R" => Op::ReadData { obj: num()?, len: num()? },
+            "W" => Op::WriteData { obj: num()?, len: num()? },
+            "P" => Op::LinkPtr { from: num()?, slot: num()?, to: num()? },
+            "C" => Op::ChasePtr { from: num()?, slot: num()? },
+            "X" => Op::Compute { cycles: num()? },
+            "I" => Op::ThinkIdle { cycles: num()? },
+            "H" => Op::SyscallHoard { obj: num()? },
+            "M" => Op::Mmap { obj: num()?, len: num()? },
+            "U" => Op::Munmap { obj: num()? },
+            "B" => Op::TxBegin { id: num()? },
+            "E" => Op::TxEnd { id: num()? },
+            _ => return Err(bad()),
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Writes a trace to `path`.
+pub fn save_to_path(ops: &[Op], path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_ops(ops, io::BufWriter::new(f))
+}
+
+/// Reads a trace from `path`.
+pub fn load_from_path(path: impl AsRef<std::path::Path>) -> Result<Vec<Op>, TraceError> {
+    let f = std::fs::File::open(path)?;
+    read_ops(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Op> {
+        vec![
+            Op::TxBegin { id: 0 },
+            Op::Alloc { obj: 3, size: 4096 },
+            Op::WriteData { obj: 3, len: 128 },
+            Op::LinkPtr { from: 3, slot: 7, to: 3 },
+            Op::ChasePtr { from: 3, slot: 7 },
+            Op::ReadData { obj: 3, len: 64 },
+            Op::LoadObj { obj: 3 },
+            Op::Compute { cycles: 1000 },
+            Op::ThinkIdle { cycles: 500 },
+            Op::SyscallHoard { obj: 3 },
+            Op::Mmap { obj: 9, len: 8192 },
+            Op::Munmap { obj: 9 },
+            Op::Free { obj: 3 },
+            Op::TxEnd { id: 0 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_ops() {
+        let ops = sample();
+        let mut buf = Vec::new();
+        write_ops(&ops, &mut buf).unwrap();
+        let back = read_ops(buf.as_slice()).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{TRACE_HEADER}\n# hello\n\nA 1 64\n  \nF 1\n");
+        let ops = read_ops(text.as_bytes()).unwrap();
+        assert_eq!(ops, vec![Op::Alloc { obj: 1, size: 64 }, Op::Free { obj: 1 }]);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert!(matches!(read_ops("A 1 64\n".as_bytes()), Err(TraceError::BadHeader)));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = format!("{TRACE_HEADER}\nA 1 64\nQ nonsense\n");
+        match read_ops(text.as_bytes()) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let text = format!("{TRACE_HEADER}\nA 1\n"); // missing size
+        assert!(matches!(read_ops(text.as_bytes()), Err(TraceError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cornucopia-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        save_to_path(&sample(), &path).unwrap();
+        assert_eq!(load_from_path(&path).unwrap(), sample());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_equals_original_run() {
+        use crate::{Condition, SimConfig, System};
+        let ops = sample();
+        let mut buf = Vec::new();
+        write_ops(&ops, &mut buf).unwrap();
+        let replayed = read_ops(buf.as_slice()).unwrap();
+        let cfg = SimConfig { condition: Condition::reloaded(), ..SimConfig::default() };
+        let a = System::new(cfg.clone()).run(ops).unwrap();
+        let b = System::new(cfg).run(replayed).unwrap();
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.total_dram(), b.total_dram());
+    }
+}

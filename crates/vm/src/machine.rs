@@ -1,0 +1,731 @@
+//! The simulated multicore machine: MMU + TLBs + register files + memory.
+
+use crate::pte::{MapFlags, Pte};
+use crate::VmFault;
+use cheri_cap::{Capability, Perms, CAP_SIZE};
+use cheri_mem::{CacheConfig, CoreId, MemSystem, PAGE_SIZE};
+use std::collections::{BTreeMap, HashMap};
+
+/// Registers per simulated thread (Morello has 31 general-purpose
+/// capability registers; we round to 32).
+pub const NUM_REGS: usize = 32;
+
+/// Identifies a simulated thread (owner of a register file).
+pub type ThreadId = usize;
+
+/// A thread's capability register file.
+///
+/// Registers are one of the "hoards" outside sweepable memory that an epoch
+/// must scan at its start (paper §3.2, §4.4): a to-be-revoked capability
+/// sitting in a register would otherwise break the load-barrier invariant.
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    regs: [Capability; NUM_REGS],
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        RegisterFile { regs: [Capability::null(); NUM_REGS] }
+    }
+}
+
+impl RegisterFile {
+    /// Reads register `r`.
+    #[must_use]
+    pub fn get(&self, r: usize) -> Capability {
+        self.regs[r]
+    }
+
+    /// Writes register `r`.
+    pub fn set(&mut self, r: usize, cap: Capability) {
+        self.regs[r] = cap;
+    }
+
+    /// Iterates over all registers mutably (the revoker's register scan).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Capability> {
+        self.regs.iter_mut()
+    }
+
+    /// Iterates over all registers.
+    pub fn iter(&self) -> impl Iterator<Item = &Capability> {
+        self.regs.iter()
+    }
+}
+
+/// MMU and fault counters, exposed for the evaluation harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VmStats {
+    /// TLB misses that required a page-table walk.
+    pub tlb_misses: u64,
+    /// TLB invalidations broadcast to other cores.
+    pub tlb_shootdowns: u64,
+    /// PTE updates written back (the quantity §4.1's design halves).
+    pub pte_writes: u64,
+    /// Capability-dirty transitions (store-barrier events, §4.2).
+    pub cap_dirty_sets: u64,
+    /// Capability load-generation faults taken (§4.1).
+    pub load_generation_faults: u64,
+    /// Loads refused because of a memory-color mismatch (§7.3).
+    pub color_faults: u64,
+    /// Stores silently discarded because of a memory-color mismatch (§7.3).
+    pub discarded_stores: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Tlb {
+    entries: HashMap<u64, Pte>,
+}
+
+/// The simulated machine: a small SMP of cores sharing one address space,
+/// as in the paper's single-process evaluation setup.
+///
+/// All accesses go through architectural checks (capability, PTE, barrier)
+/// and are charged to a core's cache hierarchy. The revoker drives the
+/// `*_generation`, `*_cap_dirty`, and sweep primitives; the allocator and
+/// workloads drive the load/store primitives.
+#[derive(Debug)]
+pub struct Machine {
+    mem: MemSystem,
+    ptes: BTreeMap<u64, Pte>,
+    tlbs: Vec<Tlb>,
+    core_gen: Vec<bool>,
+    /// Generation adopted by newly created PTEs and newly arriving cores.
+    space_gen: bool,
+    threads: Vec<RegisterFile>,
+    stats: VmStats,
+    /// Cycle cost of a page-table walk on TLB miss.
+    walk_cycles: u64,
+}
+
+impl Machine {
+    /// Creates a machine with `cores` cores (each with an initially empty
+    /// register file for its pinned thread) and default cache geometry.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Machine::with_cache_config(cores, CacheConfig::default())
+    }
+
+    /// Creates a machine with explicit cache geometry.
+    #[must_use]
+    pub fn with_cache_config(cores: usize, config: CacheConfig) -> Self {
+        assert!(cores >= 1, "a machine needs at least one core");
+        Machine {
+            mem: MemSystem::with_config(cores, config),
+            ptes: BTreeMap::new(),
+            tlbs: vec![Tlb::default(); cores],
+            core_gen: vec![false; cores],
+            space_gen: false,
+            threads: vec![RegisterFile::default(); cores],
+            stats: VmStats::default(),
+            walk_cycles: 20,
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.core_gen.len()
+    }
+
+    /// The memory system (for traffic statistics).
+    #[must_use]
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable memory system access (used by the revoker's bulk charging).
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// MMU statistics.
+    #[must_use]
+    pub fn vm_stats(&self) -> VmStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Mapping management
+    // ------------------------------------------------------------------
+
+    /// Maps `[vaddr, vaddr+len)` with `flags`. Both must be page-aligned.
+    /// Remapping an existing page replaces it (used to flip guards).
+    pub fn map_range(&mut self, vaddr: u64, len: u64, flags: MapFlags) -> Result<(), VmFault> {
+        assert_eq!(vaddr % PAGE_SIZE, 0, "map_range: unaligned vaddr");
+        assert_eq!(len % PAGE_SIZE, 0, "map_range: unaligned length");
+        for page in (vaddr..vaddr + len).step_by(PAGE_SIZE as usize) {
+            let mut pte = Pte::new(page / PAGE_SIZE, flags, self.space_gen);
+            // A *remapping* (e.g. mprotect to read-only) must not lose the
+            // revoker's view of the page: the capability-dirty bit and the
+            // load generation carry over, or a capability-bearing page
+            // could silently drop out of the sweep set / load barrier.
+            if let Some(old) = self.ptes.get(&page) {
+                if !old.guard && !flags.guard {
+                    pte.cap_dirty = old.cap_dirty;
+                    pte.load_gen = old.load_gen;
+                }
+            }
+            self.ptes.insert(page, pte);
+            self.stats.pte_writes += 1;
+            self.shootdown(page);
+        }
+        Ok(())
+    }
+
+    /// Unmaps `[vaddr, vaddr+len)`, releasing backing frames.
+    pub fn unmap_range(&mut self, vaddr: u64, len: u64) {
+        assert_eq!(vaddr % PAGE_SIZE, 0, "unmap_range: unaligned vaddr");
+        for page in (vaddr..vaddr + len).step_by(PAGE_SIZE as usize) {
+            self.ptes.remove(&page);
+            self.stats.pte_writes += 1;
+            self.shootdown(page);
+            self.mem.phys_mut().release_page(page);
+        }
+    }
+
+    /// Whether `vaddr` is mapped (and not a guard).
+    #[must_use]
+    pub fn is_mapped(&self, vaddr: u64) -> bool {
+        self.pte(vaddr).is_some_and(|p| !p.guard)
+    }
+
+    fn pte(&self, vaddr: u64) -> Option<&Pte> {
+        self.ptes.get(&(vaddr / PAGE_SIZE * PAGE_SIZE))
+    }
+
+    fn pte_mut(&mut self, vaddr: u64) -> Option<&mut Pte> {
+        self.ptes.get_mut(&(vaddr / PAGE_SIZE * PAGE_SIZE))
+    }
+
+    fn shootdown(&mut self, page: u64) {
+        let mut any = false;
+        for tlb in &mut self.tlbs {
+            any |= tlb.entries.remove(&page).is_some();
+        }
+        if any {
+            self.stats.tlb_shootdowns += 1;
+        }
+    }
+
+    /// Translates on behalf of `core`, filling the TLB. Returns a PTE
+    /// snapshot and the cycle cost of any walk.
+    fn translate(&mut self, core: CoreId, vaddr: u64) -> Result<(Pte, u64), VmFault> {
+        let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+        if let Some(pte) = self.tlbs[core].entries.get(&page) {
+            return Ok((*pte, 0));
+        }
+        self.stats.tlb_misses += 1;
+        let pte = *self.ptes.get(&page).ok_or(VmFault::NotMapped { vaddr })?;
+        if pte.guard {
+            return Err(VmFault::NotMapped { vaddr });
+        }
+        self.tlbs[core].entries.insert(page, pte);
+        Ok((pte, self.walk_cycles))
+    }
+
+    /// Re-walks the page table after a suspected-stale TLB entry (paper
+    /// §4.3: a faulting thread first checks whether another core already
+    /// completed revocation of the page).
+    fn refresh_tlb(&mut self, core: CoreId, vaddr: u64) -> Result<(Pte, u64), VmFault> {
+        let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+        self.tlbs[core].entries.remove(&page);
+        self.translate(core, vaddr)
+    }
+
+    // ------------------------------------------------------------------
+    // Application-visible accesses (architecturally checked)
+    // ------------------------------------------------------------------
+
+    /// Loads the capability at `auth.addr()`. Applies the load barrier: a
+    /// tag-asserted load from a page whose generation mismatches the core's
+    /// faults with [`VmFault::CapLoadGeneration`]. Returns the capability
+    /// and the cycle cost.
+    pub fn load_cap(&mut self, core: CoreId, auth: &Capability) -> Result<(Capability, u64), VmFault> {
+        auth.check_access(Perms::LOAD | Perms::LOAD_CAP, CAP_SIZE)?;
+        let vaddr = auth.addr();
+        let (pte, mut cycles) = self.translate(core, vaddr)?;
+        if !pte.read {
+            return Err(VmFault::NotMapped { vaddr });
+        }
+        // The barrier conditions the trap on the *loaded* tag (§4.1): only
+        // valid capabilities flowing into the register file matter.
+        let tag = self.mem.phys().tag(vaddr & !(CAP_SIZE - 1));
+        if tag {
+            let mismatch = pte.load_gen != self.core_gen[core] || pte.always_trap_cap_loads;
+            if mismatch {
+                // TLB may be stale: re-walk before declaring a fault.
+                let (fresh, walk) = self.refresh_tlb(core, vaddr)?;
+                cycles += walk;
+                if fresh.load_gen != self.core_gen[core] || fresh.always_trap_cap_loads {
+                    self.stats.load_generation_faults += 1;
+                    return Err(VmFault::CapLoadGeneration { vaddr });
+                }
+            }
+        }
+        if self.mem.phys().granule_color(vaddr) != auth.color() {
+            self.stats.color_faults += 1;
+            return Err(VmFault::ColorMismatch { vaddr });
+        }
+        let (cap, c) = self.mem.load_cap(core, vaddr & !(CAP_SIZE - 1));
+        Ok((cap, cycles + c))
+    }
+
+    /// Stores `cap` at `auth.addr()`. A tagged store to a capability-clean
+    /// page sets the page's CD bit (the store barrier, §4.2). Returns the
+    /// cycle cost.
+    pub fn store_cap(&mut self, core: CoreId, auth: &Capability, cap: Capability) -> Result<u64, VmFault> {
+        let need = if cap.is_tagged() { Perms::STORE | Perms::STORE_CAP } else { Perms::STORE };
+        auth.check_access(need, CAP_SIZE)?;
+        let vaddr = auth.addr();
+        let (pte, mut cycles) = self.translate(core, vaddr)?;
+        if !pte.write {
+            return Err(VmFault::ReadOnly { vaddr });
+        }
+        if cap.is_tagged() && !pte.cap_store {
+            return Err(VmFault::CapStoreDisallowed { vaddr });
+        }
+        if self.mem.phys().granule_color(vaddr) != auth.color() {
+            // §7.3: stores through mis-colored capabilities are discarded,
+            // not trapped — the client could never read them back anyway.
+            self.stats.discarded_stores += 1;
+            return Ok(cycles + 4);
+        }
+        if cap.is_tagged() && !pte.cap_dirty {
+            let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+            if let Some(p) = self.ptes.get_mut(&page) {
+                p.cap_dirty = true;
+            }
+            if let Some(t) = self.tlbs[core].entries.get_mut(&page) {
+                t.cap_dirty = true;
+            }
+            self.stats.cap_dirty_sets += 1;
+            self.stats.pte_writes += 1;
+            cycles += 10; // hardware A/D-bit style update
+        }
+        cycles += self.mem.store_cap(core, vaddr & !(CAP_SIZE - 1), cap);
+        Ok(cycles)
+    }
+
+    /// Reads `len` bytes of data at `auth.addr()` (no tag semantics for
+    /// data loads). Only traffic is modelled; no buffer is produced.
+    pub fn read_data(&mut self, core: CoreId, auth: &Capability, len: u64) -> Result<u64, VmFault> {
+        auth.check_access(Perms::LOAD, len)?;
+        let vaddr = auth.addr();
+        let mut cycles = 0;
+        for page in pages_spanned(vaddr, len) {
+            let (pte, c) = self.translate(core, page.max(vaddr))?;
+            cycles += c;
+            if !pte.read {
+                return Err(VmFault::NotMapped { vaddr: page });
+            }
+        }
+        if self.mem.phys().granule_color(vaddr) != auth.color() {
+            self.stats.color_faults += 1;
+            return Err(VmFault::ColorMismatch { vaddr });
+        }
+        Ok(cycles + self.mem.touch_read(core, vaddr, len))
+    }
+
+    /// Writes `len` bytes of data at `auth.addr()`, clearing every
+    /// overlapped granule tag (data stores never carry tags).
+    pub fn write_data(&mut self, core: CoreId, auth: &Capability, len: u64) -> Result<u64, VmFault> {
+        auth.check_access(Perms::STORE, len)?;
+        let vaddr = auth.addr();
+        let mut cycles = 0;
+        for page in pages_spanned(vaddr, len) {
+            let (pte, c) = self.translate(core, page.max(vaddr))?;
+            cycles += c;
+            if !pte.write {
+                return Err(VmFault::ReadOnly { vaddr: page });
+            }
+            self.mem.phys_mut().materialize_page(page);
+        }
+        if self.mem.phys().granule_color(vaddr) != auth.color() {
+            self.stats.discarded_stores += 1;
+            return Ok(cycles + 4);
+        }
+        cycles += self.mem.touch_write(core, vaddr, len);
+        let first = vaddr & !(CAP_SIZE - 1);
+        let last = (vaddr + len.max(1) - 1) & !(CAP_SIZE - 1);
+        for g in (first..=last).step_by(CAP_SIZE as usize) {
+            self.mem.phys_mut().clear_tag(g);
+        }
+        Ok(cycles)
+    }
+
+    // ------------------------------------------------------------------
+    // Register files
+    // ------------------------------------------------------------------
+
+    /// The register file of thread `t`.
+    #[must_use]
+    pub fn regs(&self, t: ThreadId) -> &RegisterFile {
+        &self.threads[t]
+    }
+
+    /// Mutable register file of thread `t`.
+    pub fn regs_mut(&mut self, t: ThreadId) -> &mut RegisterFile {
+        &mut self.threads[t]
+    }
+
+    /// Adds a thread (returns its id). Threads beyond the core count model
+    /// descheduled threads whose registers the kernel hoards.
+    pub fn add_thread(&mut self) -> ThreadId {
+        self.threads.push(RegisterFile::default());
+        self.threads.len() - 1
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Revoker-facing primitives (kernel mode)
+    // ------------------------------------------------------------------
+
+    /// The capability load generation currently held by `core`.
+    #[must_use]
+    pub fn core_generation(&self, core: CoreId) -> bool {
+        self.core_gen[core]
+    }
+
+    /// The generation new PTEs inherit.
+    #[must_use]
+    pub fn space_generation(&self) -> bool {
+        self.space_gen
+    }
+
+    /// Flips every core's in-core generation bit and the space generation —
+    /// the "fast global enablement" that starts a Reloaded epoch (§4.1).
+    /// PTEs are *not* touched; every tag-asserted load now traps until the
+    /// revoker visits the page.
+    ///
+    /// The synchronizing IPI also invalidates all TLBs: with a single
+    /// generation bit, a TLB entry stale by exactly two epochs would alias
+    /// the current generation and let an unswept tagged load through
+    /// (found by this crate's property tests). Flushing once per epoch
+    /// start makes the one-bit scheme sound.
+    pub fn flip_core_generations(&mut self) {
+        self.space_gen = !self.space_gen;
+        for g in &mut self.core_gen {
+            *g = !*g;
+        }
+        for tlb in &mut self.tlbs {
+            tlb.entries.clear();
+        }
+        self.stats.tlb_shootdowns += 1;
+    }
+
+    /// The load generation recorded in the PTE mapping `vaddr`, if mapped.
+    #[must_use]
+    pub fn page_generation(&self, vaddr: u64) -> Option<bool> {
+        self.pte(vaddr).map(|p| p.load_gen)
+    }
+
+    /// Sets the PTE load generation for the page at `vaddr` (the revoker's
+    /// page-visit completion; idempotent, one PTE write, no shootdown —
+    /// stale TLB copies cause only a spurious re-walk).
+    pub fn set_page_generation(&mut self, vaddr: u64, gen: bool) {
+        if let Some(p) = self.pte_mut(vaddr) {
+            if p.load_gen != gen {
+                p.load_gen = gen;
+                self.stats.pte_writes += 1;
+            }
+        }
+    }
+
+    /// Sets the §7.6 "always trap capability loads" disposition on a page.
+    pub fn set_always_trap(&mut self, vaddr: u64, value: bool) {
+        let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+        if let Some(p) = self.ptes.get_mut(&page) {
+            p.always_trap_cap_loads = value;
+            self.stats.pte_writes += 1;
+        }
+        self.shootdown(page);
+    }
+
+    /// Whether the page at `vaddr` is capability-dirty.
+    #[must_use]
+    pub fn page_cap_dirty(&self, vaddr: u64) -> bool {
+        self.pte(vaddr).is_some_and(|p| p.cap_dirty)
+    }
+
+    /// Clears the CD bit on the page at `vaddr` (revoker marking a page
+    /// clean). Requires a shootdown so other cores' cached CD state cannot
+    /// mask subsequent store-barrier events.
+    pub fn clear_page_cap_dirty(&mut self, vaddr: u64) {
+        let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+        if let Some(p) = self.ptes.get_mut(&page) {
+            if p.cap_dirty {
+                p.cap_dirty = false;
+                self.stats.pte_writes += 1;
+            }
+        }
+        self.shootdown(page);
+    }
+
+    /// All mapped, non-guard pages (ascending).
+    pub fn mapped_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ptes.iter().filter(|(_, p)| !p.guard).map(|(&a, _)| a)
+    }
+
+    /// All capability-dirty pages (ascending).
+    pub fn cap_dirty_pages(&self) -> Vec<u64> {
+        self.ptes.iter().filter(|(_, p)| !p.guard && p.cap_dirty).map(|(&a, _)| a).collect()
+    }
+
+    /// All pages whose PTE generation differs from the space generation
+    /// (i.e. not yet visited in the current Reloaded epoch).
+    pub fn stale_generation_pages(&self) -> Vec<u64> {
+        self.ptes
+            .iter()
+            .filter(|(_, p)| !p.guard && p.load_gen != self.space_gen)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Kernel-mode peek at the tagged capabilities on a page, with no
+    /// architectural checks and no traffic (the revoker charges traffic
+    /// separately via [`Machine::charge_page_scan`]).
+    #[must_use]
+    pub fn peek_tagged_caps(&self, page_addr: u64) -> Vec<(u64, Capability)> {
+        self.mem.phys().tagged_caps_in_page(page_addr)
+    }
+
+    /// Charges `core` the bus cost of scanning one page.
+    pub fn charge_page_scan(&mut self, core: CoreId, page_addr: u64) -> u64 {
+        let page = page_addr / PAGE_SIZE * PAGE_SIZE;
+        self.mem.touch_read(core, page, PAGE_SIZE)
+    }
+
+    /// Whether the page at `vaddr` is writable by user space. The
+    /// revoker's sweep uses this for §4.3's read-only heuristic: a page
+    /// that needs no revocations is put back into service untouched, and
+    /// only a page that *must* be mutated goes through the upgrade path.
+    #[must_use]
+    pub fn page_user_writable(&self, vaddr: u64) -> bool {
+        self.pte(vaddr).is_some_and(|p| p.write && !p.guard)
+    }
+
+    /// Upgrades a read-only page to writable through the full page-fault
+    /// machinery (§4.3: required only when a capability on the page must
+    /// be revoked). Returns the cycle cost.
+    pub fn upgrade_page_writable(&mut self, vaddr: u64) -> u64 {
+        let page = vaddr / PAGE_SIZE * PAGE_SIZE;
+        if let Some(p) = self.ptes.get_mut(&page) {
+            if !p.write {
+                p.write = true;
+                self.stats.pte_writes += 1;
+                self.shootdown(page);
+                return 4_000; // full fault + pmap upgrade
+            }
+        }
+        0
+    }
+
+    /// Revokes the capability at `addr` in place: clears its memory tag and
+    /// charges `core` for the granule write-back.
+    pub fn revoke_granule(&mut self, core: CoreId, addr: u64) -> u64 {
+        let g = addr & !(CAP_SIZE - 1);
+        self.mem.phys_mut().clear_tag(g);
+        self.mem.touch_write(core, g, CAP_SIZE)
+    }
+
+    /// Recolors `[auth.addr(), +len)` to `color` (paper §7.3). Requires
+    /// [`Perms::RECOLOR`] and write authority over the range; charges
+    /// `core` the color-store traffic (colors ride the tag path: 4 bits
+    /// per granule). Returns the cycle cost.
+    pub fn recolor(&mut self, core: CoreId, auth: &Capability, len: u64, color: u8) -> Result<u64, VmFault> {
+        auth.check_access(Perms::STORE | Perms::RECOLOR, len)?;
+        let vaddr = auth.addr();
+        let mut cycles = 0;
+        for page in pages_spanned(vaddr, len) {
+            let (pte, c) = self.translate(core, page.max(vaddr))?;
+            cycles += c;
+            if !pte.write {
+                return Err(VmFault::ReadOnly { vaddr: page });
+            }
+        }
+        self.mem.phys_mut().set_color_range(vaddr, len, color);
+        // Color metadata traffic: 4 bits/granule = len/32 bytes.
+        cycles += self.mem.touch_write(core, vaddr, (len / 32).max(1));
+        cycles += len / CAP_SIZE; // 1 cycle per granule recolor
+        Ok(cycles)
+    }
+
+    /// The memory color of the granule at `vaddr` (kernel peek; used by
+    /// the revoker's architectural mis-color test, §7.3).
+    #[must_use]
+    pub fn granule_color(&self, vaddr: u64) -> u8 {
+        self.mem.phys().granule_color(vaddr)
+    }
+
+    /// Resident-set size in bytes (materialized frames).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.mem.phys().resident_bytes()
+    }
+
+    /// Peak resident-set size in bytes.
+    #[must_use]
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.mem.phys().peak_resident_bytes()
+    }
+}
+
+fn pages_spanned(vaddr: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = vaddr / PAGE_SIZE * PAGE_SIZE;
+    let last = (vaddr + len.max(1) - 1) / PAGE_SIZE * PAGE_SIZE;
+    (first..=last).step_by(PAGE_SIZE as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Machine, Capability) {
+        let mut m = Machine::new(2);
+        m.map_range(0x1_0000, 0x4000, MapFlags::user_rw()).unwrap();
+        let heap = Capability::new_root(0x1_0000, 0x4000, Perms::rw());
+        (m, heap)
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let (mut m, _) = setup();
+        let stray = Capability::new_root(0x9_0000, 0x1000, Perms::rw());
+        assert!(matches!(m.load_cap(0, &stray), Err(VmFault::NotMapped { .. })));
+    }
+
+    #[test]
+    fn untagged_auth_faults_failstop() {
+        let (mut m, heap) = setup();
+        let dead = heap.with_tag_cleared();
+        assert!(matches!(m.load_cap(0, &dead), Err(VmFault::Capability(_))));
+        assert!(matches!(m.store_cap(0, &dead, heap), Err(VmFault::Capability(_))));
+    }
+
+    #[test]
+    fn store_barrier_sets_cap_dirty_once() {
+        let (mut m, heap) = setup();
+        assert!(!m.page_cap_dirty(0x1_0000));
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        assert!(m.page_cap_dirty(0x1_0000));
+        let sets = m.vm_stats().cap_dirty_sets;
+        m.store_cap(0, &heap.set_addr(0x1_0010), heap).unwrap();
+        assert_eq!(m.vm_stats().cap_dirty_sets, sets, "second store is barrier-free");
+    }
+
+    #[test]
+    fn untagged_store_does_not_dirty() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), Capability::null()).unwrap();
+        assert!(!m.page_cap_dirty(0x1_0000));
+    }
+
+    #[test]
+    fn load_generation_fault_only_for_tagged_granules() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        m.flip_core_generations();
+        // Untagged granule: no trap even though generation mismatches.
+        assert!(m.load_cap(0, &heap.set_addr(0x1_0100)).is_ok());
+        // Tagged granule: traps.
+        assert!(matches!(
+            m.load_cap(0, &heap.set_addr(0x1_0000)),
+            Err(VmFault::CapLoadGeneration { vaddr: 0x1_0000 })
+        ));
+        assert_eq!(m.vm_stats().load_generation_faults, 1);
+    }
+
+    #[test]
+    fn page_visit_heals_barrier_for_all_cores() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        m.load_cap(1, &heap.set_addr(0x1_0000)).unwrap(); // warm core 1 TLB
+        m.flip_core_generations();
+        m.set_page_generation(0x1_0000, m.space_generation());
+        // Core 1's TLB is stale but the re-walk finds the updated PTE: no fault.
+        assert!(m.load_cap(1, &heap.set_addr(0x1_0000)).is_ok());
+        assert_eq!(m.vm_stats().load_generation_faults, 0);
+    }
+
+    #[test]
+    fn new_mappings_inherit_current_generation() {
+        let (mut m, _) = setup();
+        m.flip_core_generations();
+        m.map_range(0x8_0000, 0x1000, MapFlags::user_rw()).unwrap();
+        assert_eq!(m.page_generation(0x8_0000), Some(m.space_generation()));
+    }
+
+    #[test]
+    fn cap_store_disallowed_on_nocap_mappings() {
+        let (mut m, _) = setup();
+        m.map_range(0x8_0000, 0x1000, MapFlags::user_rw_nocap()).unwrap();
+        let file = Capability::new_root(0x8_0000, 0x1000, Perms::rw());
+        assert!(matches!(m.store_cap(0, &file, file), Err(VmFault::CapStoreDisallowed { .. })));
+        // Data stores are fine.
+        assert!(m.write_data(0, &file, 64).is_ok());
+    }
+
+    #[test]
+    fn guard_pages_fault() {
+        let (mut m, _) = setup();
+        m.map_range(0x8_0000, 0x1000, MapFlags::guard()).unwrap();
+        let c = Capability::new_root(0x8_0000, 0x1000, Perms::rw());
+        assert!(matches!(m.read_data(0, &c, 8), Err(VmFault::NotMapped { .. })));
+        assert!(!m.is_mapped(0x8_0000));
+    }
+
+    #[test]
+    fn data_write_clears_tags() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        m.write_data(0, &heap.set_addr(0x1_0008), 4).unwrap();
+        assert!(!m.mem().phys().tag(0x1_0000));
+    }
+
+    #[test]
+    fn revoke_granule_clears_tag_in_place() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        m.revoke_granule(1, 0x1_0000);
+        let (got, _) = m.load_cap(0, &heap.set_addr(0x1_0000)).unwrap();
+        assert!(!got.is_tagged());
+    }
+
+    #[test]
+    fn unmap_releases_memory_and_faults_later() {
+        let (mut m, heap) = setup();
+        m.write_data(0, &heap, 64).unwrap();
+        assert!(m.resident_bytes() > 0);
+        m.unmap_range(0x1_0000, 0x4000);
+        assert_eq!(m.resident_bytes(), 0);
+        assert!(matches!(m.read_data(0, &heap, 8), Err(VmFault::NotMapped { .. })));
+    }
+
+    #[test]
+    fn stale_generation_pages_shrink_as_visited() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        m.flip_core_generations();
+        let stale = m.stale_generation_pages();
+        assert_eq!(stale.len(), 4);
+        for p in &stale {
+            m.set_page_generation(*p, m.space_generation());
+        }
+        assert!(m.stale_generation_pages().is_empty());
+    }
+
+    #[test]
+    fn always_trap_disposition_traps_despite_matching_generation() {
+        let (mut m, heap) = setup();
+        m.store_cap(0, &heap.set_addr(0x1_0000), heap).unwrap();
+        m.set_always_trap(0x1_0000, true);
+        assert!(matches!(m.load_cap(0, &heap.set_addr(0x1_0000)), Err(VmFault::CapLoadGeneration { .. })));
+        m.set_always_trap(0x1_0000, false);
+        assert!(m.load_cap(0, &heap.set_addr(0x1_0000)).is_ok());
+    }
+}

@@ -1,0 +1,265 @@
+//! The generic heap-churn generator behind the SPEC surrogates.
+
+use morello_sim::{ObjId, Op};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Log-uniform object size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeDist {
+    /// Minimum object size in bytes.
+    pub min: u64,
+    /// Maximum object size in bytes.
+    pub max: u64,
+}
+
+impl SizeDist {
+    /// A fixed size.
+    #[must_use]
+    pub const fn fixed(size: u64) -> Self {
+        SizeDist { min: size, max: size }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.min >= self.max {
+            return self.min;
+        }
+        // Log-uniform: uniform exponent between log2(min) and log2(max).
+        let lo = (self.min as f64).log2();
+        let hi = (self.max as f64).log2();
+        let e = rng.gen_range(lo..hi);
+        (e.exp2() as u64).clamp(self.min, self.max)
+    }
+
+    /// Approximate mean of the distribution.
+    #[must_use]
+    pub fn approx_mean(&self) -> u64 {
+        if self.min >= self.max {
+            return self.min;
+        }
+        let ratio = self.max as f64 / self.min as f64;
+        ((self.max - self.min) as f64 / ratio.ln()) as u64
+    }
+}
+
+/// A heap-churn workload profile: the observable allocation behaviour of
+/// one benchmark, in scaled bytes.
+#[derive(Debug, Clone)]
+pub struct ChurnProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Steady-state live heap target (scaled bytes). Table 2 "Mean Alloc".
+    pub target_heap: u64,
+    /// Total bytes to pass through `free` (scaled). Table 2 "Sum Freed".
+    pub total_churn: u64,
+    /// Object size distribution.
+    pub obj_size: SizeDist,
+    /// Pointer stores per churn step (drives capability-dirty pages and
+    /// Cornucopia's re-sweeps).
+    pub links_per_step: u32,
+    /// Pointer loads per churn step (drives Reloaded's load faults).
+    pub chases_per_step: u32,
+    /// Data reads per churn step.
+    pub reads_per_step: u32,
+    /// Bytes per data read (controls the benchmark's baseline DRAM
+    /// traffic; compute-heavy SPEC programs stream large buffers).
+    pub read_len: u64,
+    /// Pure compute cycles per churn step (sets the revocation overhead
+    /// relative to useful work).
+    pub compute_per_step: u64,
+    /// Deposit a capability into a kernel hoard every N steps (0 = never).
+    pub hoard_every: u64,
+}
+
+impl ChurnProfile {
+    /// Generates the op stream: a warmup that builds the live heap, then
+    /// steady-state churn until `total_churn` bytes have been freed.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Vec<Op> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut ops = Vec::new();
+        let mut live: Vec<(ObjId, u64)> = Vec::new();
+        let mut free_slots: Vec<ObjId> = Vec::new();
+        let mut next_slot: ObjId = 0;
+        let mut live_bytes: u64 = 0;
+        let mut churned: u64 = 0;
+        let mut step: u64 = 0;
+
+        let mut alloc = |ops: &mut Vec<Op>,
+                         rng: &mut SmallRng,
+                         live: &mut Vec<(ObjId, u64)>,
+                         free_slots: &mut Vec<ObjId>,
+                         live_bytes: &mut u64| {
+            let size = self.obj_size.sample(rng);
+            let obj = free_slots.pop().unwrap_or_else(|| {
+                let s = next_slot;
+                next_slot += 1;
+                s
+            });
+            ops.push(Op::Alloc { obj, size });
+            ops.push(Op::WriteData { obj, len: size.min(2048) });
+            live.push((obj, size));
+            *live_bytes += size;
+        };
+
+        // Warmup: build the live heap.
+        while live_bytes < self.target_heap {
+            alloc(&mut ops, &mut rng, &mut live, &mut free_slots, &mut live_bytes);
+        }
+        // Steady state: churn until the freed-byte budget is spent.
+        // Compute is interleaved in small chunks between accesses so the
+        // application's pointer loads spread across the revoker's
+        // concurrent window (as a real mutator's do), rather than arriving
+        // in one burst.
+        let access_ops =
+            2 + self.links_per_step as u64 + self.chases_per_step as u64 + self.reads_per_step as u64;
+        let chunk = self.compute_per_step / access_ops.max(1);
+        // Recently-written pointer slots: chases follow real pointers so
+        // they load tagged granules (and hence exercise the load barrier).
+        let mut hot_links: Vec<(ObjId, u64)> = Vec::new();
+        while churned < self.total_churn && !live.is_empty() {
+            step += 1;
+            let compute = |ops: &mut Vec<Op>| {
+                if chunk > 0 {
+                    ops.push(Op::Compute { cycles: chunk });
+                }
+            };
+            // Free a (mostly random) victim, then replace it.
+            compute(&mut ops);
+            let idx = rng.gen_range(0..live.len());
+            let (victim, vsize) = live.swap_remove(idx);
+            ops.push(Op::Free { obj: victim });
+            free_slots.push(victim);
+            live_bytes -= vsize;
+            churned += vsize;
+            hot_links.retain(|&(o, _)| o != victim);
+            compute(&mut ops);
+            alloc(&mut ops, &mut rng, &mut live, &mut free_slots, &mut live_bytes);
+
+            for _ in 0..self.links_per_step {
+                compute(&mut ops);
+                let from = live[rng.gen_range(0..live.len())].0;
+                let to = live[rng.gen_range(0..live.len())].0;
+                let slot = rng.gen_range(0..64);
+                ops.push(Op::LinkPtr { from, slot, to });
+                if hot_links.len() >= 512 {
+                    let i = rng.gen_range(0..hot_links.len());
+                    hot_links.swap_remove(i);
+                }
+                hot_links.push((from, slot));
+            }
+            for _ in 0..self.chases_per_step {
+                compute(&mut ops);
+                // Chase a live pointer when one exists; cold fallback.
+                let (from, slot) = if hot_links.is_empty() {
+                    (live[rng.gen_range(0..live.len())].0, rng.gen_range(0..64))
+                } else {
+                    hot_links[rng.gen_range(0..hot_links.len())]
+                };
+                ops.push(Op::ChasePtr { from, slot });
+            }
+            for _ in 0..self.reads_per_step {
+                compute(&mut ops);
+                let obj = live[rng.gen_range(0..live.len())].0;
+                ops.push(Op::ReadData { obj, len: self.read_len });
+            }
+            if self.hoard_every > 0 && step.is_multiple_of(self.hoard_every) {
+                let obj = live[rng.gen_range(0..live.len())].0;
+                ops.push(Op::SyscallHoard { obj });
+            }
+        }
+        ops
+    }
+
+    /// The number of root-table slots the generated stream needs.
+    #[must_use]
+    pub fn max_objects(&self) -> u64 {
+        // Live set plus slack for quarantined slots in flight.
+        (self.target_heap / self.obj_size.approx_mean().max(16) + 64) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChurnProfile {
+        ChurnProfile {
+            name: "tiny",
+            target_heap: 64 << 10,
+            total_churn: 256 << 10,
+            obj_size: SizeDist { min: 256, max: 4096 },
+            links_per_step: 2,
+            chases_per_step: 2,
+            reads_per_step: 1,
+            read_len: 256,
+            compute_per_step: 10_000,
+            hoard_every: 50,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = tiny();
+        assert_eq!(p.generate(7), p.generate(7));
+        assert_ne!(p.generate(7), p.generate(8));
+    }
+
+    #[test]
+    fn churn_budget_is_respected() {
+        let p = tiny();
+        let ops = p.generate(1);
+        let frees = ops.iter().filter(|o| matches!(o, Op::Free { .. })).count();
+        let mean = p.obj_size.approx_mean();
+        let implied = frees as u64 * mean;
+        assert!(implied >= p.total_churn / 2, "freed ~{implied} of {}", p.total_churn);
+        assert!(implied <= p.total_churn * 3, "freed ~{implied} of {}", p.total_churn);
+    }
+
+    #[test]
+    fn allocs_exceed_frees_by_live_set() {
+        let p = tiny();
+        let ops = p.generate(1);
+        let allocs = ops.iter().filter(|o| matches!(o, Op::Alloc { .. })).count();
+        let frees = ops.iter().filter(|o| matches!(o, Op::Free { .. })).count();
+        assert!(allocs > frees);
+        let mean = p.obj_size.approx_mean();
+        let live_estimate = (allocs - frees) as u64 * mean;
+        assert!(live_estimate >= p.target_heap / 2);
+        assert!(live_estimate <= p.target_heap * 3);
+    }
+
+    #[test]
+    fn size_dist_sampling_stays_in_range() {
+        let d = SizeDist { min: 100, max: 10_000 };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((100..=10_000).contains(&s));
+        }
+        assert_eq!(SizeDist::fixed(64).sample(&mut rng), 64);
+    }
+
+    #[test]
+    fn runs_clean_under_the_simulator() {
+        use morello_sim::{Condition, SimConfig, System};
+        // Large enough that the background sweep cannot finish before the
+        // application's next pointer load: faults must occur.
+        let p = ChurnProfile {
+            target_heap: 1 << 20,
+            total_churn: 4 << 20,
+            compute_per_step: 20_000,
+            chases_per_step: 4,
+            ..tiny()
+        };
+        let cfg = SimConfig {
+            condition: Condition::reloaded(),
+            min_quarantine: 128 << 10,
+            max_objects: p.max_objects(),
+            ..SimConfig::default()
+        };
+        let stats = System::new(cfg).run(p.generate(5)).unwrap();
+        assert!(stats.revocations > 0);
+        assert!(stats.faults > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Import real allocator logs as workloads.
+//!
+//! Many heap-profiling tools (and simple `LD_PRELOAD` shims) emit lines of
+//! the form:
+//!
+//! ```text
+//! malloc(100) = 0x4f001200
+//! calloc(4, 32) = 0x4f001400
+//! realloc(0x4f001200, 300) = 0x4f002000
+//! free(0x4f001400)
+//! ```
+//!
+//! [`import_malloc_log`] converts such a log into a simulator op stream:
+//! pointers become root-table slots, `realloc` becomes alloc+copy+free, and
+//! a fixed compute budget is inserted between events to stand in for the
+//! application work the log does not record. The result can be replayed
+//! under any revocation strategy — the closest this reproduction can get
+//! to "run your own workload against Cornucopia Reloaded".
+
+use morello_sim::{ObjId, Op};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from malloc-log parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// `free`/`realloc` referenced a pointer with no live allocation.
+    UnknownPointer {
+        /// 1-based line number.
+        line: usize,
+        /// The pointer value.
+        ptr: u64,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Parse { line, text } => write!(f, "line {line}: cannot parse {text:?}"),
+            ImportError::UnknownPointer { line, ptr } => {
+                write!(f, "line {line}: free/realloc of unknown pointer {ptr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Options for [`import_malloc_log`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImportOptions {
+    /// Compute cycles inserted between allocator events (application work
+    /// the log does not record).
+    pub compute_between_events: u64,
+    /// Touch newly allocated memory with a write of up to this many bytes.
+    pub touch_bytes: u64,
+}
+
+impl Default for ImportOptions {
+    fn default() -> Self {
+        ImportOptions { compute_between_events: 20_000, touch_bytes: 4096 }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parses a malloc/calloc/realloc/free log into an op stream.
+///
+/// Returns the ops and the number of root-table slots required (pass it as
+/// `SimConfig::max_objects`).
+pub fn import_malloc_log(log: &str, opts: ImportOptions) -> Result<(Vec<Op>, u64), ImportError> {
+    let mut ops = Vec::new();
+    let mut live: HashMap<u64, ObjId> = HashMap::new();
+    let mut free_slots: Vec<ObjId> = Vec::new();
+    let mut next_slot: ObjId = 0;
+    let mut take_slot = |free_slots: &mut Vec<ObjId>| -> ObjId {
+        free_slots.pop().unwrap_or_else(|| {
+            let s = next_slot;
+            next_slot += 1;
+            s
+        })
+    };
+
+    for (i, raw) in log.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || ImportError::Parse { line: lineno, text: line.to_string() };
+        let (call, rest) = line.split_once('(').ok_or_else(bad)?;
+        let (args, tail) = rest.split_once(')').ok_or_else(bad)?;
+        let result = tail.trim().strip_prefix('=').map(str::trim);
+        if opts.compute_between_events > 0 && !ops.is_empty() {
+            ops.push(Op::Compute { cycles: opts.compute_between_events });
+        }
+        match call.trim() {
+            "malloc" | "calloc" => {
+                let size = if call.trim() == "calloc" {
+                    let (n, sz) = args.split_once(',').ok_or_else(bad)?;
+                    parse_u64(n).zip(parse_u64(sz)).map(|(a, b)| a * b).ok_or_else(bad)?
+                } else {
+                    parse_u64(args).ok_or_else(bad)?
+                };
+                let ptr = result.and_then(parse_u64).ok_or_else(bad)?;
+                let obj = take_slot(&mut free_slots);
+                ops.push(Op::Alloc { obj, size: size.max(1) });
+                if opts.touch_bytes > 0 {
+                    ops.push(Op::WriteData { obj, len: size.clamp(1, opts.touch_bytes) });
+                }
+                live.insert(ptr, obj);
+            }
+            "realloc" => {
+                let (old, sz) = args.split_once(',').ok_or_else(bad)?;
+                let old_ptr = parse_u64(old).ok_or_else(bad)?;
+                let size = parse_u64(sz).ok_or_else(bad)?;
+                let new_ptr = result.and_then(parse_u64).ok_or_else(bad)?;
+                let old_obj = if old_ptr == 0 {
+                    None
+                } else {
+                    Some(
+                        live.remove(&old_ptr)
+                            .ok_or(ImportError::UnknownPointer { line: lineno, ptr: old_ptr })?,
+                    )
+                };
+                let obj = take_slot(&mut free_slots);
+                ops.push(Op::Alloc { obj, size: size.max(1) });
+                if let Some(old_obj) = old_obj {
+                    // Copy then release, as realloc does.
+                    ops.push(Op::ReadData { obj: old_obj, len: size.max(1) });
+                    ops.push(Op::WriteData { obj, len: size.clamp(1, opts.touch_bytes.max(1)) });
+                    ops.push(Op::Free { obj: old_obj });
+                    free_slots.push(old_obj);
+                }
+                live.insert(new_ptr, obj);
+            }
+            "free" => {
+                let ptr = parse_u64(args).ok_or_else(bad)?;
+                if ptr == 0 {
+                    continue; // free(NULL) is a no-op
+                }
+                let obj = live
+                    .remove(&ptr)
+                    .ok_or(ImportError::UnknownPointer { line: lineno, ptr })?;
+                ops.push(Op::Free { obj });
+                free_slots.push(obj);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok((ops, next_slot.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morello_sim::{Condition, SimConfig, System};
+
+    const LOG: &str = "\
+# a tiny session
+malloc(100) = 0x1000
+calloc(4, 32) = 0x2000
+realloc(0x1000, 300) = 0x3000
+free(0x2000)
+free(0)
+free(0x3000)
+";
+
+    #[test]
+    fn parses_the_standard_forms() {
+        let (ops, slots) = import_malloc_log(LOG, ImportOptions::default()).unwrap();
+        let allocs = ops.iter().filter(|o| matches!(o, Op::Alloc { .. })).count();
+        let frees = ops.iter().filter(|o| matches!(o, Op::Free { .. })).count();
+        assert_eq!(allocs, 3); // malloc + calloc + realloc's new block
+        assert_eq!(frees, 3); // realloc's old block + two frees
+        assert!(slots >= 2);
+    }
+
+    #[test]
+    fn replays_under_the_simulator() {
+        let (ops, slots) = import_malloc_log(LOG, ImportOptions::default()).unwrap();
+        let cfg = SimConfig {
+            condition: Condition::reloaded(),
+            max_objects: slots,
+            ..SimConfig::default()
+        };
+        let stats = System::new(cfg).run(ops).unwrap();
+        assert_eq!(stats.frees, 3);
+    }
+
+    #[test]
+    fn rejects_double_free_with_line_number() {
+        let log = "malloc(8) = 0x10\nfree(0x10)\nfree(0x10)\n";
+        match import_malloc_log(log, ImportOptions::default()) {
+            Err(ImportError::UnknownPointer { line: 3, ptr: 0x10 }) => {}
+            other => panic!("expected UnknownPointer at line 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let log = "malloc(8) = 0x10\nmunmap(0x10)\n";
+        assert!(matches!(
+            import_malloc_log(log, ImportOptions::default()),
+            Err(ImportError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn pointer_values_may_be_decimal_or_hex() {
+        let log = "malloc(16) = 4096\nfree(0x1000)\n";
+        let (ops, _) = import_malloc_log(log, ImportOptions::default()).unwrap();
+        assert_eq!(ops.iter().filter(|o| matches!(o, Op::Free { .. })).count(), 1);
+    }
+
+    #[test]
+    fn realloc_null_acts_like_malloc() {
+        let log = "realloc(0, 64) = 0x1000\nfree(0x1000)\n";
+        let (ops, _) = import_malloc_log(log, ImportOptions::default()).unwrap();
+        assert_eq!(ops.iter().filter(|o| matches!(o, Op::Alloc { .. })).count(), 1);
+        assert_eq!(ops.iter().filter(|o| matches!(o, Op::Free { .. })).count(), 1);
+    }
+}

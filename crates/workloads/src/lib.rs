@@ -1,0 +1,83 @@
+//! Synthetic surrogates for the paper's evaluation workloads (§5).
+//!
+//! The real evaluation runs CHERI-compiled SPEC CPU2006 INT binaries,
+//! PostgreSQL under `pgbench`, and the gRPC QPS benchmark on Morello.
+//! None of those can run here, but the revokers only ever observe a
+//! workload through its *allocation and pointer behaviour*: heap size,
+//! free rate, object sizes, pointer-store density, pointer-chase rate, and
+//! idle time. Each surrogate reproduces those observables, calibrated to
+//! the paper's Table 2 (revocation-rate statistics) and Figure 3 (heap
+//! footprints), at **1/64 memory scale** ([`MEM_SCALE`]).
+//!
+//! | Surrogate | Calibration source |
+//! |---|---|
+//! | [`SpecProgram`] profiles | Table 2 (mean alloc, sum freed, revocations) + §5.4's pointer-chase characterization |
+//! | [`pgbench`] | §5.2: scale-10 TPC-B-like transactions, ~50% server idle, ~5 statements/tx |
+//! | [`grpc_qps`] | §5.3: 2 server threads sharing cores with the revoker |
+//!
+//! # Example
+//!
+//! ```
+//! use morello_sim::{Condition, System};
+//! use workloads::{spec, SpecProgram};
+//!
+//! let mut w = spec(SpecProgram::GobmkTrevord, 42);
+//! w.scale_churn(0.05); // tiny smoke run
+//! w.config.condition = Condition::reloaded();
+//! let stats = System::new(w.config.clone()).run(w.ops.clone()).unwrap();
+//! assert!(stats.frees > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod filecopy;
+mod import;
+mod interactive;
+mod spec;
+
+pub use churn::{ChurnProfile, SizeDist};
+pub use filecopy::{file_copy, FileCopyParams};
+pub use import::{import_malloc_log, ImportError, ImportOptions};
+pub use interactive::{grpc_qps, pgbench, GrpcParams, PgbenchParams};
+pub use spec::{spec, SpecProgram, SPEC_PROGRAMS};
+
+use morello_sim::{Op, SimConfig};
+
+/// Memory scale factor relative to the paper: all byte quantities
+/// (heaps, churn, quarantine floor) are divided by this.
+pub const MEM_SCALE: u64 = 64;
+
+/// A generated workload: the op stream plus a [`SimConfig`] pre-tuned for
+/// it (arena size, quarantine floor, thread/core placement). Callers set
+/// `config.condition` and run.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// Workload name (figure row label).
+    pub name: String,
+    /// The operation stream.
+    pub ops: Vec<Op>,
+    /// Simulator configuration tuned for this workload.
+    pub config: SimConfig,
+}
+
+impl GeneratedWorkload {
+    /// Truncates the op stream to roughly `fraction` of its transactions/
+    /// steps (for smoke tests and fast CI runs). Keeps whole transactions.
+    pub fn scale_churn(&mut self, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let keep = (self.ops.len() as f64 * fraction) as usize;
+        // Never cut inside a transaction: extend to the next TxEnd.
+        let mut end = keep.min(self.ops.len());
+        while end < self.ops.len() {
+            end += 1;
+            if matches!(self.ops[end - 1], Op::TxEnd { .. }) {
+                break;
+            }
+        }
+        self.ops.truncate(end);
+        // Drop trailing ops that reference objects but keep frees balanced:
+        // the simulator tolerates leaks, so truncation is safe.
+    }
+}

@@ -1,0 +1,71 @@
+//! The CHERI + memory-coloring composition (paper §7.3).
+//!
+//! Plain quarantine leaves a gap between use-after-free and
+//! use-after-reallocation: a dangling pointer keeps working (against the
+//! old object) until the next revocation pass. The §7.3 composition closes
+//! it: `free` re-colors the storage, so every stale capability dies *at
+//! free time* — and because reuse no longer waits for revocation,
+//! revocation runs ~16x less often.
+//!
+//! Run with: `cargo run --example memory_coloring`
+
+use cheri_alloc::ColoredMrs;
+use cornucopia_reloaded::prelude::*;
+
+fn main() {
+    let mut machine = Machine::new(4);
+    let layout = HeapLayout::new(0x4000_0000, 32 << 20);
+    let mut revoker = Revoker::new(
+        RevokerConfig { strategy: Strategy::Reloaded, ..RevokerConfig::default() },
+        layout.base,
+        layout.total_len,
+    );
+    let mut heap = ColoredMrs::new(layout, 16, 1 << 20);
+
+    // -- Allocate: the capability carries its storage's color -----------
+    let keeper = heap.alloc(&mut machine, 3, 64).unwrap().cap;
+    let p = heap.alloc(&mut machine, 3, 1024).unwrap().cap;
+    println!("allocated:  {p}  (color {})", p.color());
+    machine.store_cap(3, &keeper, p).unwrap(); // the attacker's alias
+
+    // -- Free: stale pointers die instantly, storage recycles instantly --
+    heap.free(&mut machine, &mut revoker, 3, p).unwrap();
+    let (stale, _) = machine.load_cap(3, &keeper).unwrap();
+    let err = machine.read_data(3, &stale, 8).unwrap_err();
+    println!("after free: dereference fails immediately: {err}");
+    assert!(matches!(err, VmFault::ColorMismatch { .. }));
+
+    let q = heap.alloc(&mut machine, 3, 1024).unwrap().cap;
+    println!("reused:     {q}  (color {}) — same storage, no revocation pass", q.color());
+    assert_eq!(q.base(), p.base());
+    assert_eq!(q.color(), p.color() + 1);
+
+    // Stores through the stale pointer are silently discarded: the new
+    // owner's data cannot be corrupted.
+    machine.write_data(3, &q, 1024).unwrap();
+    machine.mem_mut().phys_mut().write_u64(q.base(), 0x1a1a_1a1a);
+    let _ = machine.write_data(3, &stale, 8); // discarded
+    println!("discarded stores so far: {}", machine.vm_stats().discarded_stores);
+
+    // -- Revocation pressure drops ~16x ----------------------------------
+    let mut passes = 0;
+    for _ in 0..600 {
+        let t = heap.alloc(&mut machine, 3, 8 << 10).unwrap().cap;
+        let e = heap.free(&mut machine, &mut revoker, 3, t).unwrap();
+        if e.trigger_revocation {
+            passes += 1;
+            revoker.start_epoch(&mut machine);
+            while revoker.is_revoking() {
+                revoker.background_step(&mut machine, 10_000_000);
+            }
+            heap.poll_release(&mut machine, &mut revoker, 3);
+        }
+    }
+    let s = heap.stats();
+    println!(
+        "600 churn cycles: {} immediate recycles, {} exhausted-quarantines, {passes} revocation pass(es)",
+        s.immediate_recycles, s.exhausted_quarantines
+    );
+    assert!(s.immediate_recycles > s.exhausted_quarantines * 10);
+    println!("\nmemory_coloring OK");
+}

@@ -1,0 +1,73 @@
+//! Reservation-backed `mmap`/`munmap` (paper §6.2).
+//!
+//! snmalloc never returns address space, but programs that `mmap` files or
+//! buffers and `munmap` them create a temporal-safety hole *outside* the
+//! malloc heap. This example demonstrates the paper's two-part fix:
+//!
+//! 1. partial unmaps become guard pages — the hole can never be refilled
+//!    by an unrelated mapping;
+//! 2. fully-unmapped reservations are quarantined and swept like heap
+//!    memory before their address space is recycled.
+//!
+//! Run with: `cargo run --example mmap_reservations`
+
+use cornucopia_reloaded::prelude::*;
+
+fn main() {
+    let mut machine = Machine::new(4);
+    let mut revoker = Revoker::new(
+        RevokerConfig { strategy: Strategy::Reloaded, ..RevokerConfig::default() },
+        0x4000_0000,
+        64 << 20,
+    );
+    let mut space = MmapSpace::new(0x4000_0000, 64 << 20);
+
+    // A program maps a 4-page buffer (think: a file being copied).
+    let buf = space.mmap(&mut machine, 4 * 4096).unwrap();
+    machine.write_data(3, &buf, 4 * 4096).unwrap();
+    println!("mapped:      {buf}");
+
+    // -- Partial unmap: the hole is guarded -----------------------------
+    space.munmap(&mut machine, &mut revoker, 3, buf.base() + 4096, 4096).unwrap();
+    let hole = buf.set_addr(buf.base() + 4096);
+    let err = machine.read_data(3, &hole, 8).unwrap_err();
+    println!("hole access: faults as expected ({err})");
+    // No new mapping can land in the hole.
+    let other = space.mmap(&mut machine, 4096).unwrap();
+    assert!(other.base() >= buf.top() || other.top() <= buf.base());
+    println!("new mmap:    placed at {:#x}, outside the reservation", other.base());
+
+    // -- Full unmap: reservation quarantined ----------------------------
+    // Another mapping hoards a pointer into the buffer first.
+    machine.store_cap(3, &other, buf).unwrap();
+    for page in 0..4u64 {
+        let a = buf.base() + page * 4096;
+        if machine.is_mapped(a) {
+            space.munmap(&mut machine, &mut revoker, 3, a, 4096).unwrap();
+        }
+    }
+    println!("unmapped:    reservation quarantined ({} bytes)", space.quarantined_bytes());
+    assert!(space.quarantined_bytes() > 0);
+
+    // Address space is NOT recycled before a revocation pass...
+    let before = space.mmap(&mut machine, 4 * 4096).unwrap();
+    assert_ne!(before.base(), buf.base());
+
+    // ...and the stale pointer is revoked by the pass.
+    revoker.start_epoch(&mut machine);
+    while revoker.is_revoking() {
+        if revoker.background_step(&mut machine, 100_000) == StepOutcome::NeedsFinalStw {
+            revoker.finish_stw(&mut machine, 1);
+        }
+    }
+    space.poll_release(&mut machine, &mut revoker, 3);
+    let (stale, _) = machine.load_cap(3, &other).unwrap();
+    assert!(!stale.is_tagged(), "pointer into the dead reservation must be revoked");
+    println!("after epoch: stale pointer revoked, {} bytes still quarantined", space.quarantined_bytes());
+
+    // Now the address space comes back.
+    let recycled = space.mmap(&mut machine, 4 * 4096).unwrap();
+    assert_eq!(recycled.base(), buf.base());
+    println!("recycled:    {recycled}");
+    println!("\nmmap_reservations OK");
+}

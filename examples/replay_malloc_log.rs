@@ -1,0 +1,82 @@
+//! Replay a real allocator log against every revocation strategy.
+//!
+//! Takes a `malloc(..) = ptr / free(ptr)` style log (a built-in sample is
+//! used when no path is given), converts it into a workload with
+//! `workloads::import_malloc_log`, and reports each strategy's cost on it.
+//!
+//! Run with: `cargo run --release --example replay_malloc_log [log-file]`
+
+use cornucopia_reloaded::prelude::*;
+use workloads::{import_malloc_log, ImportOptions};
+
+/// A synthetic "session" in the common shim-log format: a server-ish mix
+/// of short-lived buffers over a persistent arena.
+fn sample_log() -> String {
+    let mut log = String::new();
+    let mut ptr = 0x1000u64;
+    let mut live: Vec<u64> = Vec::new();
+    for round in 0..400 {
+        for _ in 0..4 {
+            ptr += 0x100;
+            log.push_str(&format!("malloc({}) = {ptr:#x}\n", 512 + (round % 7) * 640));
+            live.push(ptr);
+        }
+        if round % 3 == 0 && live.len() > 6 {
+            let p = live.remove(round % live.len());
+            log.push_str(&format!("realloc({p:#x}, 8192) = {:#x}\n", p + 0x10_0000));
+            live.push(p + 0x10_0000);
+        }
+        while live.len() > 24 {
+            let p = live.remove((round * 7) % live.len());
+            log.push_str(&format!("free({p:#x})\n"));
+        }
+    }
+    for p in live {
+        log.push_str(&format!("free({p:#x})\n"));
+    }
+    log
+}
+
+fn main() {
+    let log = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).expect("read log file"),
+        None => sample_log(),
+    };
+    let (ops, slots) = match import_malloc_log(&log, ImportOptions::default()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("import failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("imported {} allocator events -> {} ops, {slots} slots\n", log.lines().count(), ops.len());
+    println!(
+        "{:<12} {:>10} {:>6} {:>8} {:>12} {:>10}",
+        "condition", "wall (ms)", "revs", "faults", "max pause", "DRAM txns"
+    );
+    for cond in [
+        Condition::baseline(),
+        Condition::paint_sync(),
+        Condition::cherivoke(),
+        Condition::cornucopia(),
+        Condition::reloaded(),
+    ] {
+        let cfg = SimConfig {
+            condition: cond,
+            max_objects: slots,
+            min_quarantine: 64 << 10,
+            ..SimConfig::default()
+        };
+        let s = System::new(cfg).run(ops.clone()).unwrap();
+        println!(
+            "{:<12} {:>10.2} {:>6} {:>8} {:>9.3}ms {:>10}",
+            cond.label(),
+            s.wall_ms(),
+            s.revocations,
+            s.faults,
+            s.pauses.iter().copied().max().unwrap_or(0) as f64 / 2.5e6,
+            s.total_dram(),
+        );
+    }
+    println!("\nreplay_malloc_log OK");
+}

@@ -1,0 +1,64 @@
+//! # Cornucopia Reloaded — a simulation-based reproduction
+//!
+//! This workspace reproduces *Cornucopia Reloaded: Load Barriers for CHERI
+//! Heap Temporal Safety* (Filardo et al., ASPLOS 2024) as a pure-Rust,
+//! deterministic simulation. The paper's artifact is a CheriBSD kernel
+//! subsystem on Arm Morello silicon; here, every layer of that stack is
+//! modelled so the revocation algorithms themselves — CHERIvoke,
+//! Cornucopia, and Cornucopia Reloaded — run unmodified in spirit and can
+//! be measured the way the paper measures them.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`cheri_cap`] | CHERI capabilities: tags, bounds, monotonicity, compression |
+//! | [`cheri_mem`] | Tagged physical memory + cache/DRAM traffic model |
+//! | [`cheri_vm`] | MMU: PTEs with capability-dirty + load-generation bits, TLBs, faults |
+//! | [`cornucopia`] | **The paper's contribution**: bitmap, epochs, hoards, revokers |
+//! | [`cheri_alloc`] | snmalloc-lite + mrs quarantine shim + reservation mmap |
+//! | [`morello_sim`] | Discrete-event 4-core simulator, clocks, latency stats |
+//! | [`workloads`] | SPEC CPU2006 / pgbench / gRPC QPS surrogates |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cornucopia_reloaded::prelude::*;
+//!
+//! // Build a pgbench-like workload and run it under Cornucopia Reloaded.
+//! let mut w = workloads::pgbench(workloads::PgbenchParams {
+//!     transactions: 200,
+//!     ..Default::default()
+//! });
+//! w.config.condition = Condition::reloaded();
+//! let stats = System::new(w.config.clone()).run(w.ops).unwrap();
+//!
+//! assert_eq!(stats.tx_latencies.len(), 200);
+//! let lat = stats.latency_summary();
+//! assert!(lat.p50 <= lat.p99);
+//! ```
+//!
+//! See `examples/` for runnable demonstrations (use-after-free fail-stop,
+//! interactive latency, mmap reservations) and the `rev-bench` crate for
+//! one regenerator per table and figure in the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cheri_alloc;
+pub use cheri_cap;
+pub use cheri_mem;
+pub use cheri_vm;
+pub use cornucopia;
+pub use morello_sim;
+pub use workloads;
+
+/// The most commonly used types, re-exported.
+pub mod prelude {
+    pub use cheri_alloc::{ColoredMrs, HeapLayout, MmapSpace, Mrs, MrsConfig};
+    pub use cheri_cap::{Capability, Perms};
+    pub use cheri_vm::{Machine, MapFlags, VmFault};
+    pub use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
+    pub use morello_sim::{Condition, Op, RunStats, SimConfig, System};
+    pub use workloads;
+}
