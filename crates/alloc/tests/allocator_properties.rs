@@ -5,7 +5,8 @@ use cheri_alloc::{HeapLayout, Mrs, MrsConfig};
 use cheri_cap::Capability;
 use cheri_vm::Machine;
 use cornucopia::{Revoker, RevokerConfig, StepOutcome};
-use proptest::prelude::*;
+use simtest::check::{vec_of, Gen, GenExt, Just};
+use simtest::{oneof, sim_assert, sim_assert_eq};
 use std::collections::BTreeMap;
 
 fn stack(min_q: u64) -> (Machine, Revoker, Mrs) {
@@ -35,23 +36,22 @@ enum HeapOp {
     Epoch,
 }
 
-fn op_strategy() -> impl proptest::strategy::Strategy<Value = HeapOp> {
-    prop_oneof![
-        4 => (1u64..40_000).prop_map(|size| HeapOp::Alloc { size }),
-        3 => any::<usize>().prop_map(|victim| HeapOp::Free { victim }),
+fn op_strategy() -> impl Gen<Value = HeapOp> {
+    oneof![
+        4 => (1u64..40_000).gmap(|size| HeapOp::Alloc { size }),
+        3 => (0usize..=usize::MAX).gmap(|victim| HeapOp::Free { victim }),
         1 => Just(HeapOp::Epoch),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+simtest::props! {
+    #![config(simtest::Config { cases: 48, ..Default::default() })]
 
     /// Under any alloc/free/epoch interleaving:
     /// 1. live allocations never overlap;
     /// 2. freed storage is never handed out again before its release epoch;
     /// 3. every returned capability covers at least the requested size.
-    #[test]
-    fn allocator_invariants(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+    fn allocator_invariants(ops in vec_of(op_strategy(), 1..100)) {
         let (mut m, mut rev, mut heap) = stack(16 << 10);
         let mut live: Vec<Capability> = Vec::new();
         // base -> epoch at which the region was quarantined.
@@ -61,17 +61,17 @@ proptest! {
                 HeapOp::Alloc { size } => {
                     let Ok(a) = heap.alloc(&mut m, 0, size) else { continue };
                     let cap = a.cap;
-                    prop_assert!(cap.is_tagged());
-                    prop_assert!(cap.len() >= size.max(1), "short grant: {} < {size}", cap.len());
+                    sim_assert!(cap.is_tagged());
+                    sim_assert!(cap.len() >= size.max(1), "short grant: {} < {size}", cap.len());
                     for other in &live {
-                        prop_assert!(
+                        sim_assert!(
                             cap.top() <= other.base() || other.top() <= cap.base(),
                             "overlap: {cap} vs {other}"
                         );
                     }
                     // Reuse of quarantined storage before release = UAR window.
                     if let Some(&sealed) = quarantined.get(&cap.base()) {
-                        prop_assert!(
+                        sim_assert!(
                             rev.epoch() >= cornucopia::EpochClock::release_epoch(sealed),
                             "storage at {:#x} reused before its release epoch",
                             cap.base()
@@ -84,7 +84,7 @@ proptest! {
                     let cap = live.swap_remove(victim % live.len());
                     heap.free(&mut m, &mut rev, 0, cap).unwrap();
                     quarantined.insert(cap.base(), rev.epoch());
-                    prop_assert!(rev.bitmap().probe(cap.base()));
+                    sim_assert!(rev.bitmap().probe(cap.base()));
                 }
                 HeapOp::Free { .. } => {}
                 HeapOp::Epoch => {
@@ -100,14 +100,13 @@ proptest! {
         // Double-frees of stale capabilities must always be rejected.
         if let Some(first) = live.first().copied() {
             heap.free(&mut m, &mut rev, 0, first).unwrap();
-            prop_assert!(heap.free(&mut m, &mut rev, 0, first).is_err());
+            sim_assert!(heap.free(&mut m, &mut rev, 0, first).is_err());
         }
     }
 
     /// Quarantine accounting: quarantine_bytes equals the sum of freed
     /// region lengths and returns to zero after two epochs.
-    #[test]
-    fn quarantine_bytes_balance(sizes in proptest::collection::vec(16u64..8192, 1..24)) {
+    fn quarantine_bytes_balance(sizes in vec_of(16u64..8192, 1..24)) {
         let (mut m, mut rev, mut heap) = stack(1 << 30); // never auto-trigger
         let caps: Vec<Capability> =
             sizes.iter().map(|&s| heap.alloc(&mut m, 0, s).unwrap().cap).collect();
@@ -115,31 +114,30 @@ proptest! {
         for c in caps {
             heap.free(&mut m, &mut rev, 0, c).unwrap();
             expected += c.len().max(16).div_ceil(16) * 16; // class rounding lower bound
-            prop_assert!(heap.quarantine_bytes() >= expected, "quarantine under-counts");
+            sim_assert!(heap.quarantine_bytes() >= expected, "quarantine under-counts");
         }
         heap.seal(&rev);
         rev.start_epoch(&mut m);
         drain(&mut m, &mut rev);
         heap.poll_release(&mut m, &mut rev, 0);
-        prop_assert_eq!(heap.quarantine_bytes(), 0);
-        prop_assert_eq!(rev.bitmap().painted_granules(), 0, "release must unpaint fully");
+        sim_assert_eq!(heap.quarantine_bytes(), 0);
+        sim_assert_eq!(rev.bitmap().painted_granules(), 0, "release must unpaint fully");
     }
 
     /// allocated_bytes is conserved: allocs add, frees subtract, and the
     /// ledger ends at zero when everything is freed.
-    #[test]
-    fn allocated_bytes_ledger(sizes in proptest::collection::vec(1u64..20_000, 1..30)) {
+    fn allocated_bytes_ledger(sizes in vec_of(1u64..20_000, 1..30)) {
         let (mut m, mut rev, mut heap) = stack(1 << 30);
         let mut caps = Vec::new();
         for &s in &sizes {
             let before = heap.allocated_bytes();
             let cap = heap.alloc(&mut m, 0, s).unwrap().cap;
-            prop_assert!(heap.allocated_bytes() >= before + s.min(cap.len()));
+            sim_assert!(heap.allocated_bytes() >= before + s.min(cap.len()));
             caps.push(cap);
         }
         for c in caps {
             heap.free(&mut m, &mut rev, 0, c).unwrap();
         }
-        prop_assert_eq!(heap.allocated_bytes(), 0);
+        sim_assert_eq!(heap.allocated_bytes(), 0);
     }
 }

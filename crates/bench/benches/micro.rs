@@ -1,4 +1,6 @@
-//! Criterion micro-benchmarks for the revocation stack's primitives.
+//! Micro-benchmarks for the revocation stack's primitives (run with
+//! `cargo bench -p rev-bench`; `--quick` or `SIMBENCH_QUICK=1` collapses
+//! to a smoke run).
 //!
 //! These measure *host* performance of the simulation's hot paths — the
 //! quantities that bound how large a workload the harness can replay —
@@ -9,12 +11,12 @@ use cheri_cap::{compress, Capability, Perms};
 use cheri_vm::{MapFlags, Machine};
 use cheri_alloc::{HeapLayout, Mrs, MrsConfig};
 use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simtest::bench::{BatchSize, Harness};
 use std::hint::black_box;
 
 const HEAP: u64 = 0x4000_0000;
 
-fn bench_capability_ops(c: &mut Criterion) {
+fn bench_capability_ops(c: &mut Harness) {
     let root = Capability::new_root(HEAP, 1 << 30, Perms::rw());
     c.bench_function("cap/set_bounds", |b| {
         b.iter(|| black_box(root.set_bounds(black_box(HEAP + 0x1000), black_box(4096)).unwrap()))
@@ -43,7 +45,7 @@ fn machine_with_caps(pages: u64, caps_per_page: u64) -> (Machine, Capability) {
     (m, heap)
 }
 
-fn bench_bitmap(c: &mut Criterion) {
+fn bench_bitmap(c: &mut Harness) {
     let mut m = Machine::new(4);
     let mut rev = Revoker::new(RevokerConfig::default(), HEAP, 64 << 20);
     c.bench_function("bitmap/paint_4k", |b| {
@@ -55,7 +57,7 @@ fn bench_bitmap(c: &mut Criterion) {
     });
 }
 
-fn bench_sweep(c: &mut Criterion) {
+fn bench_sweep(c: &mut Harness) {
     c.bench_function("revoker/full_epoch_64_pages", |b| {
         b.iter_batched(
             || {
@@ -82,7 +84,7 @@ fn bench_sweep(c: &mut Criterion) {
     });
 }
 
-fn bench_load_fault(c: &mut Criterion) {
+fn bench_load_fault(c: &mut Harness) {
     c.bench_function("revoker/load_fault_heal", |b| {
         b.iter_batched(
             || {
@@ -112,7 +114,7 @@ fn bench_load_fault(c: &mut Criterion) {
     });
 }
 
-fn bench_alloc_free(c: &mut Criterion) {
+fn bench_alloc_free(c: &mut Harness) {
     c.bench_function("mrs/alloc_free_cycle", |b| {
         let mut m = Machine::new(4);
         let layout = HeapLayout::new(HEAP, 64 << 20);
@@ -147,7 +149,7 @@ fn bench_alloc_free(c: &mut Criterion) {
     });
 }
 
-fn bench_strategies_end_to_end(c: &mut Criterion) {
+fn bench_strategies_end_to_end(c: &mut Harness) {
     let mut group = c.benchmark_group("epoch_by_strategy");
     group.sample_size(10);
     for strategy in [Strategy::CheriVoke, Strategy::Cornucopia, Strategy::Reloaded] {
@@ -179,9 +181,16 @@ fn bench_strategies_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_capability_ops, bench_bitmap, bench_sweep, bench_load_fault, bench_alloc_free, bench_strategies_end_to_end
+fn main() {
+    let mut h = Harness::from_env();
+    h.sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    bench_capability_ops(&mut h);
+    bench_bitmap(&mut h);
+    bench_sweep(&mut h);
+    bench_load_fault(&mut h);
+    bench_alloc_free(&mut h);
+    bench_strategies_end_to_end(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

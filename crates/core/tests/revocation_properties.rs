@@ -12,7 +12,8 @@ use cheri_cap::{Capability, Perms, CAP_SIZE};
 use cheri_mem::PAGE_SIZE;
 use cheri_vm::{Machine, MapFlags, VmFault};
 use cornucopia::{HoardKind, Revoker, RevokerConfig, StepOutcome, Strategy as RevStrategy};
-use proptest::prelude::*;
+use simtest::check::{vec_of, CaseFailure, CaseResult, Gen, GenExt, Just};
+use simtest::{oneof, sim_assert, sim_assert_eq};
 use std::collections::HashSet;
 
 const HEAP: u64 = 0x4000_0000;
@@ -39,16 +40,16 @@ enum Act {
     Load { s: u64 },
 }
 
-fn act_strategy() -> impl Strategy<Value = Act> {
-    prop_oneof![
-        3 => ((0..OBJS), (0..OBJS * 4)).prop_map(|(o, s)| Act::Plant { o, s }),
-        2 => ((0..OBJS), (0usize..32)).prop_map(|(o, r)| Act::Stash { o, r }),
-        1 => (0..OBJS).prop_map(|o| Act::Hoard { o }),
-        2 => (0..OBJS).prop_map(|o| Act::Paint { o }),
+fn act_strategy() -> impl Gen<Value = Act> {
+    oneof![
+        3 => ((0..OBJS), (0..OBJS * 4)).gmap(|(o, s)| Act::Plant { o, s }),
+        2 => ((0..OBJS), (0usize..32)).gmap(|(o, r)| Act::Stash { o, r }),
+        1 => (0..OBJS).gmap(|o| Act::Hoard { o }),
+        2 => (0..OBJS).gmap(|o| Act::Paint { o }),
         2 => Just(Act::Begin),
-        3 => (10_000u64..500_000).prop_map(|budget| Act::Step { budget }),
+        3 => (10_000u64..500_000).gmap(|budget| Act::Step { budget }),
         2 => Just(Act::FinishStw),
-        3 => (0..OBJS * 4).prop_map(|s| Act::Load { s }),
+        3 => (0..OBJS * 4).gmap(|s| Act::Load { s }),
     ]
 }
 
@@ -61,7 +62,7 @@ fn slot_addr(s: u64) -> u64 {
     HEAP + PAGES * PAGE_SIZE / 2 + s * CAP_SIZE
 }
 
-fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> Result<(), TestCaseError> {
+fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> CaseResult {
     let mut m = Machine::new(2);
     m.map_range(HEAP, PAGES * PAGE_SIZE, MapFlags::user_rw()).unwrap();
     let heap = Capability::new_root(HEAP, PAGES * PAGE_SIZE, Perms::rw());
@@ -81,7 +82,7 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> Result<(), TestCaseError>
             let a = slot_addr(s);
             if m.mem().phys().tag(a) {
                 let cap = m.mem().phys().load_cap(a);
-                prop_assert!(
+                sim_assert!(
                     !doomed.contains(&cap.base()),
                     "doomed cap (base {:#x}) survived in memory slot {s}",
                     cap.base()
@@ -92,7 +93,7 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> Result<(), TestCaseError>
         for t in 0..m.num_threads() {
             for cap in m.regs(t).iter() {
                 if cap.is_tagged() {
-                    prop_assert!(
+                    sim_assert!(
                         !doomed.contains(&cap.base()),
                         "doomed cap survived in a register of thread {t}"
                     );
@@ -101,7 +102,7 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> Result<(), TestCaseError>
         }
         // Hoards.
         let (_, revoked) = rev.hoards_mut().scan(|c| doomed.contains(&c.base()));
-        prop_assert_eq!(revoked, 0, "doomed cap survived in a kernel hoard");
+        sim_assert_eq!(revoked, 0, "doomed cap survived in a kernel hoard");
         Ok(())
     };
 
@@ -174,13 +175,13 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> Result<(), TestCaseError>
                         Err(VmFault::CapLoadGeneration { vaddr }) => {
                             rev.handle_load_fault(&mut m, 0, vaddr);
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("unexpected fault {e}"))),
+                        Err(e) => return Err(CaseFailure::fail(format!("unexpected fault {e}"))),
                     }
                 };
                 // Reloaded's invariant: a load can never surface a cap
                 // doomed as of the current epoch once revocation began.
                 if strategy == RevStrategy::Reloaded && rev.is_revoking() && cap.is_tagged() {
-                    prop_assert!(
+                    sim_assert!(
                         !doomed.contains(&cap.base()),
                         "mid-epoch load divulged a doomed capability"
                     );
@@ -212,21 +213,40 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> Result<(), TestCaseError>
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// The shrunk counterexample proptest found historically (formerly the
+/// `revocation_properties.proptest-regressions` seed): an object painted,
+/// an epoch begun, and a capability for that same object planted and
+/// loaded back mid-epoch. The model must treat the post-paint plant as
+/// unreachable-by-a-correct-program and the epoch guarantee must hold for
+/// every strategy. Kept as an explicit test so the historical case is
+/// never silently dropped.
+#[test]
+fn regression_paint_begin_plant_load_interleaving() {
+    let acts = vec![
+        Act::Paint { o: 38 },
+        Act::Begin,
+        Act::Plant { o: 38, s: 0 },
+        Act::Load { s: 0 },
+    ];
+    for strategy in [RevStrategy::Reloaded, RevStrategy::Cornucopia, RevStrategy::CheriVoke] {
+        run_model(strategy, acts.clone()).unwrap_or_else(|e| {
+            panic!("historical Paint/Begin/Plant/Load counterexample regressed under {strategy:?}: {e:?}")
+        });
+    }
+}
 
-    #[test]
-    fn epoch_guarantee_reloaded(acts in proptest::collection::vec(act_strategy(), 1..120)) {
+simtest::props! {
+    #![config(simtest::Config { cases: 64, ..Default::default() })]
+
+    fn epoch_guarantee_reloaded(acts in vec_of(act_strategy(), 1..120)) {
         run_model(RevStrategy::Reloaded, acts)?;
     }
 
-    #[test]
-    fn epoch_guarantee_cornucopia(acts in proptest::collection::vec(act_strategy(), 1..120)) {
+    fn epoch_guarantee_cornucopia(acts in vec_of(act_strategy(), 1..120)) {
         run_model(RevStrategy::Cornucopia, acts)?;
     }
 
-    #[test]
-    fn epoch_guarantee_cherivoke(acts in proptest::collection::vec(act_strategy(), 1..120)) {
+    fn epoch_guarantee_cherivoke(acts in vec_of(act_strategy(), 1..120)) {
         run_model(RevStrategy::CheriVoke, acts)?;
     }
 }

@@ -3,7 +3,8 @@
 
 use cheri_cap::{Capability, Perms, CAP_SIZE};
 use cheri_mem::{MemSystem, PhysMem, PAGE_SIZE};
-use proptest::prelude::*;
+use simtest::check::{vec_of, Gen, GenExt};
+use simtest::{oneof, sim_assert, sim_assert_eq};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -15,23 +16,22 @@ enum MemOp {
     ReleasePage { page: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        (0u64..0x8000, 1u8..64).prop_map(|(addr, len)| MemOp::WriteBytes { addr, len }),
-        (0u64..0x800, 0x1000u64..0x9000).prop_map(|(slot, base)| MemOp::StoreCap { slot, base }),
-        (0u64..0x800).prop_map(|slot| MemOp::StoreUntagged { slot }),
-        (0u64..0x800).prop_map(|slot| MemOp::ClearTag { slot }),
-        (0u64..8).prop_map(|page| MemOp::ReleasePage { page }),
+fn op_strategy() -> impl Gen<Value = MemOp> {
+    oneof![
+        (0u64..0x8000, 1u8..64).gmap(|(addr, len)| MemOp::WriteBytes { addr, len }),
+        (0u64..0x800, 0x1000u64..0x9000).gmap(|(slot, base)| MemOp::StoreCap { slot, base }),
+        (0u64..0x800).gmap(|slot| MemOp::StoreUntagged { slot }),
+        (0u64..0x800).gmap(|slot| MemOp::ClearTag { slot }),
+        (0u64..8).gmap(|page| MemOp::ReleasePage { page }),
     ]
 }
 
-proptest! {
+simtest::props! {
     /// A shadow model of tag state agrees with the memory after any op
     /// sequence: tags are set only by tagged capability stores and are
     /// cleared by data writes, untagged stores, clear_tag, and page
     /// release.
-    #[test]
-    fn tags_follow_the_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+    fn tags_follow_the_shadow_model(ops in vec_of(op_strategy(), 1..120)) {
         let mut mem = PhysMem::new();
         let mut shadow: HashMap<u64, Option<Capability>> = HashMap::new();
         for op in ops {
@@ -71,10 +71,10 @@ proptest! {
         for (&addr, expected) in &shadow {
             match expected {
                 Some(cap) => {
-                    prop_assert!(mem.tag(addr), "tag lost at {addr:#x}");
-                    prop_assert_eq!(mem.load_cap(addr), *cap);
+                    sim_assert!(mem.tag(addr), "tag lost at {addr:#x}");
+                    sim_assert_eq!(mem.load_cap(addr), *cap);
                 }
-                None => prop_assert!(!mem.tag(addr), "phantom tag at {addr:#x}"),
+                None => sim_assert!(!mem.tag(addr), "phantom tag at {addr:#x}"),
             }
         }
         // The page enumeration agrees with the shadow's tagged set.
@@ -84,42 +84,39 @@ proptest! {
                 .iter()
                 .filter(|(&a, c)| a / PAGE_SIZE == page && c.is_some())
                 .count();
-            prop_assert_eq!(mem.tagged_caps_in_page(base).len(), expected, "page {}", page);
+            sim_assert_eq!(mem.tagged_caps_in_page(base).len(), expected, "page {}", page);
         }
     }
 
     /// Data written is data read back, across arbitrary page-crossing
     /// extents.
-    #[test]
-    fn data_roundtrip(addr in 0u64..0x10000, data in proptest::collection::vec(any::<u8>(), 1..512)) {
+    fn data_roundtrip(addr in 0u64..0x10000, data in vec_of(0u8..=u8::MAX, 1..512)) {
         let mut mem = PhysMem::new();
         mem.write_bytes(addr, &data);
         let mut back = vec![0u8; data.len()];
         mem.read_bytes(addr, &mut back);
-        prop_assert_eq!(back, data);
+        sim_assert_eq!(back, data);
     }
 
     /// Residency accounting: resident bytes equal the number of distinct
     /// pages ever touched by a write (and peak never decreases).
-    #[test]
-    fn residency_counts_touched_pages(writes in proptest::collection::vec((0u64..64, 1u8..255), 1..40)) {
+    fn residency_counts_touched_pages(writes in vec_of((0u64..64, 1u8..255), 1..40)) {
         let mut mem = PhysMem::new();
         let mut pages = std::collections::HashSet::new();
         let mut last_peak = 0;
         for (page, byte) in writes {
             mem.write_bytes(page * PAGE_SIZE + 8, &[byte]);
             pages.insert(page);
-            prop_assert_eq!(mem.resident_bytes(), pages.len() as u64 * PAGE_SIZE);
-            prop_assert!(mem.peak_resident_bytes() >= last_peak);
+            sim_assert_eq!(mem.resident_bytes(), pages.len() as u64 * PAGE_SIZE);
+            sim_assert!(mem.peak_resident_bytes() >= last_peak);
             last_peak = mem.peak_resident_bytes();
         }
     }
 
     /// The cache hierarchy never changes what memory returns — only the
     /// traffic accounting differs between hot and cold accesses.
-    #[test]
     fn caching_is_semantically_transparent(
-        addrs in proptest::collection::vec(0u64..0x4000, 1..60),
+        addrs in vec_of(0u64..0x4000, 1..60),
     ) {
         let mut sys = MemSystem::new(2);
         let cap = Capability::new_root(0x100, 32, Perms::rw());
@@ -127,7 +124,7 @@ proptest! {
             let slot = (a / CAP_SIZE) * CAP_SIZE;
             sys.store_cap(i % 2, slot, cap);
             let (got, _) = sys.load_cap((i + 1) % 2, slot);
-            prop_assert_eq!(got, cap);
+            sim_assert_eq!(got, cap);
         }
     }
 }

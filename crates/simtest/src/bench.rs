@@ -1,0 +1,351 @@
+//! A small wall-clock benchmark harness (the in-tree `criterion`
+//! replacement for `[[bench]]` targets with `harness = false`).
+//!
+//! Measurement model: after a warmup that estimates per-iteration cost,
+//! each benchmark collects `sample_size` samples, each of enough
+//! iterations to fill its share of the measurement budget; the report
+//! shows min / median / mean per-iteration time. `--quick` (or
+//! `SIMBENCH_QUICK=1`) collapses to a single tiny sample so CI can prove
+//! every benchmark still runs without paying measurement time. A
+//! positional command-line argument filters benchmarks by substring, as
+//! `cargo bench -- <filter>` does.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (API-compatible subset of
+/// criterion's `BatchSize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many routine calls per setup-timed block.
+    SmallInput,
+    /// Large inputs: one routine call per setup.
+    LargeInput,
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: u32,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+/// One benchmark's collected samples (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (group prefix included).
+    pub name: String,
+    /// Per-iteration time of each sample, in nanoseconds.
+    pub ns_per_iter: Vec<f64>,
+    /// Total iterations executed across all samples.
+    pub iterations: u64,
+}
+
+impl BenchResult {
+    fn summary(&self) -> (f64, f64, f64) {
+        let mut sorted = self.ns_per_iter.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted.first().copied().unwrap_or(f64::NAN);
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(f64::NAN);
+        let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+        (min, median, mean)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// The measurement context handed to each benchmark closure.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    quick: bool,
+    result: &'a mut BenchResult,
+}
+
+impl Bencher<'_> {
+    fn budget(&self) -> (u32, Duration, Duration) {
+        if self.quick {
+            (1, Duration::from_millis(1), Duration::ZERO)
+        } else {
+            (self.settings.sample_size, self.settings.measurement, self.settings.warm_up)
+        }
+    }
+
+    /// Times `f` in a tight loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let (samples, measurement, warm_up) = self.budget();
+        // Warmup: run until the warmup budget elapses, counting iters to
+        // estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warm_up {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let per_sample_ns = measurement.as_nanos() as f64 / f64::from(samples);
+        let iters_per_sample = ((per_sample_ns / est_ns) as u64).max(1);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed().as_nanos() as f64;
+            self.result.ns_per_iter.push(dt / iters_per_sample as f64);
+            self.result.iterations += iters_per_sample;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let (samples, measurement, warm_up) = self.budget();
+        let batch: u64 = match size {
+            BatchSize::SmallInput => {
+                if self.quick {
+                    1
+                } else {
+                    16
+                }
+            }
+            BatchSize::LargeInput => 1,
+        };
+        // Warmup one batch to estimate routine cost.
+        let mut est_ns = 1.0f64;
+        {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for i in inputs {
+                std::hint::black_box(routine(i));
+            }
+            est_ns = est_ns.max(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let _ = warm_up; // batched warmup is the single estimation batch
+        let per_sample_ns = measurement.as_nanos() as f64 / f64::from(samples);
+        let batches_per_sample = ((per_sample_ns / (est_ns * batch as f64)) as u64).max(1);
+        for _ in 0..samples {
+            let mut elapsed = Duration::ZERO;
+            let mut iters: u64 = 0;
+            for _ in 0..batches_per_sample {
+                let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+                let t = Instant::now();
+                for i in inputs {
+                    std::hint::black_box(routine(i));
+                }
+                elapsed += t.elapsed();
+                iters += batch;
+            }
+            self.result.ns_per_iter.push(elapsed.as_nanos() as f64 / iters as f64);
+            self.result.iterations += iters;
+        }
+    }
+}
+
+/// The top-level harness: registers and runs benchmarks, then prints a
+/// report from [`Harness::finish`].
+pub struct Harness {
+    filter: Option<String>,
+    quick: bool,
+    settings: Settings,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args` (`cargo bench` passes
+    /// `--bench`; a positional argument is a substring filter; `--quick`
+    /// or `SIMBENCH_QUICK=1` runs one tiny sample per benchmark).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var("SIMBENCH_QUICK").is_ok_and(|v| v != "0");
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--quick" | "--smoke" => quick = true,
+                a if a.starts_with("--") => {} // ignore unknown flags (e.g. --save-baseline)
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Harness {
+            filter,
+            quick,
+            settings: Settings {
+                sample_size: 30,
+                measurement: Duration::from_secs(1),
+                warm_up: Duration::from_millis(300),
+            },
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Sets the default warmup budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    fn run_one(&mut self, name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let mut result =
+            BenchResult { name: name.to_string(), ns_per_iter: Vec::new(), iterations: 0 };
+        let mut b = Bencher { settings: &settings, quick: self.quick, result: &mut result };
+        f(&mut b);
+        let (min, median, mean) = result.summary();
+        eprintln!(
+            "bench {name:<40} min {} | median {} | mean {} ({} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            result.iterations
+        );
+        self.results.push(result);
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let settings = self.settings.clone();
+        self.run_one(name, settings, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        let settings = self.settings.clone();
+        Group { harness: self, prefix: name.to_string(), settings }
+    }
+
+    /// Completed results (for programmatic consumers / tests).
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(&self) {
+        eprintln!(
+            "bench: {} benchmark(s) completed{}",
+            self.results.len(),
+            if self.quick { " (quick mode)" } else { "" }
+        );
+    }
+}
+
+/// A benchmark group with its own settings (ports criterion's group API).
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    prefix: String,
+    settings: Settings,
+}
+
+impl Group<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Registers and runs a benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        let settings = self.settings.clone();
+        self.harness.run_one(&full, settings, &mut f);
+        self
+    }
+
+    /// Closes the group (no-op; exists for criterion-shaped call sites).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_harness() -> Harness {
+        Harness {
+            filter: None,
+            quick: true,
+            settings: Settings {
+                sample_size: 2,
+                measurement: Duration::from_millis(2),
+                warm_up: Duration::from_millis(1),
+            },
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut h = quick_harness();
+        h.bench_function("self/iter", |b| b.iter(|| std::hint::black_box(3u64).pow(7)));
+        assert_eq!(h.results().len(), 1);
+        assert!(!h.results()[0].ns_per_iter.is_empty());
+        assert!(h.results()[0].iterations >= 1);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut h = quick_harness();
+        h.bench_function("self/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::SmallInput)
+        });
+        assert!(h.results()[0].iterations >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut h = quick_harness();
+        let mut g = h.benchmark_group("grp");
+        g.sample_size(1);
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(h.results()[0].name, "grp/x");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = quick_harness();
+        h.filter = Some("keep".to_string());
+        h.bench_function("skip/this", |b| b.iter(|| 0));
+        h.bench_function("keep/this", |b| b.iter(|| 0));
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "keep/this");
+    }
+}

@@ -1,0 +1,664 @@
+//! A minimal property-testing harness: generators, bounded shrinking, and
+//! a deterministic case runner.
+//!
+//! Design goals, in order: **zero dependencies**, **deterministic by
+//! default** (a fixed base seed, overridable with `SIMTEST_SEED`), and a
+//! porting surface close enough to `proptest` that a suite moves over
+//! mechanically:
+//!
+//! | proptest | simtest |
+//! |---|---|
+//! | `proptest! { fn f(x in 0u64..10) {..} }` | [`props!`]`{ fn f(x in 0u64..10) {..} }` |
+//! | `prop_assert!` / `prop_assert_eq!` | [`sim_assert!`] / [`sim_assert_eq!`] |
+//! | `prop_assume!` | [`sim_assume!`] |
+//! | `prop_oneof![w => g, ..]` | [`oneof!`]`[w => g, ..]` |
+//! | `g.prop_map(f)` | [`GenExt::gmap`]`(f)` |
+//! | `collection::vec(g, 1..80)` | [`vec_of`]`(g, 1..80)` |
+//! | `.proptest-regressions` file | `corpus: &[u64]` in [`Config`] |
+//!
+//! ## Seeds, replay, and the corpus
+//!
+//! Every case is generated from a single `u64` case seed. Case 0 of every
+//! test uses the base seed verbatim; later cases follow a SplitMix64
+//! chain keyed by the test name. When a case fails, the harness shrinks
+//! it and panics with the case seed — re-running with
+//! `SIMTEST_SEED=<that seed>` replays the failing input as case 0.
+//! Seeds worth keeping go into the test's [`Config::corpus`], which is
+//! replayed before any fresh cases (the checked-in equivalent of
+//! proptest's regression files).
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Why a single case did not pass: a genuine failure, or an input the
+/// property does not apply to (from [`sim_assume!`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseFailure {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input is rejected; generate another.
+    Reject(String),
+}
+
+impl CaseFailure {
+    /// A failure with a message (ports `TestCaseError::fail`).
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseFailure::Fail(msg.into())
+    }
+
+    /// A rejection with a reason.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        CaseFailure::Reject(msg.into())
+    }
+}
+
+/// The result type property bodies return.
+pub type CaseResult = Result<(), CaseFailure>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Fresh cases to generate and run.
+    pub cases: u32,
+    /// Upper bound on property re-executions spent shrinking a failure.
+    pub max_shrink_iters: u32,
+    /// Case seeds replayed (and shrunk on failure) before fresh cases —
+    /// the checked-in regression corpus.
+    pub corpus: &'static [u64],
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 2048, corpus: &[] }
+    }
+}
+
+/// The default base seed. Fixed so CI is hermetic and reproducible;
+/// override with `SIMTEST_SEED` to explore a different region of the
+/// input space (or to replay a reported failure).
+pub const DEFAULT_BASE_SEED: u64 = 0x5eed_f00d_0000_0001;
+
+fn base_seed() -> u64 {
+    match std::env::var("SIMTEST_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("SIMTEST_SEED must be a u64, got {v:?}"))
+        }
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A value generator with optional shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. An empty vector
+    /// means the value is not shrinkable.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---- integer / float range generators -----------------------------------
+
+macro_rules! impl_gen_int {
+    ($($t:ty),*) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink_ladder(self.start as u64, *v as u64)
+                    .into_iter().map(|x| x as $t).collect()
+            }
+        }
+        impl Gen for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink_ladder(*self.start() as u64, *v as u64)
+                    .into_iter().map(|x| x as $t).collect()
+            }
+        }
+    )*};
+}
+
+/// Candidates between `lo` and `v`, closest-to-`lo` first, spaced by
+/// successive halvings of the gap — the outer shrink loop restarts after
+/// every accepted candidate, so convergence to a failure boundary is
+/// O(log^2) property executions.
+fn int_shrink_ladder(lo: u64, v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mut delta = (v - lo) / 2;
+        while delta > 0 && out.len() < 10 {
+            out.push(v - delta);
+            delta /= 2;
+        }
+        if out.last() != Some(&(v - 1)) {
+            out.push(v - 1);
+        }
+    }
+    out
+}
+
+impl_gen_int!(u8, u16, u32, u64, usize);
+
+impl Gen for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        if *v > self.start {
+            vec![self.start, self.start + (v - self.start) / 2.0]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---- constant, map, oneof, vec, tuples ----------------------------------
+
+/// Always generates a clone of the held value (ports `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A generator mapped through a function (ports `prop_map`). Mapped
+/// values do not shrink element-wise; sequence-level shrinking in
+/// [`vec_of`] still applies.
+#[derive(Clone)]
+pub struct MapGen<G, F> {
+    gen: G,
+    f: F,
+}
+
+impl<G: Gen, V: Clone + Debug, F: Fn(G::Value) -> V> Gen for MapGen<G, F> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        (self.f)(self.gen.generate(rng))
+    }
+}
+
+/// Combinator methods on every generator.
+pub trait GenExt: Gen + Sized {
+    /// Maps generated values through `f` (named `gmap` rather than `map`
+    /// so integer-range generators don't collide with `Iterator::map`).
+    fn gmap<V: Clone + Debug, F: Fn(Self::Value) -> V>(self, f: F) -> MapGen<Self, F> {
+        MapGen { gen: self, f }
+    }
+}
+
+impl<G: Gen> GenExt for G {}
+
+/// A weighted union of generators of a common value type; build with
+/// [`oneof!`].
+#[derive(Clone)]
+pub struct OneOf<V> {
+    arms: Vec<(u32, Rc<dyn Fn(&mut Rng) -> V>)>,
+    total: u32,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from `(weight, draw)` arms. Panics if all weights are zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, Rc<dyn Fn(&mut Rng) -> V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "oneof: at least one arm must have nonzero weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V: Clone + Debug> Gen for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, draw) in &self.arms {
+            if pick < *w {
+                return draw(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("oneof: weights exhausted")
+    }
+}
+
+/// Weighted or unweighted choice between generators (ports `prop_oneof!`).
+///
+/// ```
+/// use simtest::check::{Gen, GenExt, Just};
+/// let g = simtest::oneof![
+///     2 => (0u64..10).gmap(|n| n as i64),
+///     1 => Just(-1i64),
+/// ];
+/// let v = g.generate(&mut simtest::Rng::seed_from_u64(1));
+/// assert!(v == -1 || (0i64..10).contains(&v));
+/// ```
+#[macro_export]
+macro_rules! oneof {
+    ($($w:expr => $g:expr),+ $(,)?) => {{
+        $crate::check::OneOf::new(vec![$((
+            $w as u32,
+            {
+                let g = $g;
+                ::std::rc::Rc::new(move |rng: &mut $crate::Rng| $crate::check::Gen::generate(&g, rng)) as ::std::rc::Rc<dyn Fn(&mut $crate::Rng) -> _>
+            },
+        )),+])
+    }};
+    ($($g:expr),+ $(,)?) => {
+        $crate::oneof![$(1 => $g),+]
+    };
+}
+
+/// Generates a `Vec` whose length is drawn from `len` (ports
+/// `proptest::collection::vec`).
+#[must_use]
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "vec_of: empty length range");
+    VecGen { elem, len }
+}
+
+/// See [`vec_of`].
+#[derive(Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    len: Range<usize>,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    /// Sequence shrinking: drop the back half, the front half, then each
+    /// element singly (bounded), then shrink elements in place.
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let min = self.len.start;
+        let mut out: Vec<Vec<G::Value>> = Vec::new();
+        let n = v.len();
+        if n > min {
+            let keep_half = min.max(n / 2);
+            if keep_half < n {
+                out.push(v[..keep_half].to_vec());
+                out.push(v[n - keep_half..].to_vec());
+            }
+            // Single-element removals, bounded so shrink lists stay small.
+            let stride = (n / 16).max(1);
+            for i in (0..n).step_by(stride) {
+                if n - 1 >= min {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+        }
+        // Element-wise shrinks (bounded positions, all ladder candidates).
+        let stride = (n / 8).max(1);
+        for i in (0..n).step_by(stride) {
+            for simpler in self.elem.shrink(&v[i]) {
+                let mut w = v.clone();
+                w[i] = simpler;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_gen_tuple {
+    ($(($($g:ident/$v:ident/$i:tt),+))*) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for simpler in self.$i.shrink(&v.$i).into_iter().take(3) {
+                        let mut w = v.clone();
+                        w.$i = simpler;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_gen_tuple! {
+    (A/a/0)
+    (A/a/0, B/b/1)
+    (A/a/0, B/b/1, C/c/2)
+    (A/a/0, B/b/1, C/c/2, D/d/3)
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4)
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5)
+}
+
+// ---- the runner ----------------------------------------------------------
+
+/// Runs `prop` against `cfg.corpus` seeds, then `cfg.cases` fresh cases.
+///
+/// On failure the input is shrunk (bounded by `cfg.max_shrink_iters`) and
+/// the harness panics with the minimal input, the failure message, and
+/// the case seed for replay. Prefer the [`props!`] macro, which wraps
+/// this per `#[test]`.
+pub fn run<G, F>(name: &str, gen: &G, cfg: &Config, prop: F)
+where
+    G: Gen,
+    F: Fn(G::Value) -> CaseResult,
+{
+    let base = base_seed();
+    let stream = fnv1a(name);
+    let mut chain = base ^ stream;
+
+    // Returns `true` when the case was rejected by `sim_assume!`.
+    let exec = |case_seed: u64, label: &str| -> bool {
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let value = gen.generate(&mut rng);
+        match prop(value.clone()) {
+            Ok(()) => false,
+            Err(CaseFailure::Reject(_)) => true,
+            Err(CaseFailure::Fail(msg)) => {
+                let (minimal, final_msg, iters) = shrink_failure(gen, &prop, value, msg, cfg);
+                panic!(
+                    "property {name} failed ({label}, seed {case_seed:#x}).\n\
+                     minimal input (after {iters} shrink steps):\n  {minimal:#?}\n\
+                     failure: {final_msg}\n\
+                     replay: SIMTEST_SEED={case_seed} cargo test {short}\n\
+                     persist: add {case_seed:#x} to this test's Config::corpus",
+                    short = name.rsplit("::").next().unwrap_or(name),
+                );
+            }
+        }
+    };
+
+    for (i, &seed) in cfg.corpus.iter().enumerate() {
+        exec(seed, &format!("corpus[{i}]"));
+    }
+    let mut done: u32 = 0;
+    let mut rejects: u64 = 0;
+    let max_rejects = u64::from(cfg.cases) * 16 + 64;
+    let mut case_index: u64 = 0;
+    while done < cfg.cases {
+        let case_seed = if case_index == 0 { base } else { splitmix64(&mut chain) };
+        if exec(case_seed, &format!("case {case_index}")) {
+            rejects += 1;
+            assert!(
+                rejects <= max_rejects,
+                "{name}: too many rejected cases ({rejects}); loosen the generator or the sim_assume! conditions"
+            );
+        } else {
+            done += 1;
+        }
+        case_index += 1;
+    }
+}
+
+fn shrink_failure<G, F>(
+    gen: &G,
+    prop: &F,
+    mut best: G::Value,
+    mut msg: String,
+    cfg: &Config,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    F: Fn(G::Value) -> CaseResult,
+{
+    let mut iters: u32 = 0;
+    'outer: loop {
+        for cand in gen.shrink(&best) {
+            if iters >= cfg.max_shrink_iters {
+                break 'outer;
+            }
+            iters += 1;
+            if let Err(CaseFailure::Fail(m)) = prop(cand.clone()) {
+                best = cand;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, msg, iters)
+}
+
+// ---- assertion macros ----------------------------------------------------
+
+/// Asserts inside a property body; on failure returns a
+/// [`CaseFailure::Fail`] from the enclosing function (ports
+/// `prop_assert!`).
+#[macro_export]
+macro_rules! sim_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::check::CaseFailure::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::check::CaseFailure::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a property body (ports `prop_assert_eq!`).
+#[macro_export]
+macro_rules! sim_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::check::CaseFailure::fail(format!(
+                "assertion failed at {}:{}: {} == {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::check::CaseFailure::fail(format!(
+                "assertion failed at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Rejects inputs the property does not apply to (ports `prop_assume!`).
+/// Rejected cases do not count toward the case budget.
+#[macro_export]
+macro_rules! sim_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::check::CaseFailure::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Declares property tests (ports the `proptest!` block form).
+///
+/// ```
+/// simtest::props! {
+///     #![config(simtest::check::Config { cases: 64, ..Default::default() })]
+///
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         simtest::sim_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]` whose arguments are drawn from the
+/// given generators; the body may use `?` on [`CaseResult`]s and the
+/// `sim_assert!` family. The optional `#![config(..)]` header applies to
+/// every test in the block.
+#[macro_export]
+macro_rules! props {
+    (
+        @cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $gen:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let cfg = $cfg;
+                let gen = ($($gen,)+);
+                $crate::check::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &gen,
+                    &cfg,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ( #![config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::props! { @cfg ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::props! { @cfg ($crate::check::Config::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn passing_property_runs_the_full_budget() {
+        let runs = Cell::new(0u32);
+        let cfg = Config { cases: 40, ..Config::default() };
+        run("simtest::self::pass", &(0u64..100), &cfg, |_| {
+            runs.set(runs.get() + 1);
+            Ok(())
+        });
+        assert_eq!(runs.get(), 40);
+    }
+
+    #[test]
+    fn corpus_seeds_replay_first() {
+        let first = Cell::new(None);
+        let cfg = Config { cases: 1, corpus: &[0xdead_beef], ..Config::default() };
+        run("simtest::self::corpus", &(0u64..=u64::MAX), &cfg, |v| {
+            if first.get().is_none() {
+                first.set(Some(v));
+            }
+            Ok(())
+        });
+        let expect = (0u64..=u64::MAX).generate(&mut Rng::seed_from_u64(0xdead_beef));
+        assert_eq!(first.get(), Some(expect));
+    }
+
+    #[test]
+    fn failures_shrink_to_the_boundary() {
+        let caught = std::panic::catch_unwind(|| {
+            run(
+                "simtest::self::shrinks",
+                &vec_of(0u64..1000, 1..50),
+                &Config::default(),
+                |v: Vec<u64>| {
+                    // Fails whenever any element >= 500.
+                    sim_assert!(v.iter().all(|&x| x < 500), "element too large");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *caught.expect_err("must fail").downcast::<String>().unwrap();
+        // The minimal counterexample is exactly one offending element.
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("SIMTEST_SEED="), "{msg}");
+        let ones = msg.matches("500").count();
+        assert!(ones >= 1, "expected the boundary value 500 in: {msg}");
+    }
+
+    #[test]
+    fn rejection_does_not_consume_the_case_budget() {
+        let accepted = Cell::new(0u32);
+        let cfg = Config { cases: 25, ..Config::default() };
+        run("simtest::self::assume", &(0u64..100), &cfg, |v| {
+            sim_assume!(v % 2 == 0);
+            accepted.set(accepted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(accepted.get(), 25);
+    }
+
+    #[test]
+    fn tuple_and_oneof_generators_cover_all_arms() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Cmd {
+            A(u64),
+            B,
+        }
+        let g = crate::oneof![3 => (0u64..9).gmap(Cmd::A), 1 => Just(Cmd::B)];
+        let mut rng = Rng::seed_from_u64(2);
+        let draws: Vec<Cmd> = (0..200).map(|_| g.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|c| matches!(c, Cmd::A(_))));
+        assert!(draws.iter().any(|c| matches!(c, Cmd::B)));
+    }
+
+    props! {
+        #![config(Config { cases: 32, ..Config::default() })]
+
+        fn props_macro_smoke(a in 0u64..50, b in 1u8..=4, xs in vec_of(0u32..10, 1..5)) {
+            sim_assert!(a < 50);
+            sim_assert!((1..=4).contains(&b));
+            sim_assert!(!xs.is_empty() && xs.len() < 5);
+        }
+    }
+}

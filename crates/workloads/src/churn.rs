@@ -1,8 +1,7 @@
 //! The generic heap-churn generator behind the SPEC surrogates.
 
 use morello_sim::{ObjId, Op};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simtest::Rng;
 
 /// Log-uniform object size distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +19,7 @@ impl SizeDist {
         SizeDist { min: size, max: size }
     }
 
-    fn sample(&self, rng: &mut SmallRng) -> u64 {
+    fn sample(&self, rng: &mut Rng) -> u64 {
         if self.min >= self.max {
             return self.min;
         }
@@ -76,7 +75,7 @@ impl ChurnProfile {
     /// steady-state churn until `total_churn` bytes have been freed.
     #[must_use]
     pub fn generate(&self, seed: u64) -> Vec<Op> {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut ops = Vec::new();
         let mut live: Vec<(ObjId, u64)> = Vec::new();
         let mut free_slots: Vec<ObjId> = Vec::new();
@@ -86,7 +85,7 @@ impl ChurnProfile {
         let mut step: u64 = 0;
 
         let mut alloc = |ops: &mut Vec<Op>,
-                         rng: &mut SmallRng,
+                         rng: &mut Rng,
                          live: &mut Vec<(ObjId, u64)>,
                          free_slots: &mut Vec<ObjId>,
                          live_bytes: &mut u64| {
@@ -232,7 +231,7 @@ mod tests {
     #[test]
     fn size_dist_sampling_stays_in_range() {
         let d = SizeDist { min: 100, max: 10_000 };
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..1000 {
             let s = d.sample(&mut rng);
             assert!((100..=10_000).contains(&s));

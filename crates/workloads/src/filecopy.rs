@@ -10,8 +10,7 @@
 
 use crate::GeneratedWorkload;
 use morello_sim::{ObjId, Op, SimConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simtest::Rng;
 
 /// Parameters for the file-copier surrogate.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +30,7 @@ impl Default for FileCopyParams {
 /// Generates the file-copier workload.
 #[must_use]
 pub fn file_copy(params: FileCopyParams) -> GeneratedWorkload {
-    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x1656_67b1);
+    let mut rng = Rng::seed_from_u64(params.seed ^ 0x1656_67b1);
     let mut ops = Vec::new();
     let staging: ObjId = 0; // persistent malloc'd staging buffer
     ops.push(Op::Alloc { obj: staging, size: 256 << 10 });

@@ -11,8 +11,7 @@
 
 use crate::GeneratedWorkload;
 use morello_sim::{ObjId, Op, SimConfig, CYCLES_PER_SEC};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simtest::Rng;
 
 /// `pgbench` surrogate parameters.
 ///
@@ -51,7 +50,7 @@ const PG_LINK_STRIDE: u64 = 250; // one capability per page of each table
 /// roughly every 22 transactions (paper: every ~17).
 #[must_use]
 pub fn pgbench(params: PgbenchParams) -> GeneratedWorkload {
-    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x5bd1_e995);
+    let mut rng = Rng::seed_from_u64(params.seed ^ 0x5bd1_e995);
     let mut ops = Vec::new();
 
     // Shared server state: tables + indexes. PostgreSQL memory contexts
@@ -162,7 +161,7 @@ const GRPC_LINK_STRIDE: u64 = 250;
 /// messages — producing the paper's tail-latency picture.
 #[must_use]
 pub fn grpc_qps(params: GrpcParams) -> GeneratedWorkload {
-    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xc2b2_ae35);
+    let mut rng = Rng::seed_from_u64(params.seed ^ 0xc2b2_ae35);
     let mut ops = Vec::new();
 
     // Connection/channel state, dense with pointers (protobuf arenas,

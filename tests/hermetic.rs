@@ -1,0 +1,105 @@
+//! Hermetic-build guard, run as part of tier-1: every dependency in every
+//! manifest of this workspace must be a path (or workspace-inherited)
+//! dependency. The build must never reach for a registry — the in-tree
+//! `crates/simtest` crate provides the RNG, property-testing, and
+//! benchmarking facilities that would otherwise come from `rand`,
+//! `proptest`, and `criterion`.
+//!
+//! `tools/check_hermetic.sh` performs the same scan from the shell (plus a
+//! `cargo build --offline` proof); this test keeps the invariant enforced
+//! even when only `cargo test` runs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every `Cargo.toml` under the workspace root (skipping build
+/// output).
+fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut found = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("workspace has a crates/ directory") {
+        let dir = entry.unwrap().path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            found.push(manifest);
+        }
+    }
+    found
+}
+
+/// Returns the non-hermetic dependency lines of one manifest: lines inside
+/// a `[*dependencies*]` section whose spec names neither `path = "..."`
+/// nor `workspace = true`. Workspace-inherited specs are fine because the
+/// root `[workspace.dependencies]` table is itself scanned.
+fn violations(manifest: &Path) -> Vec<String> {
+    let text = fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut in_deps = false;
+    let mut bad = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A dependency entry: `name = <spec>` where name is a bare key.
+        let Some((key, spec)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+            continue;
+        }
+        let hermetic = spec.contains("path") && spec.contains('"')
+            || spec.replace(' ', "").contains("workspace=true");
+        if !hermetic {
+            bad.push(format!("{}: {line}", manifest.display()));
+        }
+    }
+    bad
+}
+
+#[test]
+fn all_dependencies_are_in_tree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifests = manifests(root);
+    assert!(
+        manifests.len() >= 9,
+        "expected the root + 8 crate manifests, found {}",
+        manifests.len()
+    );
+    let bad: Vec<String> = manifests.iter().flat_map(|m| violations(m)).collect();
+    assert!(
+        bad.is_empty(),
+        "registry (non-path) dependencies found — this workspace builds offline; \
+         put the code in-tree (see crates/simtest) instead:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn banned_registry_crates_never_return() {
+    // The three crates whose absence broke the offline build historically.
+    // Named explicitly so a creative spec (git deps, renamed packages via
+    // `package = "rand"`) still trips the guard.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for manifest in manifests(&root.to_path_buf()) {
+        let text = fs::read_to_string(&manifest).unwrap();
+        for banned in ["proptest", "criterion", "\"rand\""] {
+            let mut in_deps = false;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.starts_with('[') {
+                    in_deps = line.trim_end_matches(']').ends_with("dependencies");
+                    continue;
+                }
+                assert!(
+                    !(in_deps && line.contains(banned) && !line.starts_with('#')),
+                    "{}: banned registry crate {banned} referenced: {line}",
+                    manifest.display()
+                );
+            }
+        }
+    }
+}
