@@ -323,7 +323,7 @@ mod tests {
         }
         rev.start_epoch(&mut m);
         while rev.is_revoking() {
-            if rev.background_step(&mut m, 1_000_000) == StepOutcome::NeedsFinalStw {
+            if matches!(rev.background_step(&mut m, 1_000_000), StepOutcome::NeedsFinalStw { .. }) {
                 rev.finish_stw(&mut m, 1);
             }
         }

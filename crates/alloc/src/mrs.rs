@@ -265,7 +265,7 @@ mod tests {
 
     fn drain(machine: &mut Machine, revoker: &mut Revoker) {
         while revoker.is_revoking() {
-            if revoker.background_step(machine, 1_000_000) == StepOutcome::NeedsFinalStw {
+            if matches!(revoker.background_step(machine, 1_000_000), StepOutcome::NeedsFinalStw { .. }) {
                 revoker.finish_stw(machine, 1);
             }
         }

@@ -195,7 +195,7 @@ mod tests {
     fn drain(m: &mut Machine, rev: &mut Revoker) {
         rev.start_epoch(m);
         while rev.is_revoking() {
-            if rev.background_step(m, 1_000_000) == StepOutcome::NeedsFinalStw {
+            if matches!(rev.background_step(m, 1_000_000), StepOutcome::NeedsFinalStw { .. }) {
                 rev.finish_stw(m, 1);
             }
         }

@@ -23,7 +23,7 @@ fn stack(min_q: u64) -> (Machine, Revoker, Mrs) {
 
 fn drain(machine: &mut Machine, revoker: &mut Revoker) {
     while revoker.is_revoking() {
-        if revoker.background_step(machine, 10_000_000) == StepOutcome::NeedsFinalStw {
+        if matches!(revoker.background_step(machine, 10_000_000), StepOutcome::NeedsFinalStw { .. }) {
             revoker.finish_stw(machine, 1);
         }
     }

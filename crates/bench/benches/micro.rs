@@ -73,7 +73,7 @@ fn bench_sweep(c: &mut Harness) {
             |(mut m, mut rev)| {
                 rev.start_epoch(&mut m);
                 while rev.is_revoking() {
-                    if rev.background_step(&mut m, u64::MAX / 4) == StepOutcome::NeedsFinalStw {
+                    if matches!(rev.background_step(&mut m, u64::MAX / 4), StepOutcome::NeedsFinalStw { .. }) {
                         rev.finish_stw(&mut m, 1);
                     }
                 }
@@ -129,7 +129,7 @@ fn bench_alloc_free(c: &mut Harness) {
             if e.trigger_revocation {
                 rev.start_epoch(&mut m);
                 while rev.is_revoking() {
-                    if rev.background_step(&mut m, u64::MAX / 4) == StepOutcome::NeedsFinalStw {
+                    if matches!(rev.background_step(&mut m, u64::MAX / 4), StepOutcome::NeedsFinalStw { .. }) {
                         rev.finish_stw(&mut m, 1);
                     }
                 }
@@ -168,7 +168,7 @@ fn bench_strategies_end_to_end(c: &mut Harness) {
                 |(mut m, mut rev)| {
                     rev.start_epoch(&mut m);
                     while rev.is_revoking() {
-                        if rev.background_step(&mut m, u64::MAX / 4) == StepOutcome::NeedsFinalStw {
+                        if matches!(rev.background_step(&mut m, u64::MAX / 4), StepOutcome::NeedsFinalStw { .. }) {
                             rev.finish_stw(&mut m, 1);
                         }
                     }

@@ -1,0 +1,129 @@
+//! Host-side benchmark of the parallel concurrent sweep and the
+//! word-masked bitmap fast paths (run with `cargo bench -p rev-bench
+//! --bench sweep`; `--quick` / `SIMBENCH_QUICK=1` collapses to a smoke
+//! run and skips the baseline file).
+//!
+//! Measures the quantities that bound harness throughput: host
+//! nanoseconds per swept page for a full Reloaded epoch with 1 vs. 4
+//! revoker cores (same simulated work, so the numbers show the sharded
+//! worklist's host overhead is negligible) and the full-arena
+//! `set_range`, which word-masked painting turns from a per-granule loop
+//! into a handful of masked word stores. Non-quick runs record the
+//! numbers in `BENCH_sweep.json` at the workspace root.
+
+use cheri_cap::{Capability, Perms};
+use cheri_vm::{MapFlags, Machine};
+use cornucopia::{Revoker, RevokerConfig, Strategy};
+use simtest::bench::{BatchSize, Harness};
+use std::hint::black_box;
+use std::time::Duration;
+
+const HEAP: u64 = 0x4000_0000;
+const PAGES: u64 = 512;
+const CAPS_PER_PAGE: u64 = 8;
+const ARENA: u64 = 64 << 20;
+const ARENA_PAGES: u64 = ARENA / 4096;
+
+/// A machine with capabilities on every page and half the objects
+/// painted, plus a revoker mid-epoch: the routine drains the epoch.
+fn setup_epoch(cores: usize) -> (Machine, Revoker) {
+    let len = PAGES * 4096;
+    let mut m = Machine::new(5);
+    m.map_range(HEAP, len, MapFlags::user_rw()).unwrap();
+    let heap = Capability::new_root(HEAP, len, Perms::rw());
+    let mut rev = Revoker::new(
+        RevokerConfig {
+            strategy: Strategy::Reloaded,
+            revoker_cores: (1..=cores).collect(),
+            ..RevokerConfig::default()
+        },
+        HEAP,
+        len,
+    );
+    for p in 0..PAGES {
+        for s in 0..CAPS_PER_PAGE {
+            let a = HEAP + p * 4096 + s * 256;
+            let c = heap.set_bounds(a, 64).unwrap();
+            m.store_cap(0, &heap.set_addr(a), c).unwrap();
+        }
+    }
+    for p in (0..PAGES).step_by(2) {
+        rev.paint(&mut m, 0, HEAP + p * 4096, 64);
+    }
+    rev.start_epoch(&mut m);
+    (m, rev)
+}
+
+fn drain_epoch((mut m, mut rev): (Machine, Revoker)) -> u64 {
+    while rev.is_revoking() {
+        rev.background_step(&mut m, u64::MAX / 4);
+    }
+    rev.stats().pages_swept
+}
+
+fn median_ns(h: &Harness, name: &str) -> f64 {
+    h.results()
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| {
+            let mut s = r.ns_per_iter.clone();
+            s.sort_by(f64::total_cmp);
+            s.get(s.len() / 2).copied().unwrap_or(f64::NAN)
+        })
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let quick = std::env::var("SIMBENCH_QUICK").is_ok_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick" || a == "--smoke");
+    let mut h = Harness::from_env();
+    h.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+
+    for cores in [1usize, 4] {
+        h.bench_function(&format!("sweep/epoch_{cores}core"), |b| {
+            b.iter_batched(
+                || setup_epoch(cores),
+                |input| black_box(drain_epoch(input)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    h.bench_function("bitmap/set_range_full_arena", |b| {
+        let mut m = Machine::new(1);
+        let mut rev = Revoker::new(RevokerConfig::default(), HEAP, ARENA);
+        b.iter(|| {
+            black_box(rev.paint(&mut m, 0, HEAP, ARENA));
+            black_box(rev.unpaint(&mut m, 0, HEAP, ARENA));
+        })
+    });
+
+    h.finish();
+    if quick {
+        eprintln!("sweep: quick mode, not touching BENCH_sweep.json");
+        return;
+    }
+
+    let epoch1 = median_ns(&h, "sweep/epoch_1core");
+    let epoch4 = median_ns(&h, "sweep/epoch_4core");
+    let full_paint = median_ns(&h, "bitmap/set_range_full_arena");
+    let per_page = |epoch_ns: f64| epoch_ns / PAGES as f64;
+    let pages_per_sec = |epoch_ns: f64| 1e9 * PAGES as f64 / epoch_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"pages\": {PAGES},\n  \"caps_per_page\": {CAPS_PER_PAGE},\n  \
+         \"epoch_1core\": {{ \"median_ns\": {:.0}, \"ns_per_page\": {:.1}, \"pages_per_sec\": {:.0} }},\n  \
+         \"epoch_4core\": {{ \"median_ns\": {:.0}, \"ns_per_page\": {:.1}, \"pages_per_sec\": {:.0} }},\n  \
+         \"set_range_full_arena\": {{ \"arena_bytes\": {ARENA}, \"median_ns_paint_unpaint\": {:.0}, \"ns_per_page\": {:.3} }}\n}}\n",
+        epoch1,
+        per_page(epoch1),
+        pages_per_sec(epoch1),
+        epoch4,
+        per_page(epoch4),
+        pages_per_sec(epoch4),
+        full_paint,
+        full_paint / ARENA_PAGES as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    eprintln!("sweep: wrote {path}");
+}

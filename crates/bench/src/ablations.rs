@@ -218,6 +218,72 @@ pub fn revoker_threads(scale: Scale) -> String {
     out
 }
 
+/// Parallel multi-core concurrent sweep (§7.1): revoker_cores ∈ {1, 2, 4}
+/// × {Cornucopia, Reloaded} on the churn-heaviest workload. Each core
+/// consumes its own worklist shard and charges its own traffic, so the
+/// concurrent phase shrinks to the critical path while per-core DRAM
+/// shows where the sweep's bus pressure actually lands.
+#[must_use]
+pub fn revoker_core_scaling(scale: Scale) -> String {
+    let mut rows = Vec::new();
+    for condition in [Condition::cornucopia(), Condition::reloaded()] {
+        for cores in [1usize, 2, 4] {
+            let host_t0 = std::time::Instant::now();
+            let stats = run_with(SpecProgram::Xalancbmk, condition, scale, |cfg| {
+                cfg.revoker_threads = cores;
+            });
+            let host_ns = host_t0.elapsed().as_nanos() as f64;
+            let phase_kind = match condition {
+                Condition::Safe(Strategy::Cornucopia) => cornucopia::PhaseKind::CornucopiaConcurrent,
+                _ => cornucopia::PhaseKind::ReloadedConcurrent,
+            };
+            let mut concurrent: Vec<u64> = stats
+                .phases
+                .iter()
+                .filter(|p| p.kind == phase_kind)
+                .map(|p| p.cycles)
+                .collect();
+            concurrent.sort_unstable();
+            let median = concurrent.get(concurrent.len() / 2).copied().unwrap_or(0);
+            let total: u64 = concurrent.iter().sum();
+            let per_core_dram = stats
+                .revoker_dram_per_core
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(" / ");
+            rows.push(vec![
+                format!("{} × {cores} core(s)", condition.label()),
+                ms(median),
+                ms(total),
+                per_core_dram,
+                format!("{:.0}", host_ns / stats.pages_swept.max(1) as f64),
+            ]);
+        }
+    }
+    let mut out = String::from(
+        "### Ablation — parallel sweep core scaling (§7.1; xalancbmk, sharded worklists)\n\n",
+    );
+    out.push_str(&markdown_table(
+        &[
+            "configuration",
+            "median concurrent phase (ms)",
+            "total concurrent (ms)",
+            "revoker DRAM txns per core",
+            "host ns/page swept",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nExpectation: the concurrent-phase critical path falls roughly in proportion \
+         to the core count (identical revocation results — the property suite checks \
+         bit-for-bit equality), DRAM transactions spread across the sweeping cores \
+         instead of piling on `revoker_cores[0]`, and the shorter window reduces \
+         Cornucopia's re-dirtied-page STW work / Reloaded's fault exposure.\n",
+    );
+    out
+}
+
 // ---------------------------------------------------------------------
 // §7.3 coloring composition
 // ---------------------------------------------------------------------
@@ -229,7 +295,7 @@ fn coloring_drain(machine: &mut Machine, revoker: &mut Revoker) -> u64 {
     let mut cycles = 0;
     while revoker.is_revoking() {
         match revoker.background_step(machine, 10_000_000) {
-            StepOutcome::NeedsFinalStw => cycles += revoker.finish_stw(machine, 1),
+            StepOutcome::NeedsFinalStw { .. } => cycles += revoker.finish_stw(machine, 1),
             StepOutcome::Working { used } | StepOutcome::Finished { used } => cycles += used,
             StepOutcome::Idle => break,
         }

@@ -1,0 +1,6 @@
+//! Ablation study (§7.1 parallel multi-core concurrent sweep).
+use rev_bench::harness::Scale;
+
+fn main() {
+    println!("{}", rev_bench::ablations::revoker_core_scaling(Scale::from_env()));
+}

@@ -7,6 +7,12 @@
 //! object in virtual memory: user allocators paint it on `free` and the
 //! kernel reads it during sweeps, so probes and paints are charged memory
 //! traffic at the bitmap's own virtual addresses.
+//!
+//! The bitmap is two-level: above the granule bits sits a summary with one
+//! "any painted" bit per 64-granule word. Paints and unpaints write whole
+//! words through precomputed masks instead of looping per granule, and
+//! probes consult the (64× denser, hence cache-resident) summary first, so
+//! sweeps of clean regions short-circuit without touching the full bitmap.
 
 use cheri_cap::CAP_SIZE;
 use cheri_mem::CoreId;
@@ -16,12 +22,18 @@ use cheri_vm::Machine;
 /// traffic accounting; well above any simulated heap).
 pub const BITMAP_VA_BASE: u64 = 0x10_0000_0000;
 
+/// Virtual base address of the summary level: one bit per 64-granule
+/// bitmap word, 64× denser than the bitmap itself (traffic accounting).
+pub const BITMAP_SUMMARY_VA_BASE: u64 = BITMAP_VA_BASE + 0x8_0000_0000;
+
 /// A revocation bitmap covering one contiguous heap arena.
 #[derive(Debug, Clone)]
 pub struct RevocationBitmap {
     heap_base: u64,
     heap_len: u64,
     words: Vec<u64>,
+    /// Bit `w % 64` of `summary[w / 64]` is set iff `words[w] != 0`.
+    summary: Vec<u64>,
     painted_granules: u64,
 }
 
@@ -33,10 +45,12 @@ impl RevocationBitmap {
         assert_eq!(heap_base % CAP_SIZE, 0, "heap base must be granule-aligned");
         assert_eq!(heap_len % CAP_SIZE, 0, "heap length must be granule-aligned");
         let granules = (heap_len / CAP_SIZE) as usize;
+        let words = granules.div_ceil(64);
         RevocationBitmap {
             heap_base,
             heap_len,
-            words: vec![0; granules.div_ceil(64)],
+            words: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
             painted_granules: 0,
         }
     }
@@ -55,59 +69,130 @@ impl RevocationBitmap {
     }
 
     /// The bitmap's own virtual address holding the bit for `addr` (used
-    /// for traffic charging).
+    /// for traffic charging). Only meaningful for in-arena addresses:
+    /// below-arena addresses saturate onto granule 0's byte, which is why
+    /// the charging paths clamp to [`RevocationBitmap::granule_span`]
+    /// instead of calling this on raw bases.
     #[must_use]
     pub fn shadow_addr(&self, addr: u64) -> u64 {
         BITMAP_VA_BASE + (addr.saturating_sub(self.heap_base) / CAP_SIZE) / 8
     }
 
+    /// The summary level's virtual address holding the bit for bitmap
+    /// word `w`.
+    fn summary_shadow_addr(w: usize) -> u64 {
+        BITMAP_SUMMARY_VA_BASE + (w / 8) as u64
+    }
+
+    /// The contiguous run of granule indices that `[base, base+len)`
+    /// covers after clamping to the arena, or `None` when the range
+    /// misses the arena entirely. Matches the historical per-granule
+    /// loop exactly: granules are visited at `CAP_SIZE` strides from
+    /// `base`, so an unaligned base keeps its legacy coverage.
+    fn granule_span(&self, base: u64, len: u64) -> Option<(usize, usize)> {
+        let steps = (base.saturating_add(len) - base).div_ceil(CAP_SIZE);
+        if steps == 0 {
+            return None;
+        }
+        let granules = (self.heap_len / CAP_SIZE) as usize;
+        let (g0, k_lo) = if base >= self.heap_base {
+            (((base - self.heap_base) / CAP_SIZE) as usize, 0)
+        } else {
+            (0, (self.heap_base - base).div_ceil(CAP_SIZE))
+        };
+        if k_lo >= steps || g0 >= granules {
+            return None;
+        }
+        Some((g0, ((steps - k_lo) as usize).min(granules - g0)))
+    }
+
     /// Paints `[base, base+len)` as quarantined (all corresponding bits
     /// set), charging `core` the store traffic. Returns the cycle cost.
-    /// Addresses outside the covered arena are ignored.
+    /// Ranges that miss the arena are ignored — no bits, no traffic.
     pub fn paint(&mut self, machine: &mut Machine, core: CoreId, base: u64, len: u64) -> u64 {
-        self.set_range(base, len, true);
-        let bytes = (len / CAP_SIZE / 8).max(1);
-        machine.mem_mut().touch_write(core, self.shadow_addr(base), bytes) + len / CAP_SIZE
+        self.set_range_charged(machine, core, base, len, true)
     }
 
     /// Clears `[base, base+len)` (dequarantine after a completed epoch),
     /// charging `core` the store traffic. Returns the cycle cost.
     pub fn unpaint(&mut self, machine: &mut Machine, core: CoreId, base: u64, len: u64) -> u64 {
-        self.set_range(base, len, false);
-        let bytes = (len / CAP_SIZE / 8).max(1);
-        machine.mem_mut().touch_write(core, self.shadow_addr(base), bytes) + len / CAP_SIZE
+        self.set_range_charged(machine, core, base, len, false)
     }
 
-    fn set_range(&mut self, base: u64, len: u64, value: bool) {
-        let mut addr = base;
-        let end = base.saturating_add(len);
-        while addr < end {
-            if let Some(i) = self.index(addr) {
-                let (w, b) = (i / 64, i % 64);
-                let was = self.words[w] >> b & 1 == 1;
-                if value && !was {
-                    self.words[w] |= 1 << b;
-                    self.painted_granules += 1;
-                } else if !value && was {
-                    self.words[w] &= !(1 << b);
-                    self.painted_granules -= 1;
+    fn set_range_charged(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        base: u64,
+        len: u64,
+        value: bool,
+    ) -> u64 {
+        let Some((g0, count)) = self.set_range(base, len, value) else {
+            return 0;
+        };
+        let bytes = (count as u64 / 8).max(1);
+        machine.mem_mut().touch_write(core, BITMAP_VA_BASE + g0 as u64 / 8, bytes) + count as u64
+    }
+
+    /// Sets or clears the covered granule run word-at-a-time through
+    /// masks, maintaining the painted count and the summary level.
+    /// Returns the covered `(first_granule, count)`, or `None` if the
+    /// range misses the arena.
+    fn set_range(&mut self, base: u64, len: u64, value: bool) -> Option<(usize, usize)> {
+        let (g0, count) = self.granule_span(base, len)?;
+        let (mut g, end) = (g0, g0 + count);
+        while g < end {
+            let (w, lo) = (g / 64, g % 64);
+            let run = (end - g).min(64 - lo);
+            let mask = (u64::MAX >> (64 - run)) << lo;
+            let old = self.words[w];
+            let new = if value { old | mask } else { old & !mask };
+            if new != old {
+                self.words[w] = new;
+                let delta = u64::from((new ^ old).count_ones());
+                if value {
+                    self.painted_granules += delta;
+                } else {
+                    self.painted_granules -= delta;
+                }
+                let (sw, sb) = (w / 64, w % 64);
+                if new != 0 {
+                    self.summary[sw] |= 1 << sb;
+                } else {
+                    self.summary[sw] &= !(1 << sb);
                 }
             }
-            addr += CAP_SIZE;
+            g += run;
         }
+        Some((g0, count))
     }
 
     /// Probes the bit for `addr` without traffic accounting (pure lookup).
+    /// Short-circuits on the summary level for clean regions.
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
-        self.index(addr).is_some_and(|i| self.words[i / 64] >> (i % 64) & 1 == 1)
+        self.index(addr).is_some_and(|i| {
+            let w = i / 64;
+            self.summary[w / 64] >> (w % 64) & 1 == 1 && self.words[w] >> (i % 64) & 1 == 1
+        })
     }
 
     /// Probes the bit for `addr`, charging `core` the bitmap-load traffic.
-    /// Returns `(painted, cycles)`.
+    /// Returns `(painted, cycles)`. The summary word is read first; only
+    /// when its "any painted" bit is set does the probe descend to the
+    /// full bitmap word, so sweeps over clean heap keep their working set
+    /// 64× smaller.
     pub fn probe_charged(&self, machine: &mut Machine, core: CoreId, addr: u64) -> (bool, u64) {
-        let cycles = machine.mem_mut().touch_read(core, self.shadow_addr(addr), 8) + 2;
-        (self.probe(addr), cycles)
+        let Some(i) = self.index(addr) else {
+            return (false, 2);
+        };
+        let w = i / 64;
+        let mut cycles = machine.mem_mut().touch_read(core, Self::summary_shadow_addr(w), 8) + 2;
+        if self.summary[w / 64] >> (w % 64) & 1 == 0 {
+            return (false, cycles);
+        }
+        cycles += machine.mem_mut().touch_read(core, BITMAP_VA_BASE + (i / 8) as u64, 8);
+        (self.words[w] >> (i % 64) & 1 == 1, cycles)
     }
 
     /// Number of currently painted granules.
@@ -156,11 +241,62 @@ mod tests {
     }
 
     #[test]
+    fn out_of_arena_paint_charges_no_traffic() {
+        let (mut m, mut b) = mk();
+        let before = m.mem().traffic(0);
+        // Below, above, and zero-length: none may alias granule 0's
+        // shadow byte (the historical saturating_sub bug).
+        assert_eq!(b.paint(&mut m, 0, 0x1000, 64), 0);
+        assert_eq!(b.paint(&mut m, 0, 0x5000_0000, 64), 0);
+        assert_eq!(b.unpaint(&mut m, 0, 0x1000, 64), 0);
+        let after = m.mem().traffic(0);
+        assert_eq!(before.dram_transactions, after.dram_transactions);
+    }
+
+    #[test]
+    fn paint_straddling_arena_start_clamps() {
+        let (mut m, mut b) = mk();
+        // 4 granules below the base, 4 inside.
+        b.paint(&mut m, 0, 0x4000_0000 - 64, 128);
+        assert_eq!(b.painted_granules(), 4);
+        assert!(b.probe(0x4000_0000));
+        assert!(b.probe(0x4000_0030));
+        assert!(!b.probe(0x4000_0040));
+    }
+
+    #[test]
+    fn full_arena_paint_and_unpaint() {
+        let (mut m, mut b) = mk();
+        let granules = 0x10_0000 / CAP_SIZE;
+        b.paint(&mut m, 0, 0x4000_0000, 0x10_0000);
+        assert_eq!(b.painted_granules(), granules);
+        assert!(b.probe(0x4000_0000));
+        assert!(b.probe(0x4000_0000 + 0x10_0000 - 16));
+        b.unpaint(&mut m, 0, 0x4000_0000, 0x10_0000);
+        assert_eq!(b.painted_granules(), 0);
+        assert!(!b.probe(0x4000_8000));
+    }
+
+    #[test]
     fn double_paint_is_idempotent() {
         let (mut m, mut b) = mk();
         b.paint(&mut m, 0, 0x4000_0000, 32);
         b.paint(&mut m, 0, 0x4000_0000, 32);
         assert_eq!(b.painted_bytes(), 32);
+    }
+
+    #[test]
+    fn summary_tracks_word_occupancy() {
+        let (mut m, mut b) = mk();
+        // Two granules in the same 64-granule word: clearing one must
+        // keep the summary bit (hence the probe) alive.
+        b.paint(&mut m, 0, 0x4000_0000, 16);
+        b.paint(&mut m, 0, 0x4000_0100, 16);
+        b.unpaint(&mut m, 0, 0x4000_0000, 16);
+        assert!(b.probe(0x4000_0100));
+        b.unpaint(&mut m, 0, 0x4000_0100, 16);
+        assert!(!b.probe(0x4000_0100));
+        assert_eq!(b.painted_granules(), 0);
     }
 
     #[test]
@@ -172,6 +308,20 @@ mod tests {
         assert!(hit);
         assert!(cycles > 0);
         assert!(m.mem().traffic(0).dram_transactions >= before);
+    }
+
+    #[test]
+    fn clean_probe_short_circuits_on_summary() {
+        let (mut m, b) = mk();
+        // A probe of a fully clean region reads only the summary word.
+        let (hit, cycles) = b.probe_charged(&mut m, 0, 0x4000_8000);
+        assert!(!hit);
+        assert!(cycles > 0);
+        // Out-of-arena probes touch nothing at all.
+        let before = m.mem().traffic(0).dram_transactions;
+        let (hit, _) = b.probe_charged(&mut m, 0, 0x1000);
+        assert!(!hit);
+        assert_eq!(m.mem().traffic(0).dram_transactions, before);
     }
 
     #[test]

@@ -65,8 +65,9 @@ mod bitmap;
 mod epoch;
 mod hoards;
 mod revoker;
+mod worklist;
 
-pub use bitmap::{RevocationBitmap, BITMAP_VA_BASE};
+pub use bitmap::{RevocationBitmap, BITMAP_SUMMARY_VA_BASE, BITMAP_VA_BASE};
 pub use epoch::EpochClock;
 pub use hoards::{HoardKind, KernelHoards};
 pub use revoker::{

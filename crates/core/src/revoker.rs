@@ -12,6 +12,7 @@
 use crate::bitmap::RevocationBitmap;
 use crate::epoch::EpochClock;
 use crate::hoards::KernelHoards;
+use crate::worklist::ShardedWorklist;
 use cheri_cap::Capability;
 use cheri_mem::{CoreId, PAGE_SIZE};
 use cheri_vm::Machine;
@@ -191,8 +192,13 @@ pub enum StepOutcome {
         used: u64,
     },
     /// Concurrent work is done but the strategy needs a final
-    /// stop-the-world phase — call [`Revoker::finish_stw`].
-    NeedsFinalStw,
+    /// stop-the-world phase — call [`Revoker::finish_stw`]. Reported in
+    /// the same step that drains the last page, so `used` carries that
+    /// step's critical-path cycles (0 when re-polled while waiting).
+    NeedsFinalStw {
+        /// Cycles consumed on the revoker core(s) in this step.
+        used: u64,
+    },
     /// The epoch completed during this step. `used` cycles were consumed.
     Finished {
         /// Cycles consumed on the revoker core(s).
@@ -204,11 +210,11 @@ pub enum StepOutcome {
 enum State {
     Idle,
     /// Cornucopia's concurrent phase over a snapshot of tracked pages.
-    CornConcurrent { pending: BTreeSet<u64> },
+    CornConcurrent { work: ShardedWorklist },
     /// Cornucopia: concurrent work done, awaiting the final STW.
     CornAwaitStw,
     /// Reloaded's (or CHERIoT's) concurrent phase.
-    RelConcurrent { pending: BTreeSet<u64> },
+    RelConcurrent { work: ShardedWorklist },
 }
 
 /// The in-kernel revocation subsystem.
@@ -230,8 +236,12 @@ pub struct Revoker {
     phases: Vec<PhaseRecord>,
     /// Cycles of fault handling accumulated in the current epoch.
     epoch_fault_cycles: u64,
-    /// Concurrent-phase cycles accumulated in the current epoch.
+    /// Concurrent-phase critical-path cycles accumulated in the current
+    /// epoch (max across revoker cores per step).
     epoch_concurrent_cycles: u64,
+    /// Lifetime concurrent-sweep cycles per configured revoker core,
+    /// aligned with `cfg.revoker_cores`.
+    core_concurrent_cycles: Vec<u64>,
 }
 
 impl Revoker {
@@ -241,6 +251,7 @@ impl Revoker {
         assert!(!cfg.revoker_cores.is_empty(), "need at least one revoker core");
         Revoker {
             bitmap: RevocationBitmap::new(heap_base, heap_len),
+            core_concurrent_cycles: vec![0; cfg.revoker_cores.len()],
             cfg,
             epoch: EpochClock::new(),
             hoards: KernelHoards::new(),
@@ -281,6 +292,20 @@ impl Revoker {
     #[must_use]
     pub fn phase_records(&self) -> &[PhaseRecord] {
         &self.phases
+    }
+
+    /// The configured revoker cores, in shard order.
+    #[must_use]
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cfg.revoker_cores
+    }
+
+    /// Lifetime concurrent-sweep cycles accumulated by each revoker core,
+    /// aligned with [`Revoker::cores`]. The critical path of one step is
+    /// the max entry's growth; the sum is total CPU time spent sweeping.
+    #[must_use]
+    pub fn per_core_concurrent_cycles(&self) -> &[u64] {
+        &self.core_concurrent_cycles
     }
 
     /// The kernel hoards (workloads deposit/divulge through these).
@@ -358,7 +383,7 @@ impl Revoker {
                 // No initial STW: snapshot the tracked pages and go
                 // concurrent. Clear CD bits as pages are visited so
                 // re-dirtying is observable.
-                self.state = State::CornConcurrent { pending: self.tracked.clone() };
+                self.state = State::CornConcurrent { work: self.shard(self.tracked.clone()) };
                 0
             }
             Strategy::Reloaded => {
@@ -381,7 +406,7 @@ impl Revoker {
                 }
                 cycles += self.scan_registers_and_hoards(machine);
                 let pending: BTreeSet<u64> = machine.stale_generation_pages().into_iter().collect();
-                self.state = State::RelConcurrent { pending };
+                self.state = State::RelConcurrent { work: self.shard(pending) };
                 self.stats.stw_cycles += cycles;
                 self.record_phase(PhaseKind::ReloadedStw, cycles);
                 cycles
@@ -392,67 +417,98 @@ impl Revoker {
                 // cycle-stealing engine does this too) and sweep in the
                 // background so bitmap bits can eventually be recycled.
                 let cycles = self.scan_registers_and_hoards(machine);
-                self.state = State::RelConcurrent { pending: self.tracked.clone() };
+                self.state = State::RelConcurrent { work: self.shard(self.tracked.clone()) };
                 self.stats.stw_cycles += cycles;
                 cycles
             }
         }
     }
 
-    /// Runs up to `budget` cycles of background revocation on the
-    /// configured revoker core(s).
+    /// Runs up to `budget` cycles of background revocation **per core** on
+    /// the configured revoker core(s). Each core consumes its own worklist
+    /// shard (stealing round-robin once it drains), charges its own cache
+    /// and DRAM traffic, and accumulates its own cycle count; the returned
+    /// `used` is the max across cores — the step's critical path.
     pub fn background_step(&mut self, machine: &mut Machine, budget: u64) -> StepOutcome {
-        let threads = self.cfg.revoker_cores.len() as u64;
-        let effective_budget = budget.saturating_mul(threads);
-        let core = self.cfg.revoker_cores[0];
         match std::mem::replace(&mut self.state, State::Idle) {
             State::Idle => StepOutcome::Idle,
             State::CornAwaitStw => {
                 self.state = State::CornAwaitStw;
-                StepOutcome::NeedsFinalStw
+                StepOutcome::NeedsFinalStw { used: 0 }
             }
-            State::CornConcurrent { mut pending } => {
-                let mut used = 0;
-                while used < effective_budget {
-                    let Some(&page) = pending.iter().next() else { break };
-                    pending.remove(&page);
+            State::CornConcurrent { mut work } => {
+                let used = self.parallel_sweep(machine, &mut work, budget, true);
+                if work.is_empty() {
+                    self.state = State::CornAwaitStw;
+                    StepOutcome::NeedsFinalStw { used }
+                } else {
+                    self.state = State::CornConcurrent { work };
+                    StepOutcome::Working { used }
+                }
+            }
+            State::RelConcurrent { mut work } => {
+                let used = self.parallel_sweep(machine, &mut work, budget, false);
+                if work.is_empty() {
+                    self.finish_reloaded_epoch();
+                    StepOutcome::Finished { used }
+                } else {
+                    self.state = State::RelConcurrent { work };
+                    StepOutcome::Working { used }
+                }
+            }
+        }
+    }
+
+    /// One budgeted slice of the parallel concurrent sweep. Pages are
+    /// handed out round-robin, one per core per round, so the simulated
+    /// cores advance in lockstep; a core that exhausts `budget` sits out
+    /// the rest of the slice. Page visits commute (each sweep touches only
+    /// its own page's tags; the bitmap is read-only here), so the
+    /// revocation result is independent of the core count even though
+    /// cycle and traffic attribution are not.
+    fn parallel_sweep(
+        &mut self,
+        machine: &mut Machine,
+        work: &mut ShardedWorklist,
+        budget: u64,
+        cornucopia: bool,
+    ) -> u64 {
+        let cores = self.cfg.revoker_cores.clone();
+        let mut used = vec![0u64; cores.len()];
+        'slice: loop {
+            let mut progressed = false;
+            for (shard, &core) in cores.iter().enumerate() {
+                if used[shard] >= budget {
+                    continue;
+                }
+                let Some(page) = work.pop_for(shard) else { break 'slice };
+                used[shard] += if cornucopia {
                     // Visit: clear CD first so stores during/after the scan
                     // re-dirty the page for the STW re-sweep.
                     machine.clear_page_cap_dirty(page);
-                    used += 120; // PTE write + shootdown
-                    used += self.sweep_page_contents(machine, core, page);
-                }
-                let used = used / threads.max(1);
-                self.epoch_concurrent_cycles += used;
-                self.stats.concurrent_cycles += used;
-                if pending.is_empty() {
-                    self.state = State::CornAwaitStw;
-                    if used == 0 {
-                        return StepOutcome::NeedsFinalStw;
-                    }
+                    120 + self.sweep_page_contents(machine, core, page) // PTE write + shootdown
                 } else {
-                    self.state = State::CornConcurrent { pending };
-                }
-                StepOutcome::Working { used }
+                    self.visit_page_reloaded(machine, core, page)
+                };
+                progressed = true;
             }
-            State::RelConcurrent { mut pending } => {
-                let mut used = 0;
-                while used < effective_budget {
-                    let Some(&page) = pending.iter().next() else { break };
-                    pending.remove(&page);
-                    used += self.visit_page_reloaded(machine, core, page);
-                }
-                let used = used / threads.max(1);
-                self.epoch_concurrent_cycles += used;
-                self.stats.concurrent_cycles += used;
-                if pending.is_empty() {
-                    self.finish_reloaded_epoch();
-                    return StepOutcome::Finished { used };
-                }
-                self.state = State::RelConcurrent { pending };
-                StepOutcome::Working { used }
+            if !progressed {
+                break;
             }
         }
+        for (shard, &u) in used.iter().enumerate() {
+            self.core_concurrent_cycles[shard] += u;
+        }
+        let critical_path = used.into_iter().max().unwrap_or(0);
+        self.epoch_concurrent_cycles += critical_path;
+        self.stats.concurrent_cycles += critical_path;
+        critical_path
+    }
+
+    /// Deals a deterministic (ascending) page set into one shard per
+    /// configured revoker core.
+    fn shard(&self, pages: BTreeSet<u64>) -> ShardedWorklist {
+        ShardedWorklist::new(pages, self.cfg.revoker_cores.len())
     }
 
     /// Executes Cornucopia's final stop-the-world phase (re-sweep of pages
@@ -501,15 +557,16 @@ impl Revoker {
         // Re-check under the pmap lock: another thread may have already
         // revoked this page (§4.3).
         if machine.page_generation(page) == Some(machine.space_generation())
-            && !matches!(self.state, State::RelConcurrent { ref pending } if pending.contains(&page))
+            && !matches!(self.state, State::RelConcurrent { ref work } if work.contains(page))
         {
             return cycles;
         }
         cycles += self.visit_page_reloaded(machine, core, page);
         let mut finished = false;
-        if let State::RelConcurrent { pending } = &mut self.state {
-            pending.remove(&page);
-            finished = pending.is_empty();
+        if let State::RelConcurrent { work } = &mut self.state {
+            // Cancel the page in whichever shard owns it (lazy removal).
+            work.remove(page);
+            finished = work.is_empty();
         }
         self.stats.load_faults += 1;
         self.stats.fault_cycles += cycles;
@@ -701,7 +758,7 @@ mod tests {
         let mut guard = 0;
         while rev.is_revoking() {
             match rev.background_step(m, 1_000_000) {
-                StepOutcome::NeedsFinalStw => {
+                StepOutcome::NeedsFinalStw { .. } => {
                     rev.finish_stw(m, 1);
                 }
                 StepOutcome::Idle => break,
@@ -816,7 +873,7 @@ mod tests {
         let _obj = plant(&mut m, &mut rev, &heap);
         rev.start_epoch(&mut m);
         // Drain the concurrent phase.
-        while !matches!(rev.background_step(&mut m, 1_000_000), StepOutcome::NeedsFinalStw) {}
+        while !matches!(rev.background_step(&mut m, 1_000_000), StepOutcome::NeedsFinalStw { .. }) {}
         // Application now stores a *stale* cap to a cleaned page (it still
         // holds one in a register-like variable: simulate via direct store
         // of the painted cap).
@@ -845,7 +902,7 @@ mod tests {
             let pause = rev.start_epoch(&mut m);
             pauses.push(pause);
             while rev.is_revoking() {
-                if rev.background_step(&mut m, 1_000_000) == StepOutcome::NeedsFinalStw {
+                if matches!(rev.background_step(&mut m, 1_000_000), StepOutcome::NeedsFinalStw { .. }) {
                     rev.finish_stw(&mut m, 1);
                 }
             }
@@ -856,6 +913,61 @@ mod tests {
             pauses[0],
             pauses[1]
         );
+    }
+
+    #[test]
+    fn cornucopia_drain_reports_needs_stw_in_same_step() {
+        let (mut m, mut rev, heap) = setup(Strategy::Cornucopia);
+        plant(&mut m, &mut rev, &heap);
+        rev.start_epoch(&mut m);
+        // One pending page, ample budget: the step that drains it must
+        // say so, carrying the cycles it consumed — no extra poll.
+        match rev.background_step(&mut m, 1_000_000) {
+            StepOutcome::NeedsFinalStw { used } => assert!(used > 0),
+            other => panic!("expected same-step NeedsFinalStw, got {other:?}"),
+        }
+        // Re-polling while awaiting the STW consumes nothing.
+        assert_eq!(
+            rev.background_step(&mut m, 1_000_000),
+            StepOutcome::NeedsFinalStw { used: 0 }
+        );
+        rev.finish_stw(&mut m, 1);
+        assert!(!rev.is_revoking());
+    }
+
+    #[test]
+    fn parallel_sweep_attributes_traffic_to_each_core() {
+        let mut m = Machine::new(4);
+        m.map_range(HEAP, HLEN, MapFlags::user_rw()).unwrap();
+        let heap = Capability::new_root(HEAP, HLEN, Perms::rw());
+        let cfg = RevokerConfig {
+            strategy: Strategy::Reloaded,
+            revoker_cores: vec![1, 2, 3],
+            ..RevokerConfig::default()
+        };
+        let mut rev = Revoker::new(cfg, HEAP, HLEN);
+        // Plenty of cap-bearing pages so every core sweeps several.
+        for page in 0..24u64 {
+            let a = HEAP + page * 4096;
+            let c = heap.set_bounds(a, 64).unwrap();
+            m.store_cap(0, &heap.set_addr(a + 16), c).unwrap();
+        }
+        rev.paint(&mut m, 0, HEAP + 0x1000, 64);
+        rev.start_epoch(&mut m);
+        while matches!(rev.background_step(&mut m, 1_000_000), StepOutcome::Working { .. }) {}
+        assert_eq!(rev.cores(), &[1, 2, 3]);
+        for &core in rev.cores() {
+            assert!(
+                m.mem().traffic(core).dram_transactions > 0,
+                "core {core} swept pages but shows no DRAM traffic"
+            );
+        }
+        for (i, &cycles) in rev.per_core_concurrent_cycles().iter().enumerate() {
+            assert!(cycles > 0, "shard {i} accumulated no sweep cycles");
+        }
+        // The critical path is the max shard, not the sum or the average.
+        let max = *rev.per_core_concurrent_cycles().iter().max().unwrap();
+        assert_eq!(rev.stats().concurrent_cycles, max);
     }
 
     #[test]

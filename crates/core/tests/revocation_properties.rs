@@ -159,7 +159,7 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> CaseResult {
                 _ => {}
             },
             Act::FinishStw => {
-                if matches!(rev.background_step(&mut m, 0), StepOutcome::NeedsFinalStw) {
+                if matches!(rev.background_step(&mut m, 0), StepOutcome::NeedsFinalStw { .. }) {
                     rev.finish_stw(&mut m, 1);
                     if epoch_open {
                         check_all_gone(&mut m, &mut rev, &doomed)?;
@@ -198,7 +198,7 @@ fn run_model(strategy: RevStrategy, acts: Vec<Act>) -> CaseResult {
     if rev.is_revoking() {
         loop {
             match rev.background_step(&mut m, 1_000_000) {
-                StepOutcome::NeedsFinalStw => {
+                StepOutcome::NeedsFinalStw { .. } => {
                     rev.finish_stw(&mut m, 1);
                     break;
                 }

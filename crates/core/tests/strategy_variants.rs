@@ -31,7 +31,7 @@ fn drain(m: &mut Machine, rev: &mut Revoker) -> u64 {
     let mut steps = 0;
     while rev.is_revoking() {
         match rev.background_step(m, 500_000) {
-            StepOutcome::NeedsFinalStw => {
+            StepOutcome::NeedsFinalStw { .. } => {
                 rev.finish_stw(m, 1);
             }
             StepOutcome::Idle => break,

@@ -19,8 +19,16 @@ pub struct RunStats {
     pub revoker_cpu_cycles: u64,
     /// DRAM transactions attributed to application cores.
     pub app_dram: u64,
-    /// DRAM transactions attributed to the revoker core.
+    /// DRAM transactions attributed to the revoker core(s), summed.
     pub revoker_dram: u64,
+    /// DRAM transactions per revoker core, aligned with `revoker_cores`
+    /// (the parallel sweep charges each shard's traffic to its own core).
+    pub revoker_dram_per_core: Vec<u64>,
+    /// The revoker core ids, in shard order (key for
+    /// `revoker_dram_per_core`).
+    pub revoker_cores: Vec<usize>,
+    /// Pages content-scanned by the revoker, all phases.
+    pub pages_swept: u64,
     /// Peak resident set in bytes.
     pub peak_rss: u64,
     /// Every stop-the-world pause observed (cycles).

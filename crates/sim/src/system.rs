@@ -208,15 +208,30 @@ impl System {
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
         let layout = HeapLayout::new(cfg.heap_base, cfg.heap_len);
-        let mut machine = Machine::new(4);
         let strategy = match cfg.condition {
             Condition::Baseline => Strategy::PaintSync, // unused
             Condition::Safe(s) => s,
         };
+        // Distinct revoker cores (never the app core): rev_core first, then
+        // the lowest free core ids. Each shard of the parallel sweep charges
+        // its own core's caches, so duplicates would fold traffic together.
         let mut revoker_cores = vec![cfg.rev_core];
-        for extra in 1..cfg.revoker_threads {
-            revoker_cores.push(cfg.rev_core.saturating_sub(extra));
+        let mut candidate: CoreId = 0;
+        while revoker_cores.len() < cfg.revoker_threads.max(1) {
+            if candidate != cfg.app_core && !revoker_cores.contains(&candidate) {
+                revoker_cores.push(candidate);
+            }
+            candidate += 1;
         }
+        let num_cores = revoker_cores
+            .iter()
+            .copied()
+            .chain([cfg.app_core])
+            .max()
+            .unwrap_or(0)
+            .max(3)
+            + 1;
+        let mut machine = Machine::new(num_cores);
         let revoker = Revoker::new(
             RevokerConfig {
                 strategy,
@@ -304,7 +319,7 @@ impl System {
         // Let an in-flight pass finish (without charging the app).
         while self.revoker.is_revoking() {
             match self.revoker.background_step(&mut self.machine, 10_000_000) {
-                StepOutcome::NeedsFinalStw => {
+                StepOutcome::NeedsFinalStw { .. } => {
                     let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
                     self.rev_cpu += pause;
                     self.stats.pauses.push(pause);
@@ -319,21 +334,28 @@ impl System {
         s.wall_cycles = self.wall;
         s.app_cpu_cycles = self.app_cpu;
         s.revoker_cpu_cycles = self.rev_cpu;
+        let rev_cores = self.revoker.cores().to_vec();
         let mut app_dram = 0;
-        for core in 0..4 {
+        for core in 0..self.machine.num_cores() {
             let d = self.machine.mem().traffic(core).dram_transactions;
-            if core == self.cfg.rev_core {
+            if rev_cores.contains(&core) {
                 s.revoker_dram += d;
             } else {
                 app_dram += d;
             }
         }
+        s.revoker_dram_per_core = rev_cores
+            .iter()
+            .map(|&core| self.machine.mem().traffic(core).dram_transactions)
+            .collect();
+        s.revoker_cores = rev_cores;
         s.app_dram = app_dram;
         s.peak_rss = self.machine.peak_resident_bytes();
         let rs = self.revoker.stats();
         s.faults = rs.load_faults;
         s.fault_cycles = rs.fault_cycles;
         s.revocations = rs.epochs;
+        s.pages_swept = rs.pages_swept;
         let ms = self.heap.stats();
         s.total_freed_bytes = ms.total_freed_bytes;
         s.allocs = ms.allocs;
@@ -424,6 +446,15 @@ impl System {
         !self.cfg.spare_revoker_core && self.revoker.is_revoking()
     }
 
+    /// DRAM transactions issued so far across all revoker cores.
+    fn revoker_dram_now(&self) -> u64 {
+        self.revoker
+            .cores()
+            .iter()
+            .map(|&core| self.machine.mem().traffic(core).dram_transactions)
+            .sum()
+    }
+
     /// Gives the background revoker the wall time that elapsed since its
     /// last pump. `app_busy` affects whether a final STW pause extends the
     /// wall clock (a pause inside idle time is hidden; §5.2 discussion).
@@ -439,7 +470,7 @@ impl System {
         if budget == 0 {
             return;
         }
-        let rev_dram_before = self.machine.mem().traffic(self.cfg.rev_core).dram_transactions;
+        let rev_dram_before = self.revoker_dram_now();
         let outcome = self.revoker.background_step(&mut self.machine, budget);
         if app_busy && self.cfg.spare_revoker_core {
             // Shared-bus contention: the sweep's DRAM traffic stalls the
@@ -447,7 +478,7 @@ impl System {
             // revoker time-slices with the application, its traffic is
             // serialized inside its own quantum and the CPU contention
             // factor already accounts for the slowdown.
-            let delta = self.machine.mem().traffic(self.cfg.rev_core).dram_transactions - rev_dram_before;
+            let delta = self.revoker_dram_now() - rev_dram_before;
             let penalty = delta * self.cfg.bus_penalty_per_rev_txn;
             self.wall += penalty;
             self.app_cpu += penalty;
@@ -465,7 +496,7 @@ impl System {
                 self.rev_mark = self.wall;
                 self.maybe_release();
             }
-            StepOutcome::NeedsFinalStw => {
+            StepOutcome::NeedsFinalStw { .. } => {
                 let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
                 self.stats.pauses.push(pause);
                 self.rev_cpu += pause;
@@ -485,7 +516,7 @@ impl System {
         self.heap.note_blocked_alloc();
         while self.revoker.is_revoking() {
             match self.revoker.background_step(&mut self.machine, 1_000_000) {
-                StepOutcome::NeedsFinalStw => {
+                StepOutcome::NeedsFinalStw { .. } => {
                     let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
                     self.stats.pauses.push(pause);
                     self.rev_cpu += pause;
@@ -836,6 +867,29 @@ mod tests {
         assert_eq!(a.wall_cycles, b.wall_cycles);
         assert_eq!(a.tx_latencies, b.tx_latencies);
         assert_eq!(a.total_dram(), b.total_dram());
+    }
+
+    #[test]
+    fn multi_core_revoker_attributes_dram_per_core() {
+        let cfg = SimConfig {
+            condition: Condition::reloaded(),
+            revoker_threads: 4,
+            min_quarantine: 256 << 10,
+            ..SimConfig::default()
+        };
+        let s = System::new(cfg).run(churn_ops(2000, 4096)).unwrap();
+        assert_eq!(s.revoker_cores.len(), 4);
+        assert!(!s.revoker_cores.contains(&SimConfig::default().app_core));
+        let mut distinct = s.revoker_cores.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4, "revoker cores must be distinct");
+        assert_eq!(s.revoker_dram, s.revoker_dram_per_core.iter().sum::<u64>());
+        assert!(
+            s.revoker_dram_per_core.iter().filter(|&&d| d > 0).count() >= 2,
+            "sweep traffic should land on multiple cores, got {:?}",
+            s.revoker_dram_per_core
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn main() {
     // ...and the stale pointer is revoked by the pass.
     revoker.start_epoch(&mut machine);
     while revoker.is_revoking() {
-        if revoker.background_step(&mut machine, 100_000) == StepOutcome::NeedsFinalStw {
+        if matches!(revoker.background_step(&mut machine, 100_000), StepOutcome::NeedsFinalStw { .. }) {
             revoker.finish_stw(&mut machine, 1);
         }
     }

@@ -46,7 +46,7 @@ fn main() {
     while revoker.is_revoking() {
         match revoker.background_step(&mut machine, 100_000) {
             StepOutcome::Working { used } | StepOutcome::Finished { used } => background += used,
-            StepOutcome::NeedsFinalStw => {
+            StepOutcome::NeedsFinalStw { .. } => {
                 revoker.finish_stw(&mut machine, 1);
             }
             StepOutcome::Idle => break,

@@ -64,7 +64,7 @@ fn attack_under_reloaded() {
     heap.seal(&revoker);
     revoker.start_epoch(&mut machine);
     while revoker.is_revoking() {
-        if revoker.background_step(&mut machine, 100_000) == StepOutcome::NeedsFinalStw {
+        if matches!(revoker.background_step(&mut machine, 100_000), StepOutcome::NeedsFinalStw { .. }) {
             revoker.finish_stw(&mut machine, 1);
         }
     }

@@ -23,7 +23,7 @@ fn run_epoch(machine: &mut Machine, revoker: &mut Revoker) {
     revoker.start_epoch(machine);
     let mut guard = 0;
     while revoker.is_revoking() {
-        if revoker.background_step(machine, 1_000_000) == StepOutcome::NeedsFinalStw {
+        if matches!(revoker.background_step(machine, 1_000_000), StepOutcome::NeedsFinalStw { .. }) {
             revoker.finish_stw(machine, 1);
         }
         guard += 1;

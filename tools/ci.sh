@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build + full test suite, the hermetic-build
+# guard, and a quick-mode smoke of the bench harnesses (micro + sweep)
+# so benchmark bit-rot is caught without paying for a full measurement
+# run. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== hermetic guard =="
+tools/check_hermetic.sh
+
+echo "== bench smoke (quick mode) =="
+SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench micro
+SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench sweep
+
+echo "ci: all gates passed"
