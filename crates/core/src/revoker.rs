@@ -242,6 +242,10 @@ pub struct Revoker {
     /// Lifetime concurrent-sweep cycles per configured revoker core,
     /// aligned with `cfg.revoker_cores`.
     core_concurrent_cycles: Vec<u64>,
+    /// Reusable page-visit buffer: `sweep_page_contents` snapshots each
+    /// page's tagged capabilities here instead of allocating a `Vec` per
+    /// page (the sweep visits every mapped page each epoch).
+    scratch: Vec<(u64, Capability)>,
 }
 
 impl Revoker {
@@ -261,6 +265,7 @@ impl Revoker {
             phases: Vec::new(),
             epoch_fault_cycles: 0,
             epoch_concurrent_cycles: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -383,7 +388,8 @@ impl Revoker {
                 // No initial STW: snapshot the tracked pages and go
                 // concurrent. Clear CD bits as pages are visited so
                 // re-dirtying is observable.
-                self.state = State::CornConcurrent { work: self.shard(self.tracked.clone()) };
+                let work = self.shard(self.tracked.iter().copied());
+                self.state = State::CornConcurrent { work };
                 0
             }
             Strategy::Reloaded => {
@@ -405,8 +411,10 @@ impl Revoker {
                     cycles += pages.len() as u64 * 150;
                 }
                 cycles += self.scan_registers_and_hoards(machine);
-                let pending: BTreeSet<u64> = machine.stale_generation_pages().into_iter().collect();
-                self.state = State::RelConcurrent { work: self.shard(pending) };
+                // `stale_generation_pages` is already ascending and
+                // duplicate-free; deal it straight into the shards.
+                let work = self.shard(machine.stale_generation_pages());
+                self.state = State::RelConcurrent { work };
                 self.stats.stw_cycles += cycles;
                 self.record_phase(PhaseKind::ReloadedStw, cycles);
                 cycles
@@ -417,7 +425,8 @@ impl Revoker {
                 // cycle-stealing engine does this too) and sweep in the
                 // background so bitmap bits can eventually be recycled.
                 let cycles = self.scan_registers_and_hoards(machine);
-                self.state = State::RelConcurrent { work: self.shard(self.tracked.clone()) };
+                let work = self.shard(self.tracked.iter().copied());
+                self.state = State::RelConcurrent { work };
                 self.stats.stw_cycles += cycles;
                 cycles
             }
@@ -507,7 +516,8 @@ impl Revoker {
 
     /// Deals a deterministic (ascending) page set into one shard per
     /// configured revoker core.
-    fn shard(&self, pages: BTreeSet<u64>) -> ShardedWorklist {
+    /// Deals an ascending page sequence into the per-core worklist shards.
+    fn shard(&self, pages: impl IntoIterator<Item = u64>) -> ShardedWorklist {
         ShardedWorklist::new(pages, self.cfg.revoker_cores.len())
     }
 
@@ -659,8 +669,13 @@ impl Revoker {
         // §4.3 read-only heuristic: scan without write intent; only a page
         // that actually needs a revocation is upgraded (full page fault).
         let mut writable = machine.page_user_writable(page);
-        for (addr, cap) in machine.peek_tagged_caps(page) {
-            self.stats.caps_checked += 1;
+        // Move the scratch buffer out so the visit loop can mutate both
+        // `self` and `machine`; the snapshot semantics (and visit order)
+        // are identical to collecting a fresh Vec.
+        let mut caps = std::mem::take(&mut self.scratch);
+        machine.peek_tagged_caps_into(page, &mut caps);
+        self.stats.caps_checked += caps.len() as u64;
+        for &(addr, cap) in &caps {
             // §7.3: a capability whose color no longer matches its target
             // memory is permanently useless and may be revoked on sight —
             // a purely architectural test, no bitmap consultation needed.
@@ -686,6 +701,7 @@ impl Revoker {
                 self.stats.caps_revoked += 1;
             }
         }
+        self.scratch = caps;
         cycles
     }
 

@@ -16,7 +16,13 @@
 //! when their queue entry surfaces, so `remove` is O(1) instead of a
 //! deque scan.
 
-use std::collections::{HashSet, VecDeque};
+use cheri_mem::FastSet;
+use std::collections::VecDeque;
+
+/// Page membership set on the sweep hot path: fixed-seed fast hashing
+/// (never iterated, so the hash function cannot influence simulated
+/// results — see `cheri_mem::hash`).
+type PageSet = FastSet<u64>;
 
 /// A page worklist sharded across revoker cores.
 #[derive(Debug, Clone, Default)]
@@ -25,7 +31,7 @@ pub(crate) struct ShardedWorklist {
     queues: Vec<VecDeque<u64>>,
     /// Pages still awaiting a visit (the source of truth; queue entries
     /// not present here are stale and skipped).
-    pending: HashSet<u64>,
+    pending: PageSet,
 }
 
 impl ShardedWorklist {
@@ -35,7 +41,7 @@ impl ShardedWorklist {
     pub(crate) fn new(pages: impl IntoIterator<Item = u64>, shards: usize) -> Self {
         let shards = shards.max(1);
         let mut queues = vec![VecDeque::new(); shards];
-        let mut pending = HashSet::new();
+        let mut pending = PageSet::default();
         let mut dealt = 0usize;
         for page in pages {
             if pending.insert(page) {

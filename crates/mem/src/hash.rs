@@ -1,0 +1,81 @@
+//! A fixed-seed hasher for the simulator's page- and granule-keyed maps.
+//!
+//! The default `HashMap` state is SipHash with a per-process random key.
+//! That is both slow on the simulator's hottest lookups (frame index, TLB,
+//! sweep worklists — all keyed by small integers) and a latent determinism
+//! hazard. This Fibonacci-multiply hasher is fixed-seed and a handful of
+//! cycles; it mixes page numbers plenty for power-of-two tables. Use it
+//! only for maps that are never iterated (point lookups cannot observe
+//! bucket order, so the hash function cannot influence simulated results);
+//! hash-flooding resistance is irrelevant inside a simulator.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fixed-seed multiplicative hasher (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using the fixed-seed fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using the fixed-seed fast hasher.
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearby_pages_spread_across_buckets() {
+        // Consecutive page numbers must not collide in the low bits the
+        // table actually uses.
+        let low_bits: HashSet<u64> = (0..64u64)
+            .map(|p| {
+                let mut h = FastHasher::default();
+                h.write_u64(p * 4096);
+                h.finish() & 0x7f
+            })
+            .collect();
+        assert!(low_bits.len() > 48, "only {} distinct buckets", low_bits.len());
+    }
+
+    #[test]
+    fn map_roundtrips() {
+        let mut m = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&i));
+        }
+    }
+}

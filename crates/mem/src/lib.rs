@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod hash;
 mod phys;
 
 pub use cache::{AccessKind, CacheConfig, TrafficStats};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use phys::{PhysMem, GRANULES_PER_PAGE, PAGE_SIZE};
 
 use cheri_cap::Capability;
@@ -74,18 +76,21 @@ impl MemSystem {
     /// model (used by test assertions and debug dumps, never by simulated
     /// cores).
     #[must_use]
+    #[inline]
     pub fn phys(&self) -> &PhysMem {
         &self.mem
     }
 
     /// Mutable access to the underlying physical memory, bypassing the
     /// cache model.
+    #[inline]
     pub fn phys_mut(&mut self) -> &mut PhysMem {
         &mut self.mem
     }
 
     /// Reads `buf.len()` bytes at `addr` on behalf of `core`, returning the
     /// cycle cost.
+    #[inline]
     pub fn read_bytes(&mut self, core: CoreId, addr: u64, buf: &mut [u8]) -> u64 {
         let cost = self.caches.access(core, addr, buf.len() as u64, AccessKind::Read);
         self.mem.read_bytes(addr, buf);
@@ -94,6 +99,7 @@ impl MemSystem {
 
     /// Writes `buf` at `addr` on behalf of `core` (clearing covered tags),
     /// returning the cycle cost.
+    #[inline]
     pub fn write_bytes(&mut self, core: CoreId, addr: u64, buf: &[u8]) -> u64 {
         let cost = self.caches.access(core, addr, buf.len() as u64, AccessKind::Write);
         self.mem.write_bytes(addr, buf);
@@ -101,6 +107,7 @@ impl MemSystem {
     }
 
     /// Loads the capability (or untagged residue) at 16-byte-aligned `addr`.
+    #[inline]
     pub fn load_cap(&mut self, core: CoreId, addr: u64) -> (Capability, u64) {
         let cost = self.caches.access(core, addr, cheri_cap::CAP_SIZE, AccessKind::Read);
         (self.mem.load_cap(addr), cost)
@@ -108,6 +115,7 @@ impl MemSystem {
 
     /// Stores a capability at 16-byte-aligned `addr`, setting the granule
     /// tag iff the capability is tagged.
+    #[inline]
     pub fn store_cap(&mut self, core: CoreId, addr: u64, cap: Capability) -> u64 {
         let cost = self.caches.access(core, addr, cheri_cap::CAP_SIZE, AccessKind::Write);
         self.mem.store_cap(addr, cap);
@@ -117,12 +125,14 @@ impl MemSystem {
     /// Charges the cache/bus cost of touching `[addr, addr+len)` for reading
     /// without moving data (used for bulk sweep loops, which inspect tags
     /// and only occasionally rewrite granules).
+    #[inline]
     pub fn touch_read(&mut self, core: CoreId, addr: u64, len: u64) -> u64 {
         self.caches.access(core, addr, len, AccessKind::Read)
     }
 
     /// Charges the cache/bus cost of a write to `[addr, addr+len)` without
     /// moving data.
+    #[inline]
     pub fn touch_write(&mut self, core: CoreId, addr: u64, len: u64) -> u64 {
         self.caches.access(core, addr, len, AccessKind::Write)
     }

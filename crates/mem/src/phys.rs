@@ -1,13 +1,23 @@
 //! Sparse, demand-zero tagged physical memory.
+//!
+//! Host performance: frames live in a dense slab (`Vec<Frame>`) behind a
+//! page-number → slot index, with a one-entry lookup memo serving the
+//! same-page access streaks that dominate every workload. Released
+//! frames park on a free list and are reset (not reallocated) on reuse.
+//! None of this is visible to the simulation: counters, tags, and data
+//! are bit-identical to a naive map of pages.
 
 use cheri_cap::{Capability, CAP_SIZE};
-use std::collections::HashMap;
+use std::cell::Cell;
+use crate::hash::FastMap;
 
 /// Page size in bytes (Morello and CheriBSD use 4 KiB base pages).
 pub const PAGE_SIZE: u64 = 4096;
 
 /// Tagged 16-byte granules per page.
 pub const GRANULES_PER_PAGE: usize = (PAGE_SIZE / CAP_SIZE) as usize;
+
+const TAG_WORDS: usize = GRANULES_PER_PAGE / 64;
 
 /// One physical page frame: 4 KiB of data, a 256-bit tag vector, and shadow
 /// storage for the decompressed capabilities whose encodings live in the
@@ -21,7 +31,7 @@ pub const GRANULES_PER_PAGE: usize = (PAGE_SIZE / CAP_SIZE) as usize;
 struct Frame {
     data: Box<[u8]>,
     /// One bit per granule; bit set ⇒ the granule holds a valid capability.
-    tags: [u64; GRANULES_PER_PAGE / 64],
+    tags: [u64; TAG_WORDS],
     /// Shadow capability storage, allocated on first capability store.
     caps: Option<Box<[Capability]>>,
     /// Per-granule memory colors (paper §7.3), allocated on first recolor.
@@ -32,10 +42,19 @@ impl Frame {
     fn new() -> Frame {
         Frame {
             data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
-            tags: [0; GRANULES_PER_PAGE / 64],
+            tags: [0; TAG_WORDS],
             caps: None,
             colors: None,
         }
+    }
+
+    /// Returns the frame to its demand-zero state, keeping the data
+    /// allocation (slab slots are recycled across release/materialize).
+    fn reset(&mut self) {
+        self.data.fill(0);
+        self.tags = [0; TAG_WORDS];
+        self.caps = None;
+        self.colors = None;
     }
 
     fn tag(&self, granule: usize) -> bool {
@@ -51,6 +70,17 @@ impl Frame {
         }
     }
 
+    /// Clears the tags of granules `g0..=g1` with word-masked stores.
+    fn clear_tag_span(&mut self, g0: usize, g1: usize) {
+        let (w0, w1) = (g0 / 64, g1 / 64);
+        for w in w0..=w1 {
+            let lo = if w == w0 { g0 % 64 } else { 0 };
+            let hi = if w == w1 { g1 % 64 } else { 63 };
+            let mask = if hi - lo == 63 { !0u64 } else { ((1u64 << (hi - lo + 1)) - 1) << lo };
+            self.tags[w] &= !mask;
+        }
+    }
+
     fn caps_mut(&mut self) -> &mut [Capability] {
         self.caps.get_or_insert_with(|| vec![Capability::null(); GRANULES_PER_PAGE].into_boxed_slice())
     }
@@ -63,11 +93,24 @@ impl Frame {
 /// Sparse physical memory with per-granule capability tags.
 ///
 /// Frames materialize (zero-filled) on first touch and are accounted toward
-/// the resident-set size, which the evaluation's Figure 3 reports.
+/// the resident-set size, which the evaluation's Figure 3 reports. The
+/// peak-residency watermark is maintained only when a frame is actually
+/// inserted — never on plain accesses.
 #[derive(Debug, Default)]
 pub struct PhysMem {
-    frames: HashMap<u64, Frame>,
+    /// Dense frame storage; slots are stable for the life of the memory.
+    slab: Vec<Frame>,
+    /// Page number → slab slot for materialized pages.
+    index: FastMap<u64, u32>,
+    /// Slots whose pages were released, available for reuse.
+    free_slots: Vec<u32>,
+    /// Materialized (live) frame count; `index.len()` as a plain counter.
+    live_frames: u64,
     peak_resident: u64,
+    /// Memo of the last located page (page number, slot): same-page access
+    /// streaks skip the index entirely. Purely a host-side cache — slots
+    /// are stable, so a hit can never observe stale data.
+    last: Cell<Option<(u64, u32)>>,
 }
 
 impl PhysMem {
@@ -77,15 +120,56 @@ impl PhysMem {
         PhysMem::default()
     }
 
+    /// Locates the slab slot of page `fno`, if materialized.
+    #[inline]
+    fn slot_of(&self, fno: u64) -> Option<u32> {
+        if let Some((p, s)) = self.last.get() {
+            if p == fno {
+                return Some(s);
+            }
+        }
+        let s = *self.index.get(&fno)?;
+        self.last.set(Some((fno, s)));
+        Some(s)
+    }
+
+    #[inline]
+    fn frame(&self, addr: u64) -> Option<&Frame> {
+        self.slot_of(addr / PAGE_SIZE).map(|s| &self.slab[s as usize])
+    }
+
+    #[inline]
+    fn frame_mut_existing(&mut self, addr: u64) -> Option<&mut Frame> {
+        let s = self.slot_of(addr / PAGE_SIZE)?;
+        Some(&mut self.slab[s as usize])
+    }
+
+    /// Locates (materializing on demand) the frame backing `addr`. The
+    /// residency watermark moves only on the insertion path.
     fn frame_mut(&mut self, addr: u64) -> &mut Frame {
         let fno = addr / PAGE_SIZE;
-        let frame = self.frames.entry(fno).or_insert_with(Frame::new);
-        let _ = frame; // borrow ends; recompute peak below
-        let resident = self.frames.len() as u64 * PAGE_SIZE;
+        if let Some(s) = self.slot_of(fno) {
+            return &mut self.slab[s as usize];
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slab[s as usize].reset();
+                s
+            }
+            None => {
+                assert!(self.slab.len() < u32::MAX as usize, "slab full");
+                self.slab.push(Frame::new());
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.index.insert(fno, slot);
+        self.last.set(Some((fno, slot)));
+        self.live_frames += 1;
+        let resident = self.live_frames * PAGE_SIZE;
         if resident > self.peak_resident {
             self.peak_resident = resident;
         }
-        self.frames.get_mut(&fno).expect("frame just inserted")
+        &mut self.slab[slot as usize]
     }
 
     /// Materializes (demand-zeroes) the frame backing `addr`, as a store
@@ -101,7 +185,7 @@ impl PhysMem {
             let a = addr + off as u64;
             let in_page = (PAGE_SIZE - a % PAGE_SIZE) as usize;
             let n = in_page.min(buf.len() - off);
-            match self.frames.get(&(a / PAGE_SIZE)) {
+            match self.frame(a) {
                 Some(f) => {
                     let s = (a % PAGE_SIZE) as usize;
                     buf[off..off + n].copy_from_slice(&f.data[s..s + n]);
@@ -123,11 +207,7 @@ impl PhysMem {
             let frame = self.frame_mut(a);
             let s = (a % PAGE_SIZE) as usize;
             frame.data[s..s + n].copy_from_slice(&buf[off..off + n]);
-            let g0 = s / CAP_SIZE as usize;
-            let g1 = (s + n - 1) / CAP_SIZE as usize;
-            for g in g0..=g1 {
-                frame.set_tag(g, false);
-            }
+            frame.clear_tag_span(s / CAP_SIZE as usize, (s + n - 1) / CAP_SIZE as usize);
             off += n;
         }
     }
@@ -154,9 +234,10 @@ impl PhysMem {
     /// Panics if `addr` is not 16-byte aligned (the ISA requires natural
     /// alignment for capability accesses).
     #[must_use]
+    #[inline]
     pub fn load_cap(&self, addr: u64) -> Capability {
         assert_eq!(addr % CAP_SIZE, 0, "capability load must be 16-byte aligned");
-        let Some(frame) = self.frames.get(&(addr / PAGE_SIZE)) else {
+        let Some(frame) = self.frame(addr) else {
             return Capability::null();
         };
         let g = (addr % PAGE_SIZE / CAP_SIZE) as usize;
@@ -176,6 +257,7 @@ impl PhysMem {
     /// # Panics
     ///
     /// Panics if `addr` is not 16-byte aligned.
+    #[inline]
     pub fn store_cap(&mut self, addr: u64, cap: Capability) {
         assert_eq!(addr % CAP_SIZE, 0, "capability store must be 16-byte aligned");
         let frame = self.frame_mut(addr);
@@ -191,68 +273,107 @@ impl PhysMem {
 
     /// The tag of the granule containing `addr`.
     #[must_use]
+    #[inline]
     pub fn tag(&self, addr: u64) -> bool {
-        self.frames
-            .get(&(addr / PAGE_SIZE))
-            .is_some_and(|f| f.tag((addr % PAGE_SIZE / CAP_SIZE) as usize))
+        self.frame(addr).is_some_and(|f| f.tag((addr % PAGE_SIZE / CAP_SIZE) as usize))
     }
 
     /// Clears the tag of the granule containing `addr` (revocation's
     /// in-place invalidation).
+    #[inline]
     pub fn clear_tag(&mut self, addr: u64) {
-        if let Some(f) = self.frames.get_mut(&(addr / PAGE_SIZE)) {
+        if let Some(f) = self.frame_mut_existing(addr) {
             f.set_tag((addr % PAGE_SIZE / CAP_SIZE) as usize, false);
+        }
+    }
+
+    /// Clears the tag of every granule overlapping `[addr, addr+len)` with
+    /// word-masked stores — the bulk form of [`PhysMem::clear_tag`] that
+    /// data writes use. Unmaterialized pages are skipped (their tags are
+    /// already clear). A no-op when `len == 0`.
+    pub fn clear_tag_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = addr.saturating_add(len);
+        let mut a = addr;
+        while a < end {
+            let page = a / PAGE_SIZE * PAGE_SIZE;
+            let chunk_end = end.min(page + PAGE_SIZE);
+            if let Some(f) = self.frame_mut_existing(a) {
+                let g0 = ((a - page) / CAP_SIZE) as usize;
+                let g1 = ((chunk_end - 1 - page) / CAP_SIZE) as usize;
+                f.clear_tag_span(g0, g1);
+            }
+            a = chunk_end;
         }
     }
 
     /// Whether the page containing `addr` holds any tagged granule.
     #[must_use]
+    #[inline]
     pub fn page_has_tags(&self, addr: u64) -> bool {
-        self.frames.get(&(addr / PAGE_SIZE)).is_some_and(Frame::any_tag)
+        self.frame(addr).is_some_and(Frame::any_tag)
     }
 
-    /// Returns the tagged capabilities on the page containing `page_addr`,
-    /// as `(granule_addr, capability)` pairs. This is the revoker's
-    /// page-visit primitive.
-    pub fn tagged_caps_in_page(&self, page_addr: u64) -> Vec<(u64, Capability)> {
-        let base = page_addr / PAGE_SIZE * PAGE_SIZE;
-        let Some(frame) = self.frames.get(&(base / PAGE_SIZE)) else {
-            return Vec::new();
-        };
-        let Some(caps) = frame.caps.as_ref() else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        for (w, &word) in frame.tags.iter().enumerate() {
-            let mut bits = word;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                let g = w * 64 + b;
-                out.push((base + g as u64 * CAP_SIZE, caps[g]));
-                bits &= bits - 1;
-            }
+    /// Iterates the tagged capabilities on the page at `page_addr`, as
+    /// `(granule_addr, capability)` pairs in ascending granule order. This
+    /// is the revoker's page-visit primitive; it performs no allocation.
+    ///
+    /// `page_addr` must be page-aligned — callers name the page they mean,
+    /// rather than having an off-by-page bug silently rounded away.
+    pub fn tagged_caps_in_page(&self, page_addr: u64) -> TaggedCapsInPage<'_> {
+        debug_assert_eq!(
+            page_addr % PAGE_SIZE,
+            0,
+            "tagged_caps_in_page requires a page-aligned address"
+        );
+        match self.frame(page_addr).and_then(|f| f.caps.as_ref().map(|c| (f.tags, c))) {
+            Some((words, caps)) => TaggedCapsInPage {
+                base: page_addr,
+                caps,
+                words,
+                cur: 0,
+                bits: 0,
+                next_word: 0,
+            },
+            None => TaggedCapsInPage {
+                base: page_addr,
+                caps: &[],
+                words: [0; TAG_WORDS],
+                cur: 0,
+                bits: 0,
+                next_word: TAG_WORDS,
+            },
         }
-        out
     }
 
     /// Whether the page containing `addr` has been materialized.
     #[must_use]
+    #[inline]
     pub fn page_resident(&self, addr: u64) -> bool {
-        self.frames.contains_key(&(addr / PAGE_SIZE))
+        self.slot_of(addr / PAGE_SIZE).is_some()
     }
 
     /// Releases the frame backing `page_addr` (munmap / page reclaim). The
     /// page's contents and tags are discarded; subsequent reads see zero.
     pub fn release_page(&mut self, page_addr: u64) {
-        self.frames.remove(&(page_addr / PAGE_SIZE));
+        let fno = page_addr / PAGE_SIZE;
+        if let Some(slot) = self.index.remove(&fno) {
+            self.free_slots.push(slot);
+            self.live_frames -= 1;
+            if self.last.get().is_some_and(|(p, _)| p == fno) {
+                self.last.set(None);
+            }
+        }
     }
 
     /// The memory color of the granule containing `addr` (0 if never
     /// recolored; paper §7.3).
     #[must_use]
+    #[inline]
     pub fn granule_color(&self, addr: u64) -> u8 {
-        self.frames
-            .get(&(addr / PAGE_SIZE))
+        self.frame(addr)
             .and_then(|f| f.colors.as_ref())
             .map_or(0, |c| c[(addr % PAGE_SIZE / CAP_SIZE) as usize])
     }
@@ -279,7 +400,7 @@ impl PhysMem {
     /// Currently resident bytes (materialized frames only).
     #[must_use]
     pub fn resident_bytes(&self) -> u64 {
-        self.frames.len() as u64 * PAGE_SIZE
+        self.live_frames * PAGE_SIZE
     }
 
     /// High-water mark of [`PhysMem::resident_bytes`]; the evaluation's
@@ -287,6 +408,40 @@ impl PhysMem {
     #[must_use]
     pub fn peak_resident_bytes(&self) -> u64 {
         self.peak_resident
+    }
+}
+
+/// Zero-allocation iterator over a page's tagged capabilities, from
+/// [`PhysMem::tagged_caps_in_page`]. Snapshots the page's tag words at
+/// creation; capability payloads are read from the frame's shadow storage.
+#[derive(Debug)]
+pub struct TaggedCapsInPage<'a> {
+    base: u64,
+    caps: &'a [Capability],
+    words: [u64; TAG_WORDS],
+    /// Word whose remaining set bits are in `bits`.
+    cur: usize,
+    bits: u64,
+    next_word: usize,
+}
+
+impl Iterator for TaggedCapsInPage<'_> {
+    type Item = (u64, Capability);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u64, Capability)> {
+        while self.bits == 0 {
+            if self.next_word >= TAG_WORDS {
+                return None;
+            }
+            self.cur = self.next_word;
+            self.bits = self.words[self.next_word];
+            self.next_word += 1;
+        }
+        let b = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        let g = self.cur * 64 + b;
+        Some((self.base + g as u64 * CAP_SIZE, self.caps[g]))
     }
 }
 
@@ -359,9 +514,32 @@ mod tests {
             mem.store_cap(a, cap(0x1000 * (i as u64 + 1)));
         }
         mem.write_bytes(0x8040, &[0]); // kill the middle one
-        let got = mem.tagged_caps_in_page(0x8000);
-        let got_addrs: Vec<u64> = got.iter().map(|(a, _)| *a).collect();
+        let got_addrs: Vec<u64> = mem.tagged_caps_in_page(0x8000).map(|(a, _)| a).collect();
         assert_eq!(got_addrs, vec![0x8000, 0x8ff0]);
+    }
+
+    #[test]
+    fn tagged_caps_iteration_is_zero_alloc_for_empty_pages() {
+        let mem = PhysMem::new();
+        assert_eq!(mem.tagged_caps_in_page(0x8000).count(), 0);
+    }
+
+    #[test]
+    fn clear_tag_range_masks_whole_words() {
+        let mut mem = PhysMem::new();
+        for g in 0..GRANULES_PER_PAGE as u64 {
+            mem.store_cap(0x8000 + g * CAP_SIZE, cap(0x1000));
+        }
+        // Clear an interior span and verify exact boundaries.
+        mem.clear_tag_range(0x8000 + 3 * CAP_SIZE, 130 * CAP_SIZE);
+        for g in 0..GRANULES_PER_PAGE as u64 {
+            let a = 0x8000 + g * CAP_SIZE;
+            assert_eq!(mem.tag(a), !(3..133).contains(&g), "granule {g}");
+        }
+        // A partial-granule overlap still clears the granule it touches.
+        mem.clear_tag_range(0x8000 + 7, 1);
+        assert!(!mem.tag(0x8000));
+        mem.clear_tag_range(0x9000, 0); // len 0: no-op, no panic
     }
 
     #[test]
@@ -384,6 +562,41 @@ mod tests {
         assert_eq!(mem.resident_bytes(), 0);
         assert_eq!(mem.peak_resident_bytes(), peak);
         assert_eq!(mem.read_u64(0x8000), 0);
+    }
+
+    #[test]
+    fn released_slots_are_recycled_and_demand_zero() {
+        let mut mem = PhysMem::new();
+        mem.store_cap(0x8000, cap(0x1000));
+        mem.set_color_range(0x8000, 64, 3);
+        mem.release_page(0x8000);
+        // A different page reuses the slot; nothing leaks through.
+        mem.write_u64(0x2_0000, 9);
+        assert_eq!(mem.read_u64(0x8000), 0);
+        assert_eq!(mem.read_u64(0x2_0000 + 8), 0);
+        assert!(!mem.tag(0x2_0000));
+        assert_eq!(mem.granule_color(0x2_0000), 0);
+        assert_eq!(mem.resident_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn peak_watermark_moves_only_on_materialization() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(0x8000, 7);
+        mem.write_u64(0x9000, 7);
+        let peak = mem.peak_resident_bytes();
+        assert_eq!(peak, 2 * PAGE_SIZE);
+        mem.release_page(0x8000);
+        // Accesses to the survivor never move the watermark.
+        for _ in 0..100 {
+            mem.write_u64(0x9000, 7);
+        }
+        assert_eq!(mem.peak_resident_bytes(), peak);
+        // Rematerializing the released page only restores the old level.
+        mem.write_u64(0x8000, 7);
+        assert_eq!(mem.peak_resident_bytes(), peak);
+        mem.write_u64(0xa000, 7);
+        assert_eq!(mem.peak_resident_bytes(), 3 * PAGE_SIZE);
     }
 
     #[test]

@@ -84,7 +84,7 @@ simtest::props! {
                 .iter()
                 .filter(|(&a, c)| a / PAGE_SIZE == page && c.is_some())
                 .count();
-            sim_assert_eq!(mem.tagged_caps_in_page(base).len(), expected, "page {}", page);
+            sim_assert_eq!(mem.tagged_caps_in_page(base).count(), expected, "page {}", page);
         }
     }
 

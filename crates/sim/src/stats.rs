@@ -57,6 +57,12 @@ pub struct RunStats {
     pub phases: Vec<cornucopia::PhaseRecord>,
     /// Times allocation blocked on an in-flight pass.
     pub blocked_allocs: u64,
+    /// TLB misses that required a page-table walk (all cores).
+    pub tlb_misses: u64,
+    /// TLB invalidations broadcast to other cores.
+    pub tlb_shootdowns: u64,
+    /// PTE writes performed (the quantity §4.1's design halves).
+    pub pte_writes: u64,
 }
 
 impl RunStats {

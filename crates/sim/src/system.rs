@@ -351,6 +351,10 @@ impl System {
         s.revoker_cores = rev_cores;
         s.app_dram = app_dram;
         s.peak_rss = self.machine.peak_resident_bytes();
+        let vs = self.machine.vm_stats();
+        s.tlb_misses = vs.tlb_misses;
+        s.tlb_shootdowns = vs.tlb_shootdowns;
+        s.pte_writes = vs.pte_writes;
         let rs = self.revoker.stats();
         s.faults = rs.load_faults;
         s.fault_cycles = rs.fault_cycles;

@@ -224,18 +224,21 @@ pub trait GenExt: Gen + Sized {
 
 impl<G: Gen> GenExt for G {}
 
+/// One weighted arm of a [`OneOf`]: `(weight, draw)`.
+pub type OneOfArm<V> = (u32, Rc<dyn Fn(&mut Rng) -> V>);
+
 /// A weighted union of generators of a common value type; build with
 /// [`oneof!`].
 #[derive(Clone)]
 pub struct OneOf<V> {
-    arms: Vec<(u32, Rc<dyn Fn(&mut Rng) -> V>)>,
+    arms: Vec<OneOfArm<V>>,
     total: u32,
 }
 
 impl<V> OneOf<V> {
     /// Builds from `(weight, draw)` arms. Panics if all weights are zero.
     #[must_use]
-    pub fn new(arms: Vec<(u32, Rc<dyn Fn(&mut Rng) -> V>)>) -> Self {
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
         let total = arms.iter().map(|(w, _)| *w).sum();
         assert!(total > 0, "oneof: at least one arm must have nonzero weight");
         OneOf { arms, total }
@@ -321,7 +324,7 @@ impl<G: Gen> Gen for VecGen<G> {
             // Single-element removals, bounded so shrink lists stay small.
             let stride = (n / 16).max(1);
             for i in (0..n).step_by(stride) {
-                if n - 1 >= min {
+                if n > min {
                     let mut w = v.clone();
                     w.remove(i);
                     out.push(w);

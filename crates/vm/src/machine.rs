@@ -4,7 +4,8 @@ use crate::pte::{MapFlags, Pte};
 use crate::VmFault;
 use cheri_cap::{Capability, Perms, CAP_SIZE};
 use cheri_mem::{CacheConfig, CoreId, MemSystem, PAGE_SIZE};
-use std::collections::{BTreeMap, HashMap};
+use cheri_mem::FastMap;
+use std::collections::BTreeMap;
 
 /// Registers per simulated thread (Morello has 31 general-purpose
 /// capability registers; we round to 32).
@@ -71,9 +72,82 @@ pub struct VmStats {
     pub discarded_stores: u64,
 }
 
-#[derive(Debug, Clone, Default)]
+/// Slots in the direct-mapped micro-TLB fronting each core's TLB.
+const MICRO_TLB_SLOTS: usize = 16;
+
+/// One core's TLB: a hash map of cached PTEs fronted by a small
+/// direct-mapped "micro-TLB" serving same-page access streaks without a
+/// hash lookup.
+///
+/// Invariant: every `hot` slot mirrors a present `entries` mapping, so a
+/// micro-TLB hit implies a hash-map hit and `tlb_misses` cannot drift. All
+/// mutation goes through the methods below, which keep the two views in
+/// sync; in particular every invalidation edge (shootdown, generation
+/// flip, re-walk) clears the matching `hot` slot.
+#[derive(Debug, Clone)]
 struct Tlb {
-    entries: HashMap<u64, Pte>,
+    entries: FastMap<u64, Pte>,
+    hot: [Option<(u64, Pte)>; MICRO_TLB_SLOTS],
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb { entries: FastMap::default(), hot: [None; MICRO_TLB_SLOTS] }
+    }
+}
+
+impl Tlb {
+    #[inline]
+    fn slot(page: u64) -> usize {
+        ((page / PAGE_SIZE) as usize) & (MICRO_TLB_SLOTS - 1)
+    }
+
+    /// Cached translation for page-aligned `page`, if present.
+    #[inline]
+    fn lookup(&mut self, page: u64) -> Option<Pte> {
+        let s = Self::slot(page);
+        if let Some((p, pte)) = self.hot[s] {
+            if p == page {
+                return Some(pte);
+            }
+        }
+        let pte = *self.entries.get(&page)?;
+        self.hot[s] = Some((page, pte));
+        Some(pte)
+    }
+
+    fn insert(&mut self, page: u64, pte: Pte) {
+        self.entries.insert(page, pte);
+        self.hot[Self::slot(page)] = Some((page, pte));
+    }
+
+    /// Invalidates `page`; returns whether it was cached.
+    fn remove(&mut self, page: u64) -> bool {
+        let s = Self::slot(page);
+        if self.hot[s].is_some_and(|(p, _)| p == page) {
+            self.hot[s] = None;
+        }
+        self.entries.remove(&page).is_some()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.hot = [None; MICRO_TLB_SLOTS];
+    }
+
+    /// Marks the cached translation of `page` capability-dirty (the
+    /// store-barrier's local TLB update; other cores keep stale copies).
+    fn set_cap_dirty(&mut self, page: u64) {
+        if let Some(t) = self.entries.get_mut(&page) {
+            t.cap_dirty = true;
+        }
+        let s = Self::slot(page);
+        if let Some((p, pte)) = &mut self.hot[s] {
+            if *p == page {
+                pte.cap_dirty = true;
+            }
+        }
+    }
 }
 
 /// The simulated machine: a small SMP of cores sharing one address space,
@@ -86,7 +160,18 @@ struct Tlb {
 #[derive(Debug)]
 pub struct Machine {
     mem: MemSystem,
-    ptes: BTreeMap<u64, Pte>,
+    /// Page address → slot in `pte_slab`. Ordered, because the revoker's
+    /// sweep-set enumerations iterate pages ascending; point lookups go
+    /// through `pte_slot`, whose memo serves the several same-page PTE
+    /// queries a single page visit issues.
+    ptes: BTreeMap<u64, u32>,
+    /// Dense PTE storage; slots are stable while a page stays mapped.
+    pte_slab: Vec<Pte>,
+    /// Slots of unmapped pages, available for reuse.
+    free_pte_slots: Vec<u32>,
+    /// Memo of the last located PTE (page address, slot). Host-side only:
+    /// slots are stable, so a hit can never observe a stale PTE.
+    pte_memo: std::cell::Cell<Option<(u64, u32)>>,
     tlbs: Vec<Tlb>,
     core_gen: Vec<bool>,
     /// Generation adopted by newly created PTEs and newly arriving cores.
@@ -112,6 +197,9 @@ impl Machine {
         Machine {
             mem: MemSystem::with_config(cores, config),
             ptes: BTreeMap::new(),
+            pte_slab: Vec::new(),
+            free_pte_slots: Vec::new(),
+            pte_memo: std::cell::Cell::new(None),
             tlbs: vec![Tlb::default(); cores],
             core_gen: vec![false; cores],
             space_gen: false,
@@ -159,13 +247,13 @@ impl Machine {
             // revoker's view of the page: the capability-dirty bit and the
             // load generation carry over, or a capability-bearing page
             // could silently drop out of the sweep set / load barrier.
-            if let Some(old) = self.ptes.get(&page) {
+            if let Some(old) = self.pte(page) {
                 if !old.guard && !flags.guard {
                     pte.cap_dirty = old.cap_dirty;
                     pte.load_gen = old.load_gen;
                 }
             }
-            self.ptes.insert(page, pte);
+            self.pte_install(page, pte);
             self.stats.pte_writes += 1;
             self.shootdown(page);
         }
@@ -176,7 +264,7 @@ impl Machine {
     pub fn unmap_range(&mut self, vaddr: u64, len: u64) {
         assert_eq!(vaddr % PAGE_SIZE, 0, "unmap_range: unaligned vaddr");
         for page in (vaddr..vaddr + len).step_by(PAGE_SIZE as usize) {
-            self.ptes.remove(&page);
+            self.pte_remove(page);
             self.stats.pte_writes += 1;
             self.shootdown(page);
             self.mem.phys_mut().release_page(page);
@@ -189,18 +277,65 @@ impl Machine {
         self.pte(vaddr).is_some_and(|p| !p.guard)
     }
 
+    /// Locates the slab slot of the PTE mapping page-aligned `page`.
+    #[inline]
+    fn pte_slot(&self, page: u64) -> Option<u32> {
+        if let Some((p, s)) = self.pte_memo.get() {
+            if p == page {
+                return Some(s);
+            }
+        }
+        let s = *self.ptes.get(&page)?;
+        self.pte_memo.set(Some((page, s)));
+        Some(s)
+    }
+
     fn pte(&self, vaddr: u64) -> Option<&Pte> {
-        self.ptes.get(&(vaddr / PAGE_SIZE * PAGE_SIZE))
+        let s = self.pte_slot(vaddr / PAGE_SIZE * PAGE_SIZE)?;
+        Some(&self.pte_slab[s as usize])
     }
 
     fn pte_mut(&mut self, vaddr: u64) -> Option<&mut Pte> {
-        self.ptes.get_mut(&(vaddr / PAGE_SIZE * PAGE_SIZE))
+        let s = self.pte_slot(vaddr / PAGE_SIZE * PAGE_SIZE)?;
+        Some(&mut self.pte_slab[s as usize])
+    }
+
+    /// Installs (or replaces) the PTE for page-aligned `page`.
+    fn pte_install(&mut self, page: u64, pte: Pte) {
+        match self.pte_slot(page) {
+            Some(s) => self.pte_slab[s as usize] = pte,
+            None => {
+                let slot = match self.free_pte_slots.pop() {
+                    Some(s) => {
+                        self.pte_slab[s as usize] = pte;
+                        s
+                    }
+                    None => {
+                        assert!(self.pte_slab.len() < u32::MAX as usize, "PTE slab full");
+                        self.pte_slab.push(pte);
+                        (self.pte_slab.len() - 1) as u32
+                    }
+                };
+                self.ptes.insert(page, slot);
+                self.pte_memo.set(Some((page, slot)));
+            }
+        }
+    }
+
+    /// Removes the PTE for page-aligned `page`, recycling its slot.
+    fn pte_remove(&mut self, page: u64) {
+        if let Some(slot) = self.ptes.remove(&page) {
+            self.free_pte_slots.push(slot);
+            if self.pte_memo.get().is_some_and(|(p, _)| p == page) {
+                self.pte_memo.set(None);
+            }
+        }
     }
 
     fn shootdown(&mut self, page: u64) {
         let mut any = false;
         for tlb in &mut self.tlbs {
-            any |= tlb.entries.remove(&page).is_some();
+            any |= tlb.remove(page);
         }
         if any {
             self.stats.tlb_shootdowns += 1;
@@ -211,15 +346,15 @@ impl Machine {
     /// snapshot and the cycle cost of any walk.
     fn translate(&mut self, core: CoreId, vaddr: u64) -> Result<(Pte, u64), VmFault> {
         let page = vaddr / PAGE_SIZE * PAGE_SIZE;
-        if let Some(pte) = self.tlbs[core].entries.get(&page) {
-            return Ok((*pte, 0));
+        if let Some(pte) = self.tlbs[core].lookup(page) {
+            return Ok((pte, 0));
         }
         self.stats.tlb_misses += 1;
-        let pte = *self.ptes.get(&page).ok_or(VmFault::NotMapped { vaddr })?;
+        let pte = *self.pte(page).ok_or(VmFault::NotMapped { vaddr })?;
         if pte.guard {
             return Err(VmFault::NotMapped { vaddr });
         }
-        self.tlbs[core].entries.insert(page, pte);
+        self.tlbs[core].insert(page, pte);
         Ok((pte, self.walk_cycles))
     }
 
@@ -228,7 +363,7 @@ impl Machine {
     /// completed revocation of the page).
     fn refresh_tlb(&mut self, core: CoreId, vaddr: u64) -> Result<(Pte, u64), VmFault> {
         let page = vaddr / PAGE_SIZE * PAGE_SIZE;
-        self.tlbs[core].entries.remove(&page);
+        self.tlbs[core].remove(page);
         self.translate(core, vaddr)
     }
 
@@ -292,12 +427,10 @@ impl Machine {
         }
         if cap.is_tagged() && !pte.cap_dirty {
             let page = vaddr / PAGE_SIZE * PAGE_SIZE;
-            if let Some(p) = self.ptes.get_mut(&page) {
+            if let Some(p) = self.pte_mut(page) {
                 p.cap_dirty = true;
             }
-            if let Some(t) = self.tlbs[core].entries.get_mut(&page) {
-                t.cap_dirty = true;
-            }
+            self.tlbs[core].set_cap_dirty(page);
             self.stats.cap_dirty_sets += 1;
             self.stats.pte_writes += 1;
             cycles += 10; // hardware A/D-bit style update
@@ -345,11 +478,8 @@ impl Machine {
             return Ok(cycles + 4);
         }
         cycles += self.mem.touch_write(core, vaddr, len);
-        let first = vaddr & !(CAP_SIZE - 1);
-        let last = (vaddr + len.max(1) - 1) & !(CAP_SIZE - 1);
-        for g in (first..=last).step_by(CAP_SIZE as usize) {
-            self.mem.phys_mut().clear_tag(g);
-        }
+        // Bulk word-masked tag clear over every overlapped granule.
+        self.mem.phys_mut().clear_tag_range(vaddr, len.max(1));
         Ok(cycles)
     }
 
@@ -413,7 +543,7 @@ impl Machine {
             *g = !*g;
         }
         for tlb in &mut self.tlbs {
-            tlb.entries.clear();
+            tlb.clear();
         }
         self.stats.tlb_shootdowns += 1;
     }
@@ -439,7 +569,7 @@ impl Machine {
     /// Sets the §7.6 "always trap capability loads" disposition on a page.
     pub fn set_always_trap(&mut self, vaddr: u64, value: bool) {
         let page = vaddr / PAGE_SIZE * PAGE_SIZE;
-        if let Some(p) = self.ptes.get_mut(&page) {
+        if let Some(p) = self.pte_mut(page) {
             p.always_trap_cap_loads = value;
             self.stats.pte_writes += 1;
         }
@@ -457,7 +587,7 @@ impl Machine {
     /// mask subsequent store-barrier events.
     pub fn clear_page_cap_dirty(&mut self, vaddr: u64) {
         let page = vaddr / PAGE_SIZE * PAGE_SIZE;
-        if let Some(p) = self.ptes.get_mut(&page) {
+        if let Some(p) = self.pte_mut(page) {
             if p.cap_dirty {
                 p.cap_dirty = false;
                 self.stats.pte_writes += 1;
@@ -468,12 +598,19 @@ impl Machine {
 
     /// All mapped, non-guard pages (ascending).
     pub fn mapped_pages(&self) -> impl Iterator<Item = u64> + '_ {
-        self.ptes.iter().filter(|(_, p)| !p.guard).map(|(&a, _)| a)
+        self.ptes.iter().filter(|&(_, &s)| !self.pte_slab[s as usize].guard).map(|(&a, _)| a)
     }
 
     /// All capability-dirty pages (ascending).
     pub fn cap_dirty_pages(&self) -> Vec<u64> {
-        self.ptes.iter().filter(|(_, p)| !p.guard && p.cap_dirty).map(|(&a, _)| a).collect()
+        self.ptes
+            .iter()
+            .filter(|&(_, &s)| {
+                let p = &self.pte_slab[s as usize];
+                !p.guard && p.cap_dirty
+            })
+            .map(|(&a, _)| a)
+            .collect()
     }
 
     /// All pages whose PTE generation differs from the space generation
@@ -481,7 +618,10 @@ impl Machine {
     pub fn stale_generation_pages(&self) -> Vec<u64> {
         self.ptes
             .iter()
-            .filter(|(_, p)| !p.guard && p.load_gen != self.space_gen)
+            .filter(|&(_, &s)| {
+                let p = &self.pte_slab[s as usize];
+                !p.guard && p.load_gen != self.space_gen
+            })
             .map(|(&a, _)| a)
             .collect()
     }
@@ -491,7 +631,15 @@ impl Machine {
     /// separately via [`Machine::charge_page_scan`]).
     #[must_use]
     pub fn peek_tagged_caps(&self, page_addr: u64) -> Vec<(u64, Capability)> {
-        self.mem.phys().tagged_caps_in_page(page_addr)
+        self.mem.phys().tagged_caps_in_page(page_addr).collect()
+    }
+
+    /// Allocation-free variant of [`Machine::peek_tagged_caps`]: clears
+    /// `out` and fills it with the page's tagged capabilities. The sweep
+    /// loop reuses one scratch buffer across every page it visits.
+    pub fn peek_tagged_caps_into(&self, page_addr: u64, out: &mut Vec<(u64, Capability)>) {
+        out.clear();
+        out.extend(self.mem.phys().tagged_caps_in_page(page_addr));
     }
 
     /// Charges `core` the bus cost of scanning one page.
@@ -514,7 +662,7 @@ impl Machine {
     /// be revoked). Returns the cycle cost.
     pub fn upgrade_page_writable(&mut self, vaddr: u64) -> u64 {
         let page = vaddr / PAGE_SIZE * PAGE_SIZE;
-        if let Some(p) = self.ptes.get_mut(&page) {
+        if let Some(p) = self.pte_mut(page) {
             if !p.write {
                 p.write = true;
                 self.stats.pte_writes += 1;

@@ -16,7 +16,7 @@
 
 use cornucopia_reloaded::prelude::*;
 
-const SECRET: u64 = 0x5ec2_e7c0_de;
+const SECRET: u64 = 0x5e_c2e7_c0de;
 
 fn main() {
     attack_without_revocation();

@@ -84,7 +84,7 @@ fn banned_registry_crates_never_return() {
     // Named explicitly so a creative spec (git deps, renamed packages via
     // `package = "rand"`) still trips the guard.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    for manifest in manifests(&root.to_path_buf()) {
+    for manifest in manifests(root) {
         let text = fs::read_to_string(&manifest).unwrap();
         for banned in ["proptest", "criterion", "\"rand\""] {
             let mut in_deps = false;

@@ -12,11 +12,15 @@ cargo build --release --offline
 echo "== tier-1: tests =="
 cargo test -q --offline
 
+echo "== lint (clippy, warnings fatal) =="
+cargo clippy --offline --all-targets -- -D warnings
+
 echo "== hermetic guard =="
 tools/check_hermetic.sh
 
 echo "== bench smoke (quick mode) =="
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench micro
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench sweep
+SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench hotpath
 
 echo "ci: all gates passed"
