@@ -69,6 +69,35 @@ pub struct MrsStats {
     pub blocked_allocs: u64,
 }
 
+/// A typed allocator event, recorded (when event recording is enabled)
+/// for the telemetry layer. Untimestamped: the driving simulator owns the
+/// wall clock and stamps events as it drains the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocEvent {
+    /// The quarantine policy fired: a revocation pass was requested.
+    RevocationRequested {
+        /// Live heap bytes at the request.
+        allocated_bytes: u64,
+        /// Total quarantined bytes at the request.
+        quarantine_bytes: u64,
+    },
+    /// The open quarantine buffer was sealed against an epoch.
+    BatchSealed {
+        /// Bytes in the sealed batch.
+        bytes: u64,
+        /// Epoch counter observed at sealing.
+        epoch: u64,
+    },
+    /// A sealed batch passed its release epoch and was recycled.
+    BatchReleased {
+        /// Bytes returned to the allocator's free lists.
+        bytes: u64,
+        /// Epoch the batch had been sealed against.
+        sealed_epoch: u64,
+    },
+}
+
 /// Effect of a `free` call, surfaced to the simulator.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FreeEffect {
@@ -99,6 +128,9 @@ pub struct Mrs {
     sealed: VecDeque<SealedBatch>,
     sealed_bytes: u64,
     stats: MrsStats,
+    /// Whether allocator events are appended to `events` (off by default).
+    log_events: bool,
+    events: Vec<AllocEvent>,
 }
 
 impl Mrs {
@@ -113,7 +145,24 @@ impl Mrs {
             sealed: VecDeque::new(),
             sealed_bytes: 0,
             stats: MrsStats::default(),
+            log_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enables or disables allocator event recording. Disabled (the
+    /// default), the shim never touches its event buffer; simulated
+    /// counters are identical either way.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.log_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Moves all recorded events into `out`, clearing the internal log.
+    pub fn drain_events_into(&mut self, out: &mut Vec<AllocEvent>) {
+        out.append(&mut self.events);
     }
 
     /// The underlying allocator (e.g. to disable zeroing in ablations).
@@ -180,6 +229,12 @@ impl Mrs {
             && self.quarantine_bytes() > self.policy_bound()
         {
             trigger = true;
+            if self.log_events {
+                self.events.push(AllocEvent::RevocationRequested {
+                    allocated_bytes: self.alloc.allocated_bytes(),
+                    quarantine_bytes: self.quarantine_bytes(),
+                });
+            }
             self.seal(revoker);
         }
         Ok(FreeEffect { cycles, trigger_revocation: trigger })
@@ -216,6 +271,9 @@ impl Mrs {
             bytes: std::mem::take(&mut self.open_bytes),
             sealed_epoch: revoker.epoch(),
         };
+        if self.log_events {
+            self.events.push(AllocEvent::BatchSealed { bytes: batch.bytes, epoch: batch.sealed_epoch });
+        }
         self.sealed_bytes += batch.bytes;
         self.sealed.push_back(batch);
     }
@@ -231,6 +289,12 @@ impl Mrs {
             }
             let batch = self.sealed.pop_front().expect("front exists");
             self.sealed_bytes -= batch.bytes;
+            if self.log_events {
+                self.events.push(AllocEvent::BatchReleased {
+                    bytes: batch.bytes,
+                    sealed_epoch: batch.sealed_epoch,
+                });
+            }
             for region in batch.regions {
                 cycles += revoker.unpaint(machine, core, region.base, region.len);
                 cycles += 20;

@@ -2,14 +2,14 @@
 
 use crate::fmt::{markdown_table, ms};
 use crate::harness::{spec_single, Scale};
-use morello_sim::{Condition, SimConfig, System};
+use morello_sim::{Condition, SimConfigBuilder, System};
 use cornucopia::PteUpdateMode;
 use workloads::{spec, SpecProgram};
 use cheri_alloc::{ColoredMrs, HeapLayout, Mrs, MrsConfig};
 use cheri_vm::Machine;
 use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
 
-fn run_with<F: FnOnce(&mut SimConfig)>(
+fn run_with<F: FnOnce(SimConfigBuilder) -> SimConfigBuilder>(
     program: SpecProgram,
     condition: Condition,
     scale: Scale,
@@ -19,10 +19,9 @@ fn run_with<F: FnOnce(&mut SimConfig)>(
     if scale.fraction < 1.0 {
         w.scale_churn(scale.fraction);
     }
-    let mut cfg = w.config.clone();
-    cfg.condition = condition;
-    tweak(&mut cfg);
-    System::new(cfg).run(w.ops).expect("ablation run must be clean")
+    let builder = w.config.to_builder().condition(condition);
+    let cfg = tweak(builder).build().expect("ablation config must validate");
+    System::new(cfg).run(w.ops).expect("ablation run must be clean").into_stats()
 }
 
 /// Load barrier (Reloaded) vs store barrier (Cornucopia) as pointer-store
@@ -68,9 +67,8 @@ pub fn pte_mode(scale: Scale) -> String {
         ("generation bits (paper design)", PteUpdateMode::Generation),
         ("rewrite PTEs each epoch (strawman)", PteUpdateMode::RewriteEachEpoch),
     ] {
-        let stats = run_with(SpecProgram::Omnetpp, Condition::reloaded(), scale, |cfg| {
-            cfg.pte_mode = mode;
-        });
+        let stats =
+            run_with(SpecProgram::Omnetpp, Condition::reloaded(), scale, |b| b.pte_mode(mode));
         rows.push(vec![
             label.to_string(),
             format!("{:.1}", stats.wall_ms()),
@@ -98,9 +96,8 @@ pub fn quarantine_policy(scale: Scale) -> String {
         ("1/1 of heap, 128 KiB floor", 1, 128 << 10),
         ("1/3 of heap, 1 MiB floor", 3, 1 << 20),
     ] {
-        let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |cfg| {
-            cfg.quarantine_divisor = divisor;
-            cfg.min_quarantine = floor;
+        let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
+            b.quarantine_divisor(divisor).min_quarantine(floor)
         });
         rows.push(vec![
             label.to_string(),
@@ -152,8 +149,8 @@ pub fn cheriot(scale: Scale) -> String {
 pub fn revoker_priority(scale: Scale) -> String {
     let mut rows = Vec::new();
     for (label, spare) in [("revoker on spare core (SPEC setup)", true), ("revoker competes for app cores (gRPC setup)", false)] {
-        let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |cfg| {
-            cfg.spare_revoker_core = spare;
+        let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
+            b.spare_revoker_core(spare)
         });
         rows.push(vec![label.to_string(), format!("{:.1}", stats.wall_ms()), format!("{}", stats.blocked_allocs)]);
     }
@@ -186,8 +183,8 @@ mod tests {
 pub fn revoker_threads(scale: Scale) -> String {
     let mut rows = Vec::new();
     for threads in [1usize, 2] {
-        let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |cfg| {
-            cfg.revoker_threads = threads;
+        let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
+            b.revoker_threads(threads)
         });
         let mut concurrent: Vec<u64> = stats
             .phases
@@ -229,9 +226,8 @@ pub fn revoker_core_scaling(scale: Scale) -> String {
     for condition in [Condition::cornucopia(), Condition::reloaded()] {
         for cores in [1usize, 2, 4] {
             let host_t0 = std::time::Instant::now();
-            let stats = run_with(SpecProgram::Xalancbmk, condition, scale, |cfg| {
-                cfg.revoker_threads = cores;
-            });
+            let stats =
+                run_with(SpecProgram::Xalancbmk, condition, scale, |b| b.revoker_threads(cores));
             let host_ns = host_t0.elapsed().as_nanos() as f64;
             let phase_kind = match condition {
                 Condition::Safe(Strategy::Cornucopia) => cornucopia::PhaseKind::CornucopiaConcurrent,

@@ -43,22 +43,32 @@ fn main() {
                 eprintln!("unknown workload {:?}", args[2]);
                 std::process::exit(2);
             };
-            trace::save_to_path(&w.ops, &args[3]).expect("write trace");
+            let mut meta = trace::TraceMeta::new();
+            meta.insert("workload".into(), w.name.clone());
+            meta.insert("ops".into(), w.ops.len().to_string());
+            trace::save_trace_to_path(&w.ops, &meta, &args[3]).expect("write trace");
             println!("wrote {} ops of {} to {}", w.ops.len(), w.name, args[3]);
         }
         Some("replay") if args.len() >= 3 => {
-            let ops = match trace::load_from_path(&args[2]) {
-                Ok(ops) => ops,
+            let (ops, meta) = match trace::load_trace_from_path(&args[2]) {
+                Ok(parts) => parts,
                 Err(e) => {
                     eprintln!("{e}");
                     std::process::exit(2);
                 }
             };
+            if let Some(workload) = meta.get("workload") {
+                println!("trace metadata: workload {workload}");
+            }
             let cond = args
                 .get(3)
                 .and_then(|s| condition_by_name(s))
                 .unwrap_or_else(Condition::reloaded);
-            let cfg = SimConfig { condition: cond, min_quarantine: 128 << 10, ..SimConfig::default() };
+            let cfg = SimConfig::builder()
+                .condition(cond)
+                .min_quarantine(128 << 10)
+                .build()
+                .expect("replay config");
             match System::new(cfg).run(ops) {
                 Ok(s) => println!(
                     "{}: wall {:.1} ms, {} revocations, {} faults, max pause {:.3} ms, {} MDRAM",

@@ -7,7 +7,7 @@
 use crate::fmt::{geomean, markdown_table, mib, ms, pct, us};
 use crate::harness::Suite;
 use cornucopia::PhaseKind;
-use morello_sim::{percentile, BoxStats, RunStats, CYCLES_PER_MS, CYCLES_PER_SEC};
+use morello_sim::{BoxStats, Dist, RunStats, CYCLES_PER_MS, CYCLES_PER_SEC};
 
 const SAFE3: [&str; 3] = ["CHERIvoke", "Cornucopia", "Reloaded"];
 
@@ -256,7 +256,7 @@ pub fn fig7_pgbench_cdf(pg: &Suite) -> String {
     let points = [50.0, 75.0, 85.0, 90.0, 95.0, 98.0, 99.0, 99.5, 99.9];
     let mut rows = Vec::new();
     for c in conds {
-        let mut lat: Vec<u64> = pg
+        let lat: Vec<u64> = pg
             .stats("pgbench", c)
             .iter()
             .flat_map(|r| r.tx_latencies.iter().copied())
@@ -264,10 +264,10 @@ pub fn fig7_pgbench_cdf(pg: &Suite) -> String {
         if lat.is_empty() {
             continue;
         }
-        lat.sort_unstable();
+        let lat = Dist::from_vec(lat);
         let mut row = vec![c.to_string()];
         for p in points {
-            row.push(ms(percentile(&lat, p)));
+            row.push(ms(lat.percentile(p)));
         }
         rows.push(row);
     }
@@ -306,11 +306,8 @@ pub fn fig8_grpc_latency(grpc: &Suite) -> String {
     let mut rows = Vec::new();
     let pcts = [50.0, 90.0, 95.0, 99.0, 99.9];
     let base_runs = grpc.stats("gRPC QPS", "baseline");
-    let rep_pct = |r: &RunStats, p: f64| -> f64 {
-        let mut v = r.tx_latencies.clone();
-        v.sort_unstable();
-        percentile(&v, p) as f64
-    };
+    let rep_pct =
+        |r: &RunStats, p: f64| -> f64 { Dist::from_samples(&r.tx_latencies).percentile(p) as f64 };
     let mut header_row = vec!["baseline (ms, mean)".to_string()];
     for p in pcts {
         let m: f64 =
@@ -421,18 +418,19 @@ pub fn fig9_phase_times(spec: &Suite, pg: &Suite, grpc: &Suite) -> String {
 pub fn table1_rates(rates: &Suite) -> String {
     let mut rows = Vec::new();
     for w in rates.workloads() {
-        let mut sorted: Vec<u64> = rates
-            .stats(&w, "Reloaded")
-            .iter()
-            .flat_map(|r| r.tx_latencies.iter().copied())
-            .collect();
-        sorted.sort_unstable();
+        let sorted = Dist::from_samples(
+            &rates
+                .stats(&w, "Reloaded")
+                .iter()
+                .flat_map(|r| r.tx_latencies.iter().copied())
+                .collect::<Vec<u64>>(),
+        );
         if sorted.is_empty() {
             continue;
         }
         let mut row = vec![w.clone()];
         for p in [50.0, 90.0, 95.0, 99.0, 99.9] {
-            row.push(ms(percentile(&sorted, p)));
+            row.push(ms(sorted.percentile(p)));
         }
         rows.push(row);
     }
@@ -498,15 +496,15 @@ fn engaging(spec: &Suite) -> Vec<String> {
     spec.workloads().into_iter().filter(|w| w != "bzip2" && w != "sjeng").collect()
 }
 
-fn collect_latencies(suite: &Suite, cond: &str) -> Vec<u64> {
-    let mut v: Vec<u64> = suite
-        .workloads()
-        .iter()
-        .flat_map(|w| suite.stats(w, cond))
-        .flat_map(|r| r.tx_latencies.iter().copied())
-        .collect();
-    v.sort_unstable();
-    v
+fn collect_latencies(suite: &Suite, cond: &str) -> Dist {
+    Dist::from_vec(
+        suite
+            .workloads()
+            .iter()
+            .flat_map(|w| suite.stats(w, cond))
+            .flat_map(|r| r.tx_latencies.iter().copied())
+            .collect(),
+    )
 }
 
 /// Mean and (population) standard deviation.
@@ -520,17 +518,18 @@ fn mean_std(values: &[f64]) -> (f64, f64) {
 }
 
 fn median_phase(stats: &[RunStats], kind: PhaseKind) -> Option<u64> {
-    let mut v: Vec<u64> = stats
-        .iter()
-        .flat_map(|r| r.phases.iter())
-        .filter(|p| p.kind == kind)
-        .map(|p| p.cycles)
-        .collect();
+    let v = Dist::from_vec(
+        stats
+            .iter()
+            .flat_map(|r| r.phases.iter())
+            .filter(|p| p.kind == kind)
+            .map(|p| p.cycles)
+            .collect(),
+    );
     if v.is_empty() {
         return None;
     }
-    v.sort_unstable();
-    Some(v[v.len() / 2])
+    Some(v.percentile(50.0))
 }
 
 /// Headline shape assertions: the qualitative claims the reproduction must
@@ -570,10 +569,7 @@ pub fn shape_checks(spec: &Suite, pg: &Suite, grpc: &Suite) -> Vec<(String, bool
     ratios.sort_by(f64::total_cmp);
     add("SPEC median DRAM overhead: Reloaded < Cornucopia", ratios[ratios.len() / 2] < 1.0);
     // 4. pgbench tail ordering at p99: Reloaded <= Cornucopia <= CHERIvoke.
-    let p99 = |c: &str| {
-        let l = collect_latencies(pg, c);
-        percentile(&l, 99.0)
-    };
+    let p99 = |c: &str| collect_latencies(pg, c).percentile(99.0);
     add("pgbench p99: Reloaded <= Cornucopia", p99("Reloaded") <= p99("Cornucopia"));
     add("pgbench p99: Cornucopia <= CHERIvoke", p99("Cornucopia") <= p99("CHERIvoke"));
     // 5. pgbench: Reloaded's bus overhead clearly below Cornucopia's.
@@ -587,10 +583,7 @@ pub fn shape_checks(spec: &Suite, pg: &Suite, grpc: &Suite) -> Vec<(String, bool
     add("pgbench: Reloaded bus overhead < 90% of Cornucopia's (paper: <50%)", r < 0.9 * c);
     // 6. gRPC: p99 Reloaded below Cornucopia; both strategies' QPS within
     //    a point of each other.
-    let g99 = |cnd: &str| {
-        let l = collect_latencies(grpc, cnd);
-        percentile(&l, 99.0)
-    };
+    let g99 = |cnd: &str| collect_latencies(grpc, cnd).percentile(99.0);
     add("gRPC p99: Reloaded < Cornucopia", g99("Reloaded") < g99("Cornucopia"));
     let qps = |cnd: &str| grpc.mean("gRPC QPS", "baseline", wall) / grpc.mean("gRPC QPS", cnd, wall);
     add(

@@ -135,10 +135,10 @@ pub fn spec_suite(conditions: &[Condition], scale: Scale) -> Suite {
             }
             for &cond in conditions {
                 progress(&format!("spec {} rep {rep} {}", w.name, cond.label()));
-                let mut cfg = w.config.clone();
-                cfg.condition = cond;
-                let stats = System::new(cfg).run(w.ops.clone()).expect("spec surrogate must run clean");
-                suite.insert(&w.name, cond, stats);
+                let cfg = w.config.clone().with_condition(cond);
+                let report =
+                    System::new(cfg).run(w.ops.clone()).expect("spec surrogate must run clean");
+                suite.insert(&w.name, cond, report.into_stats());
             }
         }
     }
@@ -152,9 +152,8 @@ pub fn spec_single(program: SpecProgram, condition: Condition, scale: Scale, see
     if scale.fraction < 1.0 {
         w.scale_churn(scale.fraction);
     }
-    let mut cfg = w.config.clone();
-    cfg.condition = condition;
-    System::new(cfg).run(w.ops).expect("spec surrogate must run clean")
+    let cfg = w.config.with_condition(condition);
+    System::new(cfg).run(w.ops).expect("spec surrogate must run clean").into_stats()
 }
 
 /// Runs the pgbench surrogate under `conditions`.
@@ -166,10 +165,10 @@ pub fn pgbench_suite(conditions: &[Condition], scale: Scale) -> Suite {
         let w = pgbench(PgbenchParams { transactions: tx, rate: None, seed: 2000 + rep });
         for &cond in conditions {
             progress(&format!("pgbench rep {rep} {}", cond.label()));
-            let mut cfg = w.config.clone();
-            cfg.condition = cond;
-            let stats = System::new(cfg).run(w.ops.clone()).expect("pgbench surrogate must run clean");
-            suite.insert(&w.name, cond, stats);
+            let cfg = w.config.clone().with_condition(cond);
+            let report =
+                System::new(cfg).run(w.ops.clone()).expect("pgbench surrogate must run clean");
+            suite.insert(&w.name, cond, report.into_stats());
         }
     }
     suite
@@ -184,10 +183,10 @@ pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale) -> Suite {
         let label = rate.map_or("unscheduled".to_string(), |r| format!("{r:.0} tx/s"));
         let w = pgbench(PgbenchParams { transactions: tx, rate, seed: 3000 });
         progress(&format!("pgbench --rate {label}"));
-        let mut cfg = w.config.clone();
-        cfg.condition = Condition::reloaded();
-        let stats = System::new(cfg).run(w.ops.clone()).expect("pgbench rate run must run clean");
-        suite.insert(&label, Condition::reloaded(), stats);
+        let cfg = w.config.clone().with_condition(Condition::reloaded());
+        let report =
+            System::new(cfg).run(w.ops.clone()).expect("pgbench rate run must run clean");
+        suite.insert(&label, Condition::reloaded(), report.into_stats());
     }
     suite
 }
@@ -209,10 +208,10 @@ pub fn grpc_suite(scale: Scale) -> Suite {
         let w = grpc_qps(GrpcParams { messages: msgs, seed: 4000 + rep });
         for cond in conditions {
             progress(&format!("grpc rep {rep} {}", cond.label()));
-            let mut cfg = w.config.clone();
-            cfg.condition = cond;
-            let stats = System::new(cfg).run(w.ops.clone()).expect("grpc surrogate must run clean");
-            suite.insert(&w.name, cond, stats);
+            let cfg = w.config.clone().with_condition(cond);
+            let report =
+                System::new(cfg).run(w.ops.clone()).expect("grpc surrogate must run clean");
+            suite.insert(&w.name, cond, report.into_stats());
         }
     }
     suite

@@ -152,6 +152,38 @@ pub struct PhaseRecord {
     pub cycles: u64,
 }
 
+/// A typed revoker event, recorded (when event recording is enabled) for
+/// the telemetry layer. Untimestamped: the driving simulator owns the wall
+/// clock and stamps events as it drains the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RevokerEvent {
+    /// A revocation pass began; the epoch counter is now odd (§2.2.3).
+    EpochBegin {
+        /// The epoch counter value after entry.
+        epoch: u64,
+    },
+    /// A revocation pass completed; the epoch counter is now even.
+    EpochEnd {
+        /// The epoch counter value after completion.
+        epoch: u64,
+        /// Pages content-scanned during this pass (lifetime counter).
+        pages_swept: u64,
+        /// Capabilities revoked so far (lifetime counter).
+        caps_revoked: u64,
+    },
+    /// An application thread took (and the kernel healed) a load-barrier
+    /// fault (§4.3).
+    LoadFaultHandled {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Core that faulted.
+        core: CoreId,
+        /// Cycles charged to the faulting thread.
+        cycles: u64,
+    },
+}
+
 /// Aggregate revoker statistics.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RevStats {
@@ -246,6 +278,9 @@ pub struct Revoker {
     /// page's tagged capabilities here instead of allocating a `Vec` per
     /// page (the sweep visits every mapped page each epoch).
     scratch: Vec<(u64, Capability)>,
+    /// Whether revoker events are appended to `events` (off by default).
+    log_events: bool,
+    events: Vec<RevokerEvent>,
 }
 
 impl Revoker {
@@ -266,7 +301,24 @@ impl Revoker {
             epoch_fault_cycles: 0,
             epoch_concurrent_cycles: 0,
             scratch: Vec::new(),
+            log_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enables or disables revoker event recording. Disabled (the
+    /// default), the revoker never touches its event buffer; simulated
+    /// counters are identical either way.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.log_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Moves all recorded events into `out`, clearing the internal log.
+    pub fn drain_events_into(&mut self, out: &mut Vec<RevokerEvent>) {
+        out.append(&mut self.events);
     }
 
     /// The strategy in use.
@@ -356,6 +408,9 @@ impl Revoker {
     /// [`Revoker::start_epoch`] with an explicit busy-thread count.
     pub fn start_epoch_with_busy_threads(&mut self, machine: &mut Machine, busy_threads: usize) -> u64 {
         self.epoch.begin();
+        if self.log_events {
+            self.events.push(RevokerEvent::EpochBegin { epoch: self.epoch.value() });
+        }
         self.epoch_fault_cycles = 0;
         self.epoch_concurrent_cycles = 0;
         // Union newly capability-dirty pages into the sticky tracked set.
@@ -366,8 +421,7 @@ impl Revoker {
         match self.cfg.strategy {
             Strategy::PaintSync => {
                 // One no-op "syscall"; the epoch ends immediately.
-                self.epoch.end();
-                self.stats.epochs += 1;
+                self.note_epoch_end();
                 2_000
             }
             Strategy::CheriVoke => {
@@ -378,8 +432,7 @@ impl Revoker {
                 for page in pages {
                     cycles += self.sweep_page_contents(machine, self.cfg.revoker_cores[0], page);
                 }
-                self.epoch.end();
-                self.stats.epochs += 1;
+                self.note_epoch_end();
                 self.stats.stw_cycles += cycles;
                 self.record_phase(PhaseKind::CheriVokeStw, cycles);
                 cycles
@@ -548,8 +601,7 @@ impl Revoker {
             cycles += self.sweep_page_contents(machine, core, page);
         }
         self.state = State::Idle;
-        self.epoch.end();
-        self.stats.epochs += 1;
+        self.note_epoch_end();
         self.stats.stw_cycles += cycles;
         self.record_phase(PhaseKind::CornucopiaConcurrent, self.epoch_concurrent_cycles);
         self.record_phase(PhaseKind::CornucopiaStw, cycles);
@@ -581,6 +633,9 @@ impl Revoker {
         self.stats.load_faults += 1;
         self.stats.fault_cycles += cycles;
         self.epoch_fault_cycles += cycles;
+        if self.log_events {
+            self.events.push(RevokerEvent::LoadFaultHandled { vaddr, core, cycles });
+        }
         if finished {
             self.finish_reloaded_epoch();
         }
@@ -622,11 +677,24 @@ impl Revoker {
 
     fn finish_reloaded_epoch(&mut self) {
         self.state = State::Idle;
-        self.epoch.end();
-        self.stats.epochs += 1;
+        self.note_epoch_end();
         if self.cfg.strategy == Strategy::Reloaded {
             self.record_phase(PhaseKind::ReloadedConcurrent, self.epoch_concurrent_cycles);
             self.record_phase(PhaseKind::ReloadedFaults, self.epoch_fault_cycles);
+        }
+    }
+
+    /// Ends the in-flight epoch: bumps the counters and (when enabled)
+    /// logs the completion event.
+    fn note_epoch_end(&mut self) {
+        self.epoch.end();
+        self.stats.epochs += 1;
+        if self.log_events {
+            self.events.push(RevokerEvent::EpochEnd {
+                epoch: self.epoch.value(),
+                pages_swept: self.stats.pages_swept,
+                caps_revoked: self.stats.caps_revoked,
+            });
         }
     }
 

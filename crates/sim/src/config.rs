@@ -1,0 +1,721 @@
+//! Simulation configuration: the measured condition, the machine/heap
+//! shape, and the validating builder every caller constructs it through.
+//!
+//! [`SimConfig`] fields are crate-private: outside the simulator it can
+//! only be obtained from [`SimConfig::default`] or a
+//! [`SimConfigBuilder`], both of which guarantee the invariants that
+//! [`crate::System::new`] relies on (a revoker core distinct from the app
+//! core, a non-empty page-aligned arena, a root table that fits, ...).
+//! Invalid combinations are rejected with a typed [`ConfigError`] at
+//! build time instead of a panic mid-run.
+
+use cheri_cap::CAP_SIZE;
+use cheri_mem::{CoreId, PAGE_SIZE};
+use cornucopia::{PteUpdateMode, Strategy};
+use std::fmt;
+
+/// Which condition a run measures: the spatial-safety-only baseline, or a
+/// temporal-safety strategy (paper §5: every figure normalizes against the
+/// same CHERI pure-capability baseline binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// snmalloc without mrs: immediate reuse, no quarantine, no revoker.
+    Baseline,
+    /// mrs + the given revocation strategy.
+    Safe(Strategy),
+}
+
+impl Condition {
+    /// The no-revocation baseline.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Condition::Baseline
+    }
+
+    /// Cornucopia Reloaded.
+    #[must_use]
+    pub fn reloaded() -> Self {
+        Condition::Safe(Strategy::Reloaded)
+    }
+
+    /// Cornucopia (re-implementation).
+    #[must_use]
+    pub fn cornucopia() -> Self {
+        Condition::Safe(Strategy::Cornucopia)
+    }
+
+    /// CHERIvoke (Cornucopia without the concurrent phase).
+    #[must_use]
+    pub fn cherivoke() -> Self {
+        Condition::Safe(Strategy::CheriVoke)
+    }
+
+    /// Paint+sync (quarantine bookkeeping only; no safety).
+    #[must_use]
+    pub fn paint_sync() -> Self {
+        Condition::Safe(Strategy::PaintSync)
+    }
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Condition::Baseline => "baseline",
+            Condition::Safe(s) => s.label(),
+        }
+    }
+}
+
+/// What the telemetry layer records (all off by default: the default
+/// [`NullSink`](crate::telemetry::NullSink) keeps runs bit-identical to a
+/// build without telemetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Snapshot the counter time-series every this many simulated cycles
+    /// (`None` disables sampling).
+    pub sample_every: Option<u64>,
+    /// Ring capacity of the sample series: when full, the oldest sample
+    /// is dropped (and counted) so memory stays bounded on long runs.
+    pub series_capacity: usize,
+    /// Ring capacity of the event journal.
+    pub event_capacity: usize,
+    /// Record typed events from the VM, revoker, and allocator.
+    pub record_events: bool,
+    /// Record revocation phase / pause spans.
+    pub record_spans: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_every: None,
+            series_capacity: 4096,
+            event_capacity: 1 << 16,
+            record_events: false,
+            record_spans: false,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully disabled (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        TelemetryConfig::default()
+    }
+
+    /// Counter sampling only, every `interval` cycles.
+    #[must_use]
+    pub fn sampled(interval: u64) -> Self {
+        TelemetryConfig { sample_every: Some(interval), ..TelemetryConfig::default() }
+    }
+
+    /// Everything on: sampling every `interval` cycles plus the event
+    /// journal and span records.
+    #[must_use]
+    pub fn full(interval: u64) -> Self {
+        TelemetryConfig {
+            sample_every: Some(interval),
+            record_events: true,
+            record_spans: true,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Whether anything at all is recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sample_every.is_some() || self.record_events || self.record_spans
+    }
+}
+
+/// Simulation configuration (defaults reproduce §5.1's setup at 1/64
+/// memory scale: app pinned to core 3, revoker to core 2).
+///
+/// Construct via [`SimConfig::builder`] (or start from an existing config
+/// with [`SimConfig::to_builder`] / [`SimConfig::with_condition`]):
+///
+/// ```
+/// use morello_sim::{Condition, SimConfig};
+///
+/// let cfg = SimConfig::builder()
+///     .cores(4)
+///     .policy(Condition::reloaded())
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.revoker_threads(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub(crate) condition: Condition,
+    pub(crate) heap_base: u64,
+    pub(crate) heap_len: u64,
+    pub(crate) max_objects: u64,
+    pub(crate) min_quarantine: u64,
+    pub(crate) quarantine_divisor: u64,
+    pub(crate) app_core: CoreId,
+    pub(crate) rev_core: CoreId,
+    pub(crate) app_threads: usize,
+    pub(crate) spare_revoker_core: bool,
+    pub(crate) pte_mode: PteUpdateMode,
+    pub(crate) always_trap_clean: bool,
+    pub(crate) revoker_threads: usize,
+    pub(crate) tx_interval: Option<u64>,
+    pub(crate) latency_from_arrival: bool,
+    pub(crate) bus_penalty_per_rev_txn: u64,
+    pub(crate) telemetry: TelemetryConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            condition: Condition::reloaded(),
+            heap_base: 0x4000_0000,
+            heap_len: 64 << 20,
+            max_objects: 1 << 16,
+            min_quarantine: 128 << 10, // 8 MiB / 64
+            quarantine_divisor: 3,
+            app_core: 3,
+            rev_core: 2,
+            app_threads: 1,
+            spare_revoker_core: true,
+            pte_mode: PteUpdateMode::Generation,
+            always_trap_clean: false,
+            revoker_threads: 1,
+            tx_interval: None,
+            latency_from_arrival: false,
+            bus_penalty_per_rev_txn: 210,
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A builder seeded with the paper defaults.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// A builder seeded with this configuration (for deriving variants).
+    #[must_use]
+    pub fn to_builder(&self) -> SimConfigBuilder {
+        SimConfigBuilder { cfg: self.clone() }
+    }
+
+    /// This configuration with the condition swapped — the common "same
+    /// workload, every strategy" sweep. Infallible: the condition does not
+    /// participate in any validated invariant.
+    #[must_use]
+    pub fn with_condition(mut self, condition: Condition) -> Self {
+        self.condition = condition;
+        self
+    }
+
+    /// Measured condition.
+    #[must_use]
+    pub fn condition(&self) -> Condition {
+        self.condition
+    }
+
+    /// Heap arena base address.
+    #[must_use]
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
+    /// Heap arena length in bytes.
+    #[must_use]
+    pub fn heap_len(&self) -> u64 {
+        self.heap_len
+    }
+
+    /// Root-table capacity (max simultaneously-tracked objects).
+    #[must_use]
+    pub fn max_objects(&self) -> u64 {
+        self.max_objects
+    }
+
+    /// mrs minimum quarantine in bytes.
+    #[must_use]
+    pub fn min_quarantine(&self) -> u64 {
+        self.min_quarantine
+    }
+
+    /// mrs quarantine divisor.
+    #[must_use]
+    pub fn quarantine_divisor(&self) -> u64 {
+        self.quarantine_divisor
+    }
+
+    /// Core running the application thread.
+    #[must_use]
+    pub fn app_core(&self) -> CoreId {
+        self.app_core
+    }
+
+    /// Core running the background revoker.
+    #[must_use]
+    pub fn rev_core(&self) -> CoreId {
+        self.rev_core
+    }
+
+    /// Number of busy application threads (affects STW sync cost, §5.3).
+    #[must_use]
+    pub fn app_threads(&self) -> usize {
+        self.app_threads
+    }
+
+    /// Whether the revoker has a spare core to itself.
+    #[must_use]
+    pub fn spare_revoker_core(&self) -> bool {
+        self.spare_revoker_core
+    }
+
+    /// PTE maintenance mode ablation (§4.1).
+    #[must_use]
+    pub fn pte_mode(&self) -> PteUpdateMode {
+        self.pte_mode
+    }
+
+    /// §7.6 always-trap-clean-pages ablation.
+    #[must_use]
+    pub fn always_trap_clean(&self) -> bool {
+        self.always_trap_clean
+    }
+
+    /// Number of background revoker threads (§7.1 ablation).
+    #[must_use]
+    pub fn revoker_threads(&self) -> usize {
+        self.revoker_threads
+    }
+
+    /// Fixed transaction arrival interval in cycles, if rate-scheduled.
+    #[must_use]
+    pub fn tx_interval(&self) -> Option<u64> {
+        self.tx_interval
+    }
+
+    /// Whether transaction latency is measured from scheduled arrival.
+    #[must_use]
+    pub fn latency_from_arrival(&self) -> bool {
+        self.latency_from_arrival
+    }
+
+    /// Extra application cycles per revoker DRAM transaction (§5.6 bus
+    /// contention model).
+    #[must_use]
+    pub fn bus_penalty_per_rev_txn(&self) -> u64 {
+        self.bus_penalty_per_rev_txn
+    }
+
+    /// Telemetry recording options.
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetryConfig {
+        &self.telemetry
+    }
+}
+
+/// Rejected [`SimConfigBuilder`] combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `revoker_threads` (or `cores`) was zero — the safe conditions need
+    /// at least one background revoker core.
+    ZeroRevokerThreads,
+    /// `app_threads` was zero — there is always at least the driving
+    /// application thread.
+    ZeroAppThreads,
+    /// The heap arena is empty or not a whole number of pages.
+    BadHeapLen {
+        /// The rejected length.
+        len: u64,
+    },
+    /// The heap base is not page-aligned.
+    UnalignedHeapBase {
+        /// The rejected base.
+        base: u64,
+    },
+    /// `max_objects` was zero.
+    ZeroMaxObjects,
+    /// The root table (`max_objects * 16` bytes) would not leave room for
+    /// application objects in the arena.
+    RootTableTooLarge {
+        /// Bytes the root table needs.
+        table_bytes: u64,
+        /// The arena length it must fit (comfortably) inside.
+        heap_len: u64,
+    },
+    /// `quarantine_divisor` was zero (division by zero in the policy).
+    ZeroQuarantineDivisor,
+    /// The app and revoker were pinned to the same core.
+    CoreCollision {
+        /// The shared core id.
+        core: CoreId,
+    },
+    /// `tx_interval` was `Some(0)` — a zero-cycle schedule is meaningless.
+    ZeroTxInterval,
+    /// Telemetry sampling was enabled with a zero-cycle interval.
+    ZeroSampleInterval,
+    /// Telemetry sampling was enabled with a zero-capacity series ring.
+    ZeroSeriesCapacity,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroRevokerThreads => {
+                f.write_str("revoker_threads must be at least 1 (zero revoker cores)")
+            }
+            ConfigError::ZeroAppThreads => f.write_str("app_threads must be at least 1"),
+            ConfigError::BadHeapLen { len } => {
+                write!(f, "heap_len {len:#x} must be a nonzero multiple of the page size")
+            }
+            ConfigError::UnalignedHeapBase { base } => {
+                write!(f, "heap_base {base:#x} must be page-aligned")
+            }
+            ConfigError::ZeroMaxObjects => f.write_str("max_objects must be at least 1"),
+            ConfigError::RootTableTooLarge { table_bytes, heap_len } => write!(
+                f,
+                "root table of {table_bytes} bytes does not fit a {heap_len}-byte arena \
+                 (must be at most a quarter of it)"
+            ),
+            ConfigError::ZeroQuarantineDivisor => f.write_str("quarantine_divisor must be at least 1"),
+            ConfigError::CoreCollision { core } => {
+                write!(f, "app_core and rev_core are both {core}; pin them to distinct cores")
+            }
+            ConfigError::ZeroTxInterval => f.write_str("tx_interval must be nonzero when set"),
+            ConfigError::ZeroSampleInterval => {
+                f.write_str("telemetry sample_every must be nonzero when set")
+            }
+            ConfigError::ZeroSeriesCapacity => {
+                f.write_str("telemetry series_capacity must be nonzero when sampling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`SimConfig`]. Obtained from
+/// [`SimConfig::builder`] (paper defaults) or [`SimConfig::to_builder`];
+/// finished with [`SimConfigBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the measured condition.
+    #[must_use]
+    pub fn condition(mut self, condition: Condition) -> Self {
+        self.cfg.condition = condition;
+        self
+    }
+
+    /// Alias for [`Self::condition`]: the revocation policy under test.
+    #[must_use]
+    pub fn policy(self, condition: Condition) -> Self {
+        self.condition(condition)
+    }
+
+    /// Sets the heap arena base address (page-aligned).
+    #[must_use]
+    pub fn heap_base(mut self, base: u64) -> Self {
+        self.cfg.heap_base = base;
+        self
+    }
+
+    /// Sets the heap arena length in bytes (nonzero, page-multiple).
+    #[must_use]
+    pub fn heap_len(mut self, len: u64) -> Self {
+        self.cfg.heap_len = len;
+        self
+    }
+
+    /// Sets the root-table capacity (max simultaneously-live objects).
+    #[must_use]
+    pub fn max_objects(mut self, n: u64) -> Self {
+        self.cfg.max_objects = n;
+        self
+    }
+
+    /// Sets the mrs minimum quarantine in bytes.
+    #[must_use]
+    pub fn min_quarantine(mut self, bytes: u64) -> Self {
+        self.cfg.min_quarantine = bytes;
+        self
+    }
+
+    /// Sets the mrs quarantine divisor.
+    #[must_use]
+    pub fn quarantine_divisor(mut self, divisor: u64) -> Self {
+        self.cfg.quarantine_divisor = divisor;
+        self
+    }
+
+    /// Pins the application thread to `core`.
+    #[must_use]
+    pub fn app_core(mut self, core: CoreId) -> Self {
+        self.cfg.app_core = core;
+        self
+    }
+
+    /// Pins the (first) background revoker thread to `core`.
+    #[must_use]
+    pub fn rev_core(mut self, core: CoreId) -> Self {
+        self.cfg.rev_core = core;
+        self
+    }
+
+    /// Sets the number of busy application threads.
+    #[must_use]
+    pub fn app_threads(mut self, n: usize) -> Self {
+        self.cfg.app_threads = n;
+        self
+    }
+
+    /// Sets whether the revoker has a spare core to itself.
+    #[must_use]
+    pub fn spare_revoker_core(mut self, spare: bool) -> Self {
+        self.cfg.spare_revoker_core = spare;
+        self
+    }
+
+    /// Sets the PTE maintenance mode (§4.1 ablation).
+    #[must_use]
+    pub fn pte_mode(mut self, mode: PteUpdateMode) -> Self {
+        self.cfg.pte_mode = mode;
+        self
+    }
+
+    /// Sets the §7.6 always-trap-clean-pages ablation.
+    #[must_use]
+    pub fn always_trap_clean(mut self, on: bool) -> Self {
+        self.cfg.always_trap_clean = on;
+        self
+    }
+
+    /// Sets the number of background revoker threads (§7.1 ablation).
+    /// Must be at least 1.
+    #[must_use]
+    pub fn revoker_threads(mut self, n: usize) -> Self {
+        self.cfg.revoker_threads = n;
+        self
+    }
+
+    /// Alias for [`Self::revoker_threads`]: how many cores the parallel
+    /// revocation sweep fans out over.
+    #[must_use]
+    pub fn cores(self, n: usize) -> Self {
+        self.revoker_threads(n)
+    }
+
+    /// Sets the fixed transaction arrival interval in cycles (`None` runs
+    /// transactions back-to-back). Accepts `u64` or `Option<u64>`.
+    #[must_use]
+    pub fn tx_interval(mut self, interval: impl Into<Option<u64>>) -> Self {
+        self.cfg.tx_interval = interval.into();
+        self
+    }
+
+    /// Measures transaction latency from scheduled arrival (open-loop).
+    #[must_use]
+    pub fn latency_from_arrival(mut self, on: bool) -> Self {
+        self.cfg.latency_from_arrival = on;
+        self
+    }
+
+    /// Sets the §5.6 bus-contention penalty per revoker DRAM transaction.
+    #[must_use]
+    pub fn bus_penalty_per_rev_txn(mut self, cycles: u64) -> Self {
+        self.cfg.bus_penalty_per_rev_txn = cycles;
+        self
+    }
+
+    /// Replaces the telemetry options wholesale.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Enables counter sampling every `interval` simulated cycles.
+    #[must_use]
+    pub fn sample_every(mut self, interval: u64) -> Self {
+        self.cfg.telemetry.sample_every = Some(interval);
+        self
+    }
+
+    /// Enables the typed event journal.
+    #[must_use]
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.cfg.telemetry.record_events = on;
+        self
+    }
+
+    /// Enables revocation phase / pause span records.
+    #[must_use]
+    pub fn record_spans(mut self, on: bool) -> Self {
+        self.cfg.telemetry.record_spans = on;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first invariant violated.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let c = self.cfg;
+        if c.revoker_threads == 0 {
+            return Err(ConfigError::ZeroRevokerThreads);
+        }
+        if c.app_threads == 0 {
+            return Err(ConfigError::ZeroAppThreads);
+        }
+        let page = PAGE_SIZE;
+        if c.heap_len == 0 || !c.heap_len.is_multiple_of(page) {
+            return Err(ConfigError::BadHeapLen { len: c.heap_len });
+        }
+        if !c.heap_base.is_multiple_of(page) {
+            return Err(ConfigError::UnalignedHeapBase { base: c.heap_base });
+        }
+        if c.max_objects == 0 {
+            return Err(ConfigError::ZeroMaxObjects);
+        }
+        let table_bytes = c
+            .max_objects
+            .checked_mul(CAP_SIZE)
+            .ok_or(ConfigError::RootTableTooLarge { table_bytes: u64::MAX, heap_len: c.heap_len })?;
+        if table_bytes > c.heap_len / 4 {
+            return Err(ConfigError::RootTableTooLarge { table_bytes, heap_len: c.heap_len });
+        }
+        if c.quarantine_divisor == 0 {
+            return Err(ConfigError::ZeroQuarantineDivisor);
+        }
+        if c.app_core == c.rev_core {
+            return Err(ConfigError::CoreCollision { core: c.app_core });
+        }
+        if c.tx_interval == Some(0) {
+            return Err(ConfigError::ZeroTxInterval);
+        }
+        if c.telemetry.sample_every == Some(0) {
+            return Err(ConfigError::ZeroSampleInterval);
+        }
+        if c.telemetry.sample_every.is_some() && c.telemetry.series_capacity == 0 {
+            return Err(ConfigError::ZeroSeriesCapacity);
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().to_builder().build().unwrap();
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = SimConfig::builder()
+            .cores(4)
+            .policy(Condition::cornucopia())
+            .heap_len(8 << 20)
+            .max_objects(1 << 10)
+            .min_quarantine(64 << 10)
+            .tx_interval(1_000_000)
+            .sample_every(50_000)
+            .record_events(true)
+            .record_spans(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.revoker_threads(), 4);
+        assert_eq!(cfg.condition(), Condition::cornucopia());
+        assert_eq!(cfg.heap_len(), 8 << 20);
+        assert_eq!(cfg.tx_interval(), Some(1_000_000));
+        assert_eq!(cfg.telemetry().sample_every, Some(50_000));
+        assert!(cfg.telemetry().enabled());
+    }
+
+    #[test]
+    fn zero_revoker_cores_rejected() {
+        assert_eq!(
+            SimConfig::builder().cores(0).build().unwrap_err(),
+            ConfigError::ZeroRevokerThreads
+        );
+    }
+
+    #[test]
+    fn invalid_combos_rejected() {
+        assert_eq!(
+            SimConfig::builder().app_threads(0).build().unwrap_err(),
+            ConfigError::ZeroAppThreads
+        );
+        assert_eq!(
+            SimConfig::builder().heap_len(0).build().unwrap_err(),
+            ConfigError::BadHeapLen { len: 0 }
+        );
+        assert_eq!(
+            SimConfig::builder().heap_len(4096 + 13).build().unwrap_err(),
+            ConfigError::BadHeapLen { len: 4096 + 13 }
+        );
+        assert_eq!(
+            SimConfig::builder().heap_base(0x1001).build().unwrap_err(),
+            ConfigError::UnalignedHeapBase { base: 0x1001 }
+        );
+        assert_eq!(
+            SimConfig::builder().max_objects(0).build().unwrap_err(),
+            ConfigError::ZeroMaxObjects
+        );
+        assert!(matches!(
+            SimConfig::builder().heap_len(1 << 20).build().unwrap_err(),
+            ConfigError::RootTableTooLarge { .. }
+        ));
+        assert_eq!(
+            SimConfig::builder().quarantine_divisor(0).build().unwrap_err(),
+            ConfigError::ZeroQuarantineDivisor
+        );
+        assert_eq!(
+            SimConfig::builder().app_core(2).rev_core(2).build().unwrap_err(),
+            ConfigError::CoreCollision { core: 2 }
+        );
+        assert_eq!(
+            SimConfig::builder().tx_interval(0).build().unwrap_err(),
+            ConfigError::ZeroTxInterval
+        );
+        assert_eq!(
+            SimConfig::builder().sample_every(0).build().unwrap_err(),
+            ConfigError::ZeroSampleInterval
+        );
+        let mut t = TelemetryConfig::sampled(1000);
+        t.series_capacity = 0;
+        assert_eq!(
+            SimConfig::builder().telemetry(t).build().unwrap_err(),
+            ConfigError::ZeroSeriesCapacity
+        );
+    }
+
+    #[test]
+    fn with_condition_preserves_everything_else() {
+        let a = SimConfig::builder().heap_len(16 << 20).build().unwrap();
+        let b = a.clone().with_condition(Condition::baseline());
+        assert_eq!(b.condition(), Condition::baseline());
+        assert_eq!(b.heap_len(), a.heap_len());
+        assert_eq!(b.revoker_threads(), a.revoker_threads());
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ConfigError::ZeroRevokerThreads,
+            ConfigError::CoreCollision { core: 1 },
+            ConfigError::RootTableTooLarge { table_bytes: 1 << 20, heap_len: 1 << 20 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

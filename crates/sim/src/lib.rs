@@ -16,10 +16,14 @@
 //!   figures;
 //! * DRAM traffic comes from the machine's cache model, CPU time from the
 //!   per-core cycle ledgers, and peak RSS from the physical memory's
-//!   high-water mark.
+//!   high-water mark;
+//! * the [`telemetry`] layer can additionally journal typed events, span
+//!   every revocation phase, and sample a counter time-series — all off
+//!   by default and free when off.
 //!
 //! Everything is deterministic: the same op stream produces the same
-//! [`RunStats`].
+//! [`RunStats`], and with telemetry on, the same byte-identical
+//! [`RunReport::to_json`] document.
 //!
 //! # Example
 //!
@@ -34,20 +38,31 @@
 //! }
 //! ops.push(Op::TxEnd { id: 0 });
 //!
-//! let cfg = SimConfig { condition: Condition::reloaded(), ..SimConfig::default() };
-//! let stats = System::new(cfg).run(ops).unwrap();
-//! assert!(stats.wall_cycles > 0);
-//! assert_eq!(stats.tx_latencies.len(), 1);
+//! let cfg = SimConfig::builder().condition(Condition::reloaded()).build().unwrap();
+//! let report = System::new(cfg).run(ops).unwrap();
+//! assert!(report.wall_cycles > 0); // derefs to RunStats
+//! assert_eq!(report.tx_latencies.len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
+mod json;
 mod ops;
+mod report;
 mod stats;
 mod system;
+pub mod telemetry;
 pub mod trace;
 
+pub use config::{Condition, ConfigError, SimConfig, SimConfigBuilder, TelemetryConfig};
+pub use json::{Json, JsonError};
 pub use ops::{ObjId, Op};
-pub use stats::{percentile, BoxStats, LatencySummary, RunStats, CYCLES_PER_MS, CYCLES_PER_SEC};
-pub use system::{Condition, SimConfig, SimError, System};
+pub use report::{RunReport, REPORT_VERSION};
+pub use stats::{percentile, BoxStats, Dist, LatencySummary, RunStats, CYCLES_PER_MS, CYCLES_PER_SEC};
+pub use system::{SimError, System};
+pub use telemetry::{
+    NullSink, Recorder, Sample, Span, SpanKind, TelemetryData, TelemetryEvent, TelemetrySink,
+    TimedEvent,
+};

@@ -116,21 +116,94 @@ impl LatencySummary {
     /// Summarizes a set of latency samples (not necessarily sorted).
     #[must_use]
     pub fn from_cycles(samples: &[u64]) -> Self {
-        if samples.is_empty() {
+        let d = Dist::from_samples(samples);
+        if d.is_empty() {
             return LatencySummary::default();
         }
-        let mut s = samples.to_vec();
-        s.sort_unstable();
         LatencySummary {
-            count: s.len(),
-            p50: percentile(&s, 50.0),
-            p90: percentile(&s, 90.0),
-            p95: percentile(&s, 95.0),
-            p99: percentile(&s, 99.0),
-            p999: percentile(&s, 99.9),
-            max: *s.last().expect("nonempty"),
-            mean: (s.iter().map(|&x| x as u128).sum::<u128>() / s.len() as u128) as u64,
+            count: d.len(),
+            p50: d.percentile(50.0),
+            p90: d.percentile(90.0),
+            p95: d.percentile(95.0),
+            p99: d.percentile(99.0),
+            p999: d.percentile(99.9),
+            max: d.max().expect("nonempty"),
+            mean: d.mean(),
         }
+    }
+}
+
+/// A sorted sample distribution: the one percentile/extremum utility every
+/// consumer (latency summaries, boxplots, figure tables) goes through, so
+/// the nearest-rank convention lives in exactly one place.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dist {
+    sorted: Vec<u64>,
+}
+
+impl Dist {
+    /// Builds a distribution from unsorted samples.
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Dist { sorted }
+    }
+
+    /// Builds a distribution from a vector, reusing its storage.
+    #[must_use]
+    pub fn from_vec(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Dist { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The smallest sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.sorted.first().copied()
+    }
+
+    /// The largest sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        (self.sorted.iter().map(|&x| x as u128).sum::<u128>() / self.sorted.len() as u128) as u64
+    }
+
+    /// Nearest-rank percentile; `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty or `p` is out of range.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile(&self.sorted, p)
+    }
+
+    /// The sorted samples.
+    #[must_use]
+    pub fn as_sorted(&self) -> &[u64] {
+        &self.sorted
     }
 }
 
@@ -172,17 +245,13 @@ impl BoxStats {
     /// Returns `None` when empty.
     #[must_use]
     pub fn from_samples(samples: &[u64]) -> Option<Self> {
-        if samples.is_empty() {
-            return None;
-        }
-        let mut s = samples.to_vec();
-        s.sort_unstable();
+        let d = Dist::from_samples(samples);
         Some(BoxStats {
-            min: s[0],
-            q1: percentile(&s, 25.0),
-            median: percentile(&s, 50.0),
-            q3: percentile(&s, 75.0),
-            max: *s.last().expect("nonempty"),
+            min: d.min()?,
+            q1: d.percentile(25.0),
+            median: d.percentile(50.0),
+            q3: d.percentile(75.0),
+            max: d.max().expect("nonempty"),
         })
     }
 }
@@ -222,6 +291,33 @@ mod tests {
     #[test]
     fn empty_summary_is_zero() {
         assert_eq!(LatencySummary::from_cycles(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn dist_consolidates_percentile_helpers() {
+        let d = Dist::from_samples(&[9, 1, 5, 3, 7]);
+        assert_eq!((d.min(), d.max(), d.len()), (Some(1), Some(9), 5));
+        assert_eq!(d.mean(), 5);
+        assert_eq!(d.percentile(50.0), 5);
+        assert_eq!(d.as_sorted(), &[1, 3, 5, 7, 9]);
+        assert_eq!(Dist::from_vec(vec![2, 1]).as_sorted(), &[1, 2]);
+        let empty = Dist::from_samples(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean(), 0);
+        assert_eq!(empty.min(), None);
+    }
+
+    #[test]
+    fn dist_agrees_with_summary_and_boxstats() {
+        let samples: Vec<u64> = (0..500).map(|i| i * 37 % 1009).collect();
+        let d = Dist::from_samples(&samples);
+        let sum = LatencySummary::from_cycles(&samples);
+        assert_eq!(sum.p50, d.percentile(50.0));
+        assert_eq!(sum.p999, d.percentile(99.9));
+        assert_eq!(sum.max, d.max().unwrap());
+        let b = BoxStats::from_samples(&samples).unwrap();
+        assert_eq!(b.median, d.percentile(50.0));
+        assert_eq!(b.q3, d.percentile(75.0));
     }
 
     #[test]

@@ -1,137 +1,19 @@
 //! The simulated system: machine + revoker + heap, driven by an op stream.
 
+use crate::config::{Condition, SimConfig};
 use crate::ops::{ObjId, Op};
+use crate::report::RunReport;
 use crate::stats::RunStats;
+use crate::telemetry::{
+    NullSink, Recorder, Sample, Span, SpanKind, TelemetryEvent, TelemetrySink,
+};
 use cheri_cap::{Capability, CAP_SIZE};
 use cheri_mem::CoreId;
 use cheri_vm::{Machine, ThreadId, VmFault};
 use cheri_alloc::{AllocError, HeapLayout, Mrs, MrsConfig};
-use cornucopia::{PteUpdateMode, Revoker, RevokerConfig, StepOutcome, Strategy};
+use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-
-/// Which condition a run measures: the spatial-safety-only baseline, or a
-/// temporal-safety strategy (paper §5: every figure normalizes against the
-/// same CHERI pure-capability baseline binary).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Condition {
-    /// snmalloc without mrs: immediate reuse, no quarantine, no revoker.
-    Baseline,
-    /// mrs + the given revocation strategy.
-    Safe(Strategy),
-}
-
-impl Condition {
-    /// The no-revocation baseline.
-    #[must_use]
-    pub fn baseline() -> Self {
-        Condition::Baseline
-    }
-
-    /// Cornucopia Reloaded.
-    #[must_use]
-    pub fn reloaded() -> Self {
-        Condition::Safe(Strategy::Reloaded)
-    }
-
-    /// Cornucopia (re-implementation).
-    #[must_use]
-    pub fn cornucopia() -> Self {
-        Condition::Safe(Strategy::Cornucopia)
-    }
-
-    /// CHERIvoke (Cornucopia without the concurrent phase).
-    #[must_use]
-    pub fn cherivoke() -> Self {
-        Condition::Safe(Strategy::CheriVoke)
-    }
-
-    /// Paint+sync (quarantine bookkeeping only; no safety).
-    #[must_use]
-    pub fn paint_sync() -> Self {
-        Condition::Safe(Strategy::PaintSync)
-    }
-
-    /// Display label matching the paper's figures.
-    #[must_use]
-    pub fn label(&self) -> &'static str {
-        match self {
-            Condition::Baseline => "baseline",
-            Condition::Safe(s) => s.label(),
-        }
-    }
-}
-
-/// Simulation configuration (defaults reproduce §5.1's setup at 1/64
-/// memory scale: app pinned to core 3, revoker to core 2).
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Measured condition.
-    pub condition: Condition,
-    /// Heap arena base.
-    pub heap_base: u64,
-    /// Heap arena length.
-    pub heap_len: u64,
-    /// Root-table capacity (max simultaneously-tracked objects).
-    pub max_objects: u64,
-    /// mrs minimum quarantine (paper: 8 MiB; scale with the workload).
-    pub min_quarantine: u64,
-    /// mrs quarantine divisor (3 ⇒ revoke at 1/3 of allocated heap).
-    pub quarantine_divisor: u64,
-    /// Core running the application thread.
-    pub app_core: CoreId,
-    /// Core running the background revoker.
-    pub rev_core: CoreId,
-    /// Number of busy application threads (affects STW sync cost, §5.3).
-    pub app_threads: usize,
-    /// Whether the revoker has a spare core to itself. When `false`, the
-    /// revoker competes with application threads: application work slows
-    /// while a pass is in flight and the revoker only gets a share of the
-    /// elapsed wall time (the gRPC configuration, §5.3).
-    pub spare_revoker_core: bool,
-    /// PTE maintenance mode ablation (§4.1).
-    pub pte_mode: PteUpdateMode,
-    /// §7.6 always-trap-clean-pages ablation.
-    pub always_trap_clean: bool,
-    /// Number of background revoker threads (§7.1 ablation).
-    pub revoker_threads: usize,
-    /// Fixed transaction arrival interval in cycles (pgbench `--rate`,
-    /// Table 1). `None` runs transactions back-to-back.
-    pub tx_interval: Option<u64>,
-    /// Measure transaction latency from the scheduled *arrival* time
-    /// (open-loop queueing, as gRPC QPS reports) rather than from service
-    /// start (pgbench's "ignoring schedule lag"). Only meaningful with
-    /// `tx_interval`.
-    pub latency_from_arrival: bool,
-    /// Extra application cycles per DRAM transaction the background
-    /// revoker issues while the application is busy — shared memory-bus
-    /// contention, the dominant wall-clock cost of *concurrent* revocation
-    /// (§5.6: sweeps contend with useful application data).
-    pub bus_penalty_per_rev_txn: u64,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            condition: Condition::reloaded(),
-            heap_base: 0x4000_0000,
-            heap_len: 64 << 20,
-            max_objects: 1 << 16,
-            min_quarantine: 128 << 10, // 8 MiB / 64
-            quarantine_divisor: 3,
-            app_core: 3,
-            rev_core: 2,
-            app_threads: 1,
-            spare_revoker_core: true,
-            pte_mode: PteUpdateMode::Generation,
-            always_trap_clean: false,
-            revoker_threads: 1,
-            tx_interval: None,
-            latency_from_arrival: false,
-            bus_penalty_per_rev_txn: 210,
-        }
-    }
-}
 
 /// Simulation failures (workload or configuration bugs; a correct run
 /// never produces one).
@@ -176,9 +58,25 @@ impl From<AllocError> for SimError {
     }
 }
 
-/// The simulated system. Construct with [`System::new`], execute with
+/// Wall-clock bookkeeping for the revocation pass in flight, kept only
+/// when telemetry is on (spans cover each phase, Figure 9).
+#[derive(Debug)]
+struct EpochTrace {
+    /// Epoch counter value during the pass (odd, §2.2.3).
+    epoch: u64,
+    /// Wall cycle the pass began (before the entry pause).
+    start: u64,
+    /// Wall cycle the concurrent phase began (after the entry pause).
+    concurrent_start: u64,
+    /// `per_core_concurrent_cycles` snapshot at pass start, for per-core
+    /// attribution of the sweep.
+    core_marks: Vec<u64>,
+}
+
+/// The simulated system. Construct with [`System::new`] (or
+/// [`System::with_sink`] for a custom telemetry sink), execute with
 /// [`System::run`], or drive op-by-op with [`System::exec`] and finish
-/// with [`System::into_stats`].
+/// with [`System::finish`].
 #[derive(Debug)]
 pub struct System {
     cfg: SimConfig,
@@ -200,13 +98,39 @@ pub struct System {
     next_arrival: u64,
     last_release_epoch: u64,
     reg_rr: usize,
+    // Telemetry (all dormant under the default `NullSink`).
+    sink: Box<dyn TelemetrySink>,
+    /// Cached `sink.is_enabled()`: one branch guards every hook.
+    telemetry_on: bool,
+    /// Sampling period (`u64::MAX` sentinel disables the sampler).
+    next_sample: u64,
+    sample_interval: u64,
+    epoch_trace: Option<EpochTrace>,
+    scratch_vm: Vec<cheri_vm::VmEvent>,
+    scratch_rev: Vec<cornucopia::RevokerEvent>,
+    scratch_alloc: Vec<cheri_alloc::AllocEvent>,
 }
 
 impl System {
     /// Builds a system: maps the arena, allocates the root table, and
-    /// configures the revoker per `cfg`.
+    /// configures the revoker per `cfg`. The telemetry sink is chosen from
+    /// `cfg.telemetry()`: a [`Recorder`] when anything is enabled, the
+    /// free [`NullSink`] otherwise.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
+        let sink: Box<dyn TelemetrySink> = if cfg.telemetry.enabled() {
+            Box::new(Recorder::new(cfg.telemetry.clone()))
+        } else {
+            Box::new(NullSink)
+        };
+        System::with_sink(cfg, sink)
+    }
+
+    /// Builds a system delivering telemetry to a caller-supplied sink
+    /// (e.g. one streaming events out of process). Component event
+    /// recording is switched on iff `sink.is_enabled()`.
+    #[must_use]
+    pub fn with_sink(cfg: SimConfig, sink: Box<dyn TelemetrySink>) -> Self {
         let layout = HeapLayout::new(cfg.heap_base, cfg.heap_len);
         let strategy = match cfg.condition {
             Condition::Baseline => Strategy::PaintSync, // unused
@@ -259,6 +183,18 @@ impl System {
             .cap;
         let app_thread = cfg.app_core; // threads are created per core
         let mmap_space = cheri_alloc::MmapSpace::new(layout.mmap_base(), layout.mmap_len());
+        let telemetry_on = sink.is_enabled();
+        let sample_interval = sink.sample_interval().unwrap_or(0);
+        let next_sample = if sample_interval > 0 { sample_interval } else { u64::MAX };
+        let mut revoker = revoker;
+        if telemetry_on {
+            // Component logging never charges cycles, so counters stay
+            // bit-identical with it on; it is gated anyway so the default
+            // path never touches the buffers.
+            machine.set_event_recording(true);
+            revoker.set_event_recording(true);
+            heap.set_event_recording(true);
+        }
         System {
             cfg,
             machine,
@@ -277,6 +213,14 @@ impl System {
             next_arrival: 0,
             last_release_epoch: 0,
             reg_rr: 0,
+            sink,
+            telemetry_on,
+            next_sample,
+            sample_interval,
+            epoch_trace: None,
+            scratch_vm: Vec::new(),
+            scratch_rev: Vec::new(),
+            scratch_alloc: Vec::new(),
         }
     }
 
@@ -304,18 +248,19 @@ impl System {
         self.wall
     }
 
-    /// Runs an op stream to completion and returns the statistics.
-    pub fn run(mut self, ops: impl IntoIterator<Item = Op>) -> Result<RunStats, SimError> {
+    /// Runs an op stream to completion and returns the [`RunReport`]
+    /// (statistics + telemetry; derefs to [`RunStats`]).
+    pub fn run(mut self, ops: impl IntoIterator<Item = Op>) -> Result<RunReport, SimError> {
         for op in ops {
             self.exec(op)?;
         }
-        Ok(self.into_stats())
+        Ok(self.finish())
     }
 
     /// Finalizes the run: drains any in-flight revocation and collects
-    /// statistics.
+    /// statistics plus whatever telemetry the sink gathered.
     #[must_use]
-    pub fn into_stats(mut self) -> RunStats {
+    pub fn finish(mut self) -> RunReport {
         // Let an in-flight pass finish (without charging the app).
         while self.revoker.is_revoking() {
             match self.revoker.background_step(&mut self.machine, 10_000_000) {
@@ -323,6 +268,7 @@ impl System {
                     let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
                     self.rev_cpu += pause;
                     self.stats.pauses.push(pause);
+                    self.note_stw_pause(pause);
                 }
                 StepOutcome::Working { used } | StepOutcome::Finished { used } => {
                     self.rev_cpu += used;
@@ -330,7 +276,24 @@ impl System {
                 StepOutcome::Idle => break,
             }
         }
-        let mut s = self.stats;
+        if self.telemetry_on {
+            self.note_pass_progress();
+            self.drain_events();
+        }
+        let condition = self.cfg.condition.label();
+        let stats = self.collect_stats();
+        RunReport::new(condition, stats, self.sink.into_data())
+    }
+
+    /// Finalizes the run, discarding telemetry (legacy shorthand for
+    /// `finish().into_stats()`).
+    #[must_use]
+    pub fn into_stats(self) -> RunStats {
+        self.finish().into_stats()
+    }
+
+    fn collect_stats(&mut self) -> RunStats {
+        let mut s = std::mem::take(&mut self.stats);
         s.wall_cycles = self.wall;
         s.app_cpu_cycles = self.app_cpu;
         s.revoker_cpu_cycles = self.rev_cpu;
@@ -375,6 +338,15 @@ impl System {
 
     /// Executes one operation.
     pub fn exec(&mut self, op: Op) -> Result<(), SimError> {
+        let result = self.exec_op(op);
+        if self.telemetry_on {
+            self.drain_events();
+            self.poll_sample();
+        }
+        result
+    }
+
+    fn exec_op(&mut self, op: Op) -> Result<(), SimError> {
         match op {
             Op::Alloc { obj, size } => self.op_alloc(obj, size),
             Op::Free { obj } => self.op_free(obj),
@@ -504,6 +476,7 @@ impl System {
                 let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
                 self.stats.pauses.push(pause);
                 self.rev_cpu += pause;
+                self.note_stw_pause(pause);
                 if app_busy {
                     // The world (including the app) stops.
                     self.wall += pause;
@@ -518,12 +491,15 @@ impl System {
     /// hard-full behaviour).
     fn block_on_revocation(&mut self) {
         self.heap.note_blocked_alloc();
+        let block_start = self.wall;
+        let block_epoch = self.revoker.epoch();
         while self.revoker.is_revoking() {
             match self.revoker.background_step(&mut self.machine, 1_000_000) {
                 StepOutcome::NeedsFinalStw { .. } => {
                     let pause = self.revoker.finish_stw(&mut self.machine, self.cfg.app_threads);
                     self.stats.pauses.push(pause);
                     self.rev_cpu += pause;
+                    self.note_stw_pause(pause);
                     self.wall += pause;
                     self.stats.blocked_cycles += pause;
                 }
@@ -535,6 +511,16 @@ impl System {
                 StepOutcome::Idle => break,
             }
         }
+        if self.telemetry_on && self.wall > block_start {
+            self.sink.record_span(Span {
+                kind: SpanKind::BlockedAlloc,
+                epoch: block_epoch,
+                start: block_start,
+                end: self.wall,
+                core: Some(self.cfg.app_core),
+                busy_cycles: self.wall - block_start,
+            });
+        }
         self.rev_mark = self.wall;
         self.maybe_release();
     }
@@ -543,6 +529,15 @@ impl System {
     fn start_revocation(&mut self) {
         let pause = self.revoker.start_epoch_with_busy_threads(&mut self.machine, self.cfg.app_threads);
         self.stats.pauses.push(pause);
+        self.note_stw_pause(pause);
+        if self.telemetry_on {
+            self.epoch_trace = Some(EpochTrace {
+                epoch: self.revoker.epoch(),
+                start: self.wall,
+                concurrent_start: self.wall + pause,
+                core_marks: self.revoker.per_core_concurrent_cycles().to_vec(),
+            });
+        }
         self.wall += pause;
         self.rev_cpu += pause;
         self.rev_mark = self.wall;
@@ -551,6 +546,9 @@ impl System {
 
     /// Releases quarantine batches if the epoch advanced.
     fn maybe_release(&mut self) {
+        if self.telemetry_on {
+            self.note_pass_progress();
+        }
         let e = self.revoker.epoch();
         if e != self.last_release_epoch {
             self.last_release_epoch = e;
@@ -559,6 +557,115 @@ impl System {
             self.wall += c;
             self.app_cpu += c;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry plumbing (dormant under the default `NullSink`: every
+    // entry point is behind the cached `telemetry_on` flag or the
+    // `next_sample == u64::MAX` sentinel)
+    // ------------------------------------------------------------------
+
+    /// Records a stop-the-world pause span starting at the *current* wall
+    /// position — callers invoke this before adding the pause to the wall
+    /// clock, so the span covers the world-stopped window itself. A pause
+    /// hidden inside idle time (or after the last op, in [`System::finish`])
+    /// still gets its true width even though the wall does not move.
+    fn note_stw_pause(&mut self, pause: u64) {
+        if self.telemetry_on {
+            self.sink.record_span(Span {
+                kind: SpanKind::StwPause,
+                epoch: self.revoker.epoch(),
+                start: self.wall,
+                end: self.wall + pause,
+                core: None,
+                busy_cycles: pause,
+            });
+        }
+    }
+
+    /// If the traced pass has completed, emits its per-core concurrent
+    /// sweep spans and the whole-epoch span (Figure 9's per-phase data).
+    fn note_pass_progress(&mut self) {
+        if self.revoker.is_revoking() {
+            return;
+        }
+        let Some(trace) = self.epoch_trace.take() else { return };
+        let per_core = self.revoker.per_core_concurrent_cycles();
+        let mut busy_total = 0;
+        for (i, &core) in self.revoker.cores().iter().enumerate() {
+            let before = trace.core_marks.get(i).copied().unwrap_or(0);
+            let delta = per_core.get(i).copied().unwrap_or(0).saturating_sub(before);
+            if delta > 0 {
+                busy_total += delta;
+                self.sink.record_span(Span {
+                    kind: SpanKind::ConcurrentSweep,
+                    epoch: trace.epoch,
+                    start: trace.concurrent_start,
+                    end: self.wall,
+                    core: Some(core),
+                    busy_cycles: delta,
+                });
+            }
+        }
+        self.sink.record_span(Span {
+            kind: SpanKind::Epoch,
+            epoch: trace.epoch,
+            start: trace.start,
+            end: self.wall,
+            core: None,
+            busy_cycles: busy_total,
+        });
+    }
+
+    /// Moves component event logs into the sink, stamped with the current
+    /// wall cycle (components have no clock of their own; op granularity
+    /// is the journal's resolution).
+    fn drain_events(&mut self) {
+        let at = self.wall;
+        self.machine.drain_events_into(&mut self.scratch_vm);
+        for e in self.scratch_vm.drain(..) {
+            self.sink.record_event(at, TelemetryEvent::Vm(e));
+        }
+        self.revoker.drain_events_into(&mut self.scratch_rev);
+        for e in self.scratch_rev.drain(..) {
+            self.sink.record_event(at, TelemetryEvent::Revoker(e));
+        }
+        self.heap.drain_events_into(&mut self.scratch_alloc);
+        for e in self.scratch_alloc.drain(..) {
+            self.sink.record_event(at, TelemetryEvent::Alloc(e));
+        }
+    }
+
+    /// Emits a counter snapshot for every sampling boundary the wall
+    /// clock crossed since the last poll.
+    fn poll_sample(&mut self) {
+        while self.wall >= self.next_sample {
+            let at = self.next_sample;
+            self.take_sample(at);
+            self.next_sample += self.sample_interval;
+        }
+    }
+
+    fn take_sample(&mut self, at: u64) {
+        let revoker_dram = self.revoker_dram_now();
+        let mut total_dram = 0;
+        for core in 0..self.machine.num_cores() {
+            total_dram += self.machine.mem().traffic(core).dram_transactions;
+        }
+        let vs = self.machine.vm_stats();
+        self.sink.record_sample(Sample {
+            at,
+            rss_bytes: self.machine.resident_bytes(),
+            allocated_bytes: self.heap.allocated_bytes(),
+            quarantine_bytes: self.heap.quarantine_bytes(),
+            app_dram: total_dram - revoker_dram,
+            revoker_dram,
+            faults: self.stats.faults,
+            fault_cycles: self.stats.fault_cycles,
+            blocked_cycles: self.stats.blocked_cycles,
+            tlb_misses: vs.tlb_misses,
+            epochs: self.revoker.stats().epochs,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -803,8 +910,8 @@ mod tests {
     }
 
     fn run(condition: Condition, min_q: u64) -> RunStats {
-        let cfg = SimConfig { condition, min_quarantine: min_q, ..SimConfig::default() };
-        System::new(cfg).run(churn_ops(2000, 4096)).unwrap()
+        let cfg = SimConfig::builder().condition(condition).min_quarantine(min_q).build().unwrap();
+        System::new(cfg).run(churn_ops(2000, 4096)).unwrap().into_stats()
     }
 
     #[test]
@@ -875,15 +982,15 @@ mod tests {
 
     #[test]
     fn multi_core_revoker_attributes_dram_per_core() {
-        let cfg = SimConfig {
-            condition: Condition::reloaded(),
-            revoker_threads: 4,
-            min_quarantine: 256 << 10,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .policy(Condition::reloaded())
+            .cores(4)
+            .min_quarantine(256 << 10)
+            .build()
+            .unwrap();
         let s = System::new(cfg).run(churn_ops(2000, 4096)).unwrap();
         assert_eq!(s.revoker_cores.len(), 4);
-        assert!(!s.revoker_cores.contains(&SimConfig::default().app_core));
+        assert!(!s.revoker_cores.contains(&SimConfig::default().app_core()));
         let mut distinct = s.revoker_cores.clone();
         distinct.sort_unstable();
         distinct.dedup();
@@ -906,11 +1013,11 @@ mod tests {
     #[test]
     fn rate_schedule_spaces_transactions() {
         let interval = 2_000_000u64;
-        let cfg = SimConfig {
-            condition: Condition::baseline(),
-            tx_interval: Some(interval),
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .condition(Condition::baseline())
+            .tx_interval(interval)
+            .build()
+            .unwrap();
         let s = System::new(cfg).run(churn_ops(50, 256)).unwrap();
         // Wall must cover the schedule span.
         assert!(s.wall_cycles >= interval * 49);
@@ -919,13 +1026,13 @@ mod tests {
     #[test]
     fn oom_recovers_via_forced_revocation() {
         // Tiny arena: the live set fits, but only with quarantine turnover.
-        let cfg = SimConfig {
-            condition: Condition::reloaded(),
-            heap_len: 4 << 20,
-            max_objects: 1 << 10,
-            min_quarantine: 64 << 10,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .condition(Condition::reloaded())
+            .heap_len(4 << 20)
+            .max_objects(1 << 10)
+            .min_quarantine(64 << 10)
+            .build()
+            .unwrap();
         let s = System::new(cfg).run(churn_ops(3000, 8192)).unwrap();
         assert!(s.revocations > 0);
     }
@@ -937,5 +1044,102 @@ mod tests {
         assert_eq!(sys.exec(Op::Free { obj: 7 }), Err(SimError::UnknownObj(7)));
         sys.exec(Op::Alloc { obj: 7, size: 64 }).unwrap();
         assert_eq!(sys.exec(Op::Alloc { obj: 7, size: 64 }), Err(SimError::SlotBusy(7)));
+    }
+
+    fn telemetry_cfg(condition: Condition) -> SimConfig {
+        SimConfig::builder()
+            .condition(condition)
+            .min_quarantine(256 << 10)
+            .sample_every(500_000)
+            .record_events(true)
+            .record_spans(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        let plain = run(Condition::reloaded(), 256 << 10);
+        let traced = System::new(telemetry_cfg(Condition::reloaded()))
+            .run(churn_ops(2000, 4096))
+            .unwrap();
+        assert_eq!(plain.wall_cycles, traced.wall_cycles);
+        assert_eq!(plain.tx_latencies, traced.tx_latencies);
+        assert_eq!(plain.total_dram(), traced.total_dram());
+        assert_eq!(plain.pauses, traced.pauses);
+    }
+
+    #[test]
+    fn null_sink_collects_nothing() {
+        let cfg = SimConfig::builder().min_quarantine(256 << 10).build().unwrap();
+        let report = System::new(cfg).run(churn_ops(500, 4096)).unwrap();
+        assert!(report.telemetry().is_empty());
+    }
+
+    #[test]
+    fn recorder_captures_events_spans_and_samples() {
+        use crate::telemetry::{SpanKind, TelemetryEvent};
+        let report = System::new(telemetry_cfg(Condition::reloaded()))
+            .run(churn_ops(2000, 4096))
+            .unwrap();
+        let t = report.telemetry();
+        assert!(!t.samples.is_empty(), "sampler never fired");
+        assert!(t.samples.windows(2).all(|w| w[0].at < w[1].at), "samples not monotonic");
+        assert!(t.samples.iter().any(|s| s.revoker_dram > 0));
+        // The journal saw both revoker lifecycle and allocator policy events.
+        let labels: Vec<&str> = t.events.iter().map(|e| e.event.label()).collect();
+        assert!(labels.contains(&"epoch_begin"));
+        assert!(labels.contains(&"epoch_end"));
+        assert!(labels.contains(&"generation_flip"));
+        assert!(labels.contains(&"revocation_requested"));
+        assert!(labels.contains(&"batch_sealed"));
+        // Spans: per-pass Epoch + StwPause + at least one concurrent sweep.
+        let epochs = t.spans.iter().filter(|sp| sp.kind == SpanKind::Epoch).count() as u64;
+        assert_eq!(epochs, report.revocations);
+        assert_eq!(
+            t.spans.iter().filter(|sp| sp.kind == SpanKind::StwPause).count(),
+            report.pauses.len()
+        );
+        let sweep = t
+            .spans
+            .iter()
+            .find(|sp| sp.kind == SpanKind::ConcurrentSweep)
+            .expect("reloaded passes have a concurrent phase");
+        assert!(sweep.core.is_some());
+        assert!(sweep.busy_cycles > 0);
+        assert!(sweep.start <= sweep.end);
+        // Every span nests inside its epoch's window.
+        for sp in &t.spans {
+            assert!(sp.start <= sp.end, "inverted span {sp:?}");
+        }
+        // Events timestamped within the run.
+        assert!(t.events.iter().all(|e| e.at <= report.wall_cycles));
+        let _ = t.events.iter().map(|e| matches!(e.event, TelemetryEvent::Vm(_))).count();
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_across_runs() {
+        let a = System::new(telemetry_cfg(Condition::reloaded()))
+            .run(churn_ops(1000, 4096))
+            .unwrap()
+            .to_json();
+        let b = System::new(telemetry_cfg(Condition::reloaded()))
+            .run(churn_ops(1000, 4096))
+            .unwrap()
+            .to_json();
+        assert_eq!(a, b);
+        let v = crate::json::Json::parse(&a).unwrap();
+        assert_eq!(v.get("condition").unwrap().as_str(), Some("Reloaded"));
+        assert!(!v.get("spans").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn custom_sink_receives_telemetry() {
+        use crate::config::TelemetryConfig;
+        use crate::telemetry::Recorder;
+        let cfg = SimConfig::builder().min_quarantine(256 << 10).build().unwrap();
+        let sink = Box::new(Recorder::new(TelemetryConfig::full(1_000_000)));
+        let report = System::with_sink(cfg, sink).run(churn_ops(1000, 4096)).unwrap();
+        assert!(!report.telemetry().is_empty());
     }
 }

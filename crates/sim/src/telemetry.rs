@@ -1,0 +1,407 @@
+//! Telemetry: a typed span/event journal plus a counter time-series
+//! sampler, behind a sink trait whose default implementation is free.
+//!
+//! The simulated components cannot see the wall clock — the [`crate::System`]
+//! owns time — so each component (the VM layer, the revoker, the
+//! allocator shim) keeps a cheap, gated internal event log
+//! ([`cheri_vm::VmEvent`], [`cornucopia::RevokerEvent`],
+//! [`cheri_alloc::AllocEvent`]). The system drains those logs as it
+//! executes, stamps them with the current wall cycle, and forwards them
+//! into a [`TelemetrySink`]:
+//!
+//! * [`NullSink`] — the default. Component logging stays disabled, every
+//!   hook is a no-op, and runs are bit-identical to a build without
+//!   telemetry (`tests/golden_stats.rs` enforces this).
+//! * [`Recorder`] — ring-buffered storage for the event journal, the
+//!   revocation phase/pause [`Span`]s (Figure 9's raw material), and the
+//!   sampled counter [`Sample`] series (Figures 4/6 analogues), collected
+//!   into a [`TelemetryData`] at the end of the run.
+//!
+//! Everything here is deterministic: timestamps are simulated cycles and
+//! ring evictions depend only on the op stream.
+
+use crate::config::TelemetryConfig;
+use cheri_alloc::AllocEvent;
+use cheri_vm::VmEvent;
+use cornucopia::RevokerEvent;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A typed event from any simulated component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// MMU / TLB / generation-flip activity.
+    Vm(VmEvent),
+    /// Revocation pass lifecycle and fault handling.
+    Revoker(RevokerEvent),
+    /// Quarantine policy activity.
+    Alloc(AllocEvent),
+}
+
+impl TelemetryEvent {
+    /// A stable snake_case label for export.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Vm(VmEvent::TlbShootdown { .. }) => "tlb_shootdown",
+            TelemetryEvent::Vm(VmEvent::GenerationFlip { .. }) => "generation_flip",
+            TelemetryEvent::Vm(VmEvent::LoadGenerationFault { .. }) => "load_generation_fault",
+            TelemetryEvent::Vm(_) => "vm_other",
+            TelemetryEvent::Revoker(RevokerEvent::EpochBegin { .. }) => "epoch_begin",
+            TelemetryEvent::Revoker(RevokerEvent::EpochEnd { .. }) => "epoch_end",
+            TelemetryEvent::Revoker(RevokerEvent::LoadFaultHandled { .. }) => "load_fault_handled",
+            TelemetryEvent::Revoker(_) => "revoker_other",
+            TelemetryEvent::Alloc(AllocEvent::RevocationRequested { .. }) => "revocation_requested",
+            TelemetryEvent::Alloc(AllocEvent::BatchSealed { .. }) => "batch_sealed",
+            TelemetryEvent::Alloc(AllocEvent::BatchReleased { .. }) => "batch_released",
+            TelemetryEvent::Alloc(_) => "alloc_other",
+        }
+    }
+}
+
+/// An event stamped with the wall cycle at which the system drained it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Wall cycle.
+    pub at: u64,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+/// What a [`Span`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A stop-the-world pause (epoch entry, CHERIvoke/Cornucopia sweep,
+    /// or a final re-sweep). Start/end bound the world-stopped window.
+    StwPause,
+    /// One revoker core's share of the concurrent sweep; `busy_cycles` is
+    /// that core's CPU time inside the wall window.
+    ConcurrentSweep,
+    /// A whole revocation pass, entry pause through completion.
+    Epoch,
+    /// The application blocked on an in-flight pass (quarantine
+    /// hard-full, §5.3).
+    BlockedAlloc,
+}
+
+impl SpanKind {
+    /// A stable snake_case label for export.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::StwPause => "stw_pause",
+            SpanKind::ConcurrentSweep => "concurrent_sweep",
+            SpanKind::Epoch => "epoch",
+            SpanKind::BlockedAlloc => "blocked_alloc",
+        }
+    }
+}
+
+/// A wall-clock interval attributed to a revocation phase or pause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What the interval covers.
+    pub kind: SpanKind,
+    /// Epoch counter value the interval belongs to.
+    pub epoch: u64,
+    /// Wall cycle the interval began.
+    pub start: u64,
+    /// Wall cycle the interval ended.
+    pub end: u64,
+    /// The core doing the work, when attributable to one core.
+    pub core: Option<usize>,
+    /// CPU cycles actually consumed inside the interval (≤ `end - start`
+    /// for time-sliced work; equal for STW pauses).
+    pub busy_cycles: u64,
+}
+
+/// One snapshot of the run's counters, taken every
+/// [`TelemetryConfig::sample_every`] cycles.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// The sample's scheduled wall cycle.
+    pub at: u64,
+    /// Resident set in bytes.
+    pub rss_bytes: u64,
+    /// Live heap bytes.
+    pub allocated_bytes: u64,
+    /// Quarantined bytes (open + sealed).
+    pub quarantine_bytes: u64,
+    /// Cumulative DRAM transactions from application cores.
+    pub app_dram: u64,
+    /// Cumulative DRAM transactions from revoker cores.
+    pub revoker_dram: u64,
+    /// Cumulative load-barrier faults taken.
+    pub faults: u64,
+    /// Cumulative cycles spent handling those faults.
+    pub fault_cycles: u64,
+    /// Cumulative cycles the application spent blocked on a pass.
+    pub blocked_cycles: u64,
+    /// Cumulative TLB misses (all cores).
+    pub tlb_misses: u64,
+    /// Completed revocation epochs.
+    pub epochs: u64,
+}
+
+impl Sample {
+    /// Column names, in the order [`Sample::values`] returns them.
+    pub const COLUMNS: [&'static str; 11] = [
+        "at",
+        "rss_bytes",
+        "allocated_bytes",
+        "quarantine_bytes",
+        "app_dram",
+        "revoker_dram",
+        "faults",
+        "fault_cycles",
+        "blocked_cycles",
+        "tlb_misses",
+        "epochs",
+    ];
+
+    /// The row, aligned with [`Sample::COLUMNS`].
+    #[must_use]
+    pub fn values(&self) -> [u64; 11] {
+        [
+            self.at,
+            self.rss_bytes,
+            self.allocated_bytes,
+            self.quarantine_bytes,
+            self.app_dram,
+            self.revoker_dram,
+            self.faults,
+            self.fault_cycles,
+            self.blocked_cycles,
+            self.tlb_misses,
+            self.epochs,
+        ]
+    }
+}
+
+/// Everything a sink collected over a run.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryData {
+    /// The stamped event journal, in drain order.
+    pub events: Vec<TimedEvent>,
+    /// Phase / pause spans, in emission order.
+    pub spans: Vec<Span>,
+    /// The sampled counter series, oldest first.
+    pub samples: Vec<Sample>,
+    /// Events evicted from the ring because it was full.
+    pub dropped_events: u64,
+    /// Samples evicted from the ring because it was full.
+    pub dropped_samples: u64,
+}
+
+impl TelemetryData {
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.spans.is_empty() && self.samples.is_empty()
+    }
+}
+
+/// Where the system delivers telemetry. Implemented by [`NullSink`]
+/// (default, free) and [`Recorder`]; external drivers can implement it to
+/// stream events elsewhere via [`crate::System::with_sink`].
+pub trait TelemetrySink: fmt::Debug {
+    /// Whether the system should bother collecting anything at all. When
+    /// `false` the system never enables component event logging, never
+    /// drains, and never samples.
+    fn is_enabled(&self) -> bool;
+
+    /// Sampling period in cycles, if counter sampling is wanted.
+    fn sample_interval(&self) -> Option<u64>;
+
+    /// Delivers one stamped event.
+    fn record_event(&mut self, at: u64, event: TelemetryEvent);
+
+    /// Delivers one phase/pause span.
+    fn record_span(&mut self, span: Span);
+
+    /// Delivers one counter snapshot.
+    fn record_sample(&mut self, sample: Sample);
+
+    /// Consumes the sink, yielding whatever it collected.
+    fn into_data(self: Box<Self>) -> TelemetryData;
+}
+
+/// The zero-overhead default sink: everything is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn sample_interval(&self) -> Option<u64> {
+        None
+    }
+
+    fn record_event(&mut self, _at: u64, _event: TelemetryEvent) {}
+
+    fn record_span(&mut self, _span: Span) {}
+
+    fn record_sample(&mut self, _sample: Sample) {}
+
+    fn into_data(self: Box<Self>) -> TelemetryData {
+        TelemetryData::default()
+    }
+}
+
+/// The standard in-memory sink: ring-buffered journal and series per the
+/// run's [`TelemetryConfig`].
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: TelemetryConfig,
+    events: VecDeque<TimedEvent>,
+    dropped_events: u64,
+    spans: Vec<Span>,
+    samples: VecDeque<Sample>,
+    dropped_samples: u64,
+}
+
+impl Recorder {
+    /// A recorder honouring `cfg`'s capacities and switches.
+    #[must_use]
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Recorder {
+            cfg,
+            events: VecDeque::new(),
+            dropped_events: 0,
+            spans: Vec::new(),
+            samples: VecDeque::new(),
+            dropped_samples: 0,
+        }
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn is_enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    fn sample_interval(&self) -> Option<u64> {
+        self.cfg.sample_every
+    }
+
+    fn record_event(&mut self, at: u64, event: TelemetryEvent) {
+        if !self.cfg.record_events {
+            return;
+        }
+        if self.events.len() == self.cfg.event_capacity {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(TimedEvent { at, event });
+    }
+
+    fn record_span(&mut self, span: Span) {
+        if self.cfg.record_spans {
+            self.spans.push(span);
+        }
+    }
+
+    fn record_sample(&mut self, sample: Sample) {
+        if self.samples.len() == self.cfg.series_capacity {
+            self.samples.pop_front();
+            self.dropped_samples += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    fn into_data(self: Box<Self>) -> TelemetryData {
+        TelemetryData {
+            events: self.events.into_iter().collect(),
+            spans: self.spans,
+            samples: self.samples.into_iter().collect(),
+            dropped_events: self.dropped_events,
+            dropped_samples: self.dropped_samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> (u64, TelemetryEvent) {
+        (at, TelemetryEvent::Revoker(RevokerEvent::EpochBegin { epoch: at }))
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_empty() {
+        let mut sink = NullSink;
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.sample_interval(), None);
+        let (at, event) = ev(1);
+        sink.record_event(at, event);
+        sink.record_sample(Sample::default());
+        assert!(Box::new(sink).into_data().is_empty());
+    }
+
+    #[test]
+    fn recorder_respects_switches() {
+        let mut sink = Recorder::new(TelemetryConfig::sampled(100));
+        assert!(sink.is_enabled());
+        assert_eq!(sink.sample_interval(), Some(100));
+        let (at, event) = ev(5);
+        sink.record_event(at, event); // record_events is off
+        sink.record_span(Span {
+            kind: SpanKind::Epoch,
+            epoch: 1,
+            start: 0,
+            end: 10,
+            core: None,
+            busy_cycles: 10,
+        }); // record_spans is off
+        sink.record_sample(Sample { at: 100, ..Sample::default() });
+        let data = Box::new(sink).into_data();
+        assert!(data.events.is_empty());
+        assert!(data.spans.is_empty());
+        assert_eq!(data.samples.len(), 1);
+    }
+
+    #[test]
+    fn rings_evict_oldest_and_count_drops() {
+        let mut cfg = TelemetryConfig::full(10);
+        cfg.event_capacity = 2;
+        cfg.series_capacity = 2;
+        let mut sink = Recorder::new(cfg);
+        for i in 0..5 {
+            let (at, event) = ev(i);
+            sink.record_event(at, event);
+            sink.record_sample(Sample { at: i, ..Sample::default() });
+        }
+        let data = Box::new(sink).into_data();
+        assert_eq!(data.dropped_events, 3);
+        assert_eq!(data.dropped_samples, 3);
+        assert_eq!(data.events.iter().map(|e| e.at).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(data.samples.iter().map(|s| s.at).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn sample_row_aligns_with_columns() {
+        let s = Sample { at: 1, rss_bytes: 2, epochs: 11, ..Sample::default() };
+        let vals = s.values();
+        assert_eq!(vals.len(), Sample::COLUMNS.len());
+        assert_eq!(vals[0], 1);
+        assert_eq!(vals[1], 2);
+        assert_eq!(vals[10], 11);
+    }
+
+    #[test]
+    fn event_labels_are_stable() {
+        let (_, event) = ev(0);
+        assert_eq!(event.label(), "epoch_begin");
+        assert_eq!(
+            TelemetryEvent::Vm(VmEvent::TlbShootdown { page: 0 }).label(),
+            "tlb_shootdown"
+        );
+        assert_eq!(
+            TelemetryEvent::Alloc(AllocEvent::BatchSealed { bytes: 1, epoch: 1 }).label(),
+            "batch_sealed"
+        );
+    }
+}

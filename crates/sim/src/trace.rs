@@ -5,7 +5,7 @@
 //! real allocator trace — can be replayed against any revocation strategy,
 //! and surrogate workloads can be archived alongside results.
 //!
-//! Format (`#cornucopia-trace v1` header, one op per line, `#` comments):
+//! Format (`#cornucopia-trace v2` header, one op per line, `#` comments):
 //!
 //! ```text
 //! A <obj> <size>      Alloc          F <obj>         Free
@@ -16,13 +16,28 @@
 //! B <id>              TxBegin        E <id>          TxEnd
 //! M <obj> <len>       Mmap           U <obj>         Munmap
 //! ```
+//!
+//! **v2** additionally carries metadata lines of the form `#!key value`
+//! immediately after the header (sorted by key on write, so equal traces
+//! serialize identically) — provenance such as the generating workload,
+//! seed, or scale travels with the ops. The reader still accepts v1
+//! traces, where `#!` lines are plain comments and the metadata comes
+//! back empty.
 
 use crate::ops::Op;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-/// The format header.
-pub const TRACE_HEADER: &str = "#cornucopia-trace v1";
+/// The current format header.
+pub const TRACE_HEADER: &str = "#cornucopia-trace v2";
+
+/// The legacy v1 header (no metadata lines); still readable.
+pub const TRACE_HEADER_V1: &str = "#cornucopia-trace v1";
+
+/// Trace metadata: ordered key → value pairs carried by v2 traces. Keys
+/// must be nonempty and free of whitespace; values must be single-line.
+pub type TraceMeta = BTreeMap<String, String>;
 
 /// Trace parsing errors, with 1-based line numbers.
 #[derive(Debug)]
@@ -38,6 +53,12 @@ pub enum TraceError {
         /// The offending text.
         text: String,
     },
+    /// A metadata key or value is unserializable (whitespace in the key,
+    /// newline in the value, or an empty key).
+    BadMeta {
+        /// The offending key.
+        key: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -46,6 +67,7 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceError::BadHeader => write!(f, "missing `{TRACE_HEADER}` header"),
             TraceError::Parse { line, text } => write!(f, "trace parse error at line {line}: {text:?}"),
+            TraceError::BadMeta { key } => write!(f, "unserializable trace metadata key {key:?}"),
         }
     }
 }
@@ -58,9 +80,33 @@ impl From<io::Error> for TraceError {
     }
 }
 
-/// Serializes an op stream.
-pub fn write_ops<W: Write>(ops: &[Op], mut w: W) -> io::Result<()> {
-    writeln!(w, "{TRACE_HEADER}")?;
+/// Serializes an op stream with no metadata (v2 format).
+pub fn write_ops<W: Write>(ops: &[Op], w: W) -> io::Result<()> {
+    match write_trace(ops, &TraceMeta::new(), w) {
+        Ok(()) => Ok(()),
+        Err(TraceError::Io(e)) => Err(e),
+        Err(other) => Err(io::Error::other(other.to_string())),
+    }
+}
+
+/// Serializes an op stream plus metadata (v2 format: header, `#!key
+/// value` lines in key order, then one op per line).
+pub fn write_trace<W: Write>(ops: &[Op], meta: &TraceMeta, mut w: W) -> Result<(), TraceError> {
+    writeln!(w, "{TRACE_HEADER}").map_err(TraceError::Io)?;
+    for (key, value) in meta {
+        if key.is_empty()
+            || key.chars().any(char::is_whitespace)
+            || value.contains('\n')
+            || value.contains('\r')
+        {
+            return Err(TraceError::BadMeta { key: key.clone() });
+        }
+        writeln!(w, "#!{key} {value}").map_err(TraceError::Io)?;
+    }
+    write_op_lines(ops, w).map_err(TraceError::Io)
+}
+
+fn write_op_lines<W: Write>(ops: &[Op], mut w: W) -> io::Result<()> {
     for op in ops {
         match *op {
             Op::Alloc { obj, size } => writeln!(w, "A {obj} {size}")?,
@@ -82,18 +128,39 @@ pub fn write_ops<W: Write>(ops: &[Op], mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserializes an op stream.
+/// Deserializes an op stream, dropping any metadata.
 pub fn read_ops<R: BufRead>(r: R) -> Result<Vec<Op>, TraceError> {
+    read_trace(r).map(|(ops, _)| ops)
+}
+
+/// Deserializes an op stream plus its metadata. Accepts v2 and v1
+/// headers; in v1 input, `#!` lines are plain comments and the returned
+/// metadata is empty.
+pub fn read_trace<R: BufRead>(r: R) -> Result<(Vec<Op>, TraceMeta), TraceError> {
     let mut lines = r.lines();
-    match lines.next() {
-        Some(Ok(h)) if h.trim() == TRACE_HEADER => {}
+    let v2 = match lines.next() {
+        Some(Ok(h)) if h.trim() == TRACE_HEADER => true,
+        Some(Ok(h)) if h.trim() == TRACE_HEADER_V1 => false,
         Some(Err(e)) => return Err(e.into()),
         _ => return Err(TraceError::BadHeader),
-    }
+    };
+    let mut meta = TraceMeta::new();
     let mut ops = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
         let text = line.trim();
+        if v2 && text.starts_with("#!") {
+            let body = &text[2..];
+            let lineno = i + 2;
+            let (key, value) = body
+                .split_once(char::is_whitespace)
+                .map_or((body, ""), |(k, v)| (k, v.trim_start()));
+            if key.is_empty() {
+                return Err(TraceError::Parse { line: lineno, text: text.to_string() });
+            }
+            meta.insert(key.to_string(), value.to_string());
+            continue;
+        }
         if text.is_empty() || text.starts_with('#') {
             continue;
         }
@@ -123,19 +190,37 @@ pub fn read_ops<R: BufRead>(r: R) -> Result<Vec<Op>, TraceError> {
         };
         ops.push(op);
     }
-    Ok(ops)
+    Ok((ops, meta))
 }
 
-/// Writes a trace to `path`.
+/// Writes a metadata-free trace to `path`.
 pub fn save_to_path(ops: &[Op], path: impl AsRef<std::path::Path>) -> io::Result<()> {
     let f = std::fs::File::create(path)?;
     write_ops(ops, io::BufWriter::new(f))
 }
 
-/// Reads a trace from `path`.
+/// Writes a trace with metadata to `path`.
+pub fn save_trace_to_path(
+    ops: &[Op],
+    meta: &TraceMeta,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), TraceError> {
+    let f = std::fs::File::create(path).map_err(TraceError::Io)?;
+    write_trace(ops, meta, io::BufWriter::new(f))
+}
+
+/// Reads a trace from `path`, dropping metadata.
 pub fn load_from_path(path: impl AsRef<std::path::Path>) -> Result<Vec<Op>, TraceError> {
     let f = std::fs::File::open(path)?;
     read_ops(io::BufReader::new(f))
+}
+
+/// Reads a trace plus metadata from `path`.
+pub fn load_trace_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(Vec<Op>, TraceMeta), TraceError> {
+    let f = std::fs::File::open(path)?;
+    read_trace(io::BufReader::new(f))
 }
 
 #[cfg(test)]
@@ -210,10 +295,90 @@ mod tests {
         let mut buf = Vec::new();
         write_ops(&ops, &mut buf).unwrap();
         let replayed = read_ops(buf.as_slice()).unwrap();
-        let cfg = SimConfig { condition: Condition::reloaded(), ..SimConfig::default() };
+        let cfg = SimConfig::builder().condition(Condition::reloaded()).build().unwrap();
         let a = System::new(cfg.clone()).run(ops).unwrap();
         let b = System::new(cfg).run(replayed).unwrap();
         assert_eq!(a.wall_cycles, b.wall_cycles);
         assert_eq!(a.total_dram(), b.total_dram());
+    }
+
+    fn sample_meta() -> TraceMeta {
+        let mut meta = TraceMeta::new();
+        meta.insert("workload".to_string(), "gobmk trevord".to_string());
+        meta.insert("seed".to_string(), "1234".to_string());
+        meta.insert("scale".to_string(), String::new());
+        meta
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_ops_and_meta() {
+        let ops = sample();
+        let meta = sample_meta();
+        let mut buf = Vec::new();
+        write_trace(&ops, &meta, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(TRACE_HEADER));
+        assert!(text.contains("#!seed 1234"));
+        let (back_ops, back_meta) = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back_ops, ops);
+        assert_eq!(back_meta, meta);
+    }
+
+    #[test]
+    fn meta_lines_serialize_in_key_order() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_trace(&sample(), &sample_meta(), &mut a).unwrap();
+        write_trace(&sample(), &sample_meta(), &mut b).unwrap();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        let keys: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("#!"))
+            .map(|l| l[2..].split_whitespace().next().unwrap())
+            .collect();
+        assert_eq!(keys, vec!["scale", "seed", "workload"]);
+    }
+
+    #[test]
+    fn v1_traces_still_read_with_empty_meta() {
+        let text = format!("{TRACE_HEADER_V1}
+#!not meta in v1
+A 1 64
+F 1
+");
+        let (ops, meta) = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(ops, vec![Op::Alloc { obj: 1, size: 64 }, Op::Free { obj: 1 }]);
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn bad_meta_is_rejected_on_write() {
+        let ops = sample();
+        let mut meta = TraceMeta::new();
+        meta.insert("has space".to_string(), "v".to_string());
+        assert!(matches!(
+            write_trace(&ops, &meta, Vec::new()),
+            Err(TraceError::BadMeta { .. })
+        ));
+        let mut meta = TraceMeta::new();
+        meta.insert("k".to_string(), "line
+break".to_string());
+        assert!(matches!(
+            write_trace(&ops, &meta, Vec::new()),
+            Err(TraceError::BadMeta { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_meta_file_roundtrip() {
+        let dir = std::env::temp_dir().join("cornucopia-trace-v2-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t2.trace");
+        save_trace_to_path(&sample(), &sample_meta(), &path).unwrap();
+        let (ops, meta) = load_trace_from_path(&path).unwrap();
+        assert_eq!(ops, sample());
+        assert_eq!(meta, sample_meta());
+        std::fs::remove_file(&path).ok();
     }
 }

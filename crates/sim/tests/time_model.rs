@@ -9,7 +9,7 @@ fn tx(id: u64, work: u64) -> Vec<Op> {
 
 #[test]
 fn unscheduled_latency_is_service_time() {
-    let cfg = SimConfig { condition: Condition::baseline(), ..SimConfig::default() };
+    let cfg = SimConfig::builder().condition(Condition::baseline()).build().unwrap();
     let mut ops = Vec::new();
     for i in 0..10 {
         ops.extend(tx(i, 100_000));
@@ -23,11 +23,11 @@ fn unscheduled_latency_is_service_time() {
 #[test]
 fn scheduled_arrivals_space_the_run_and_hide_pauses() {
     let interval = 1_000_000u64;
-    let cfg = SimConfig {
-        condition: Condition::baseline(),
-        tx_interval: Some(interval),
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::builder()
+        .condition(Condition::baseline())
+        .tx_interval(interval)
+        .build()
+        .unwrap();
     let mut ops = Vec::new();
     for i in 0..20 {
         ops.extend(tx(i, 100_000));
@@ -42,12 +42,12 @@ fn scheduled_arrivals_space_the_run_and_hide_pauses() {
 fn arrival_latency_includes_queueing_when_behind() {
     // Service 300k, arrivals every 100k: the queue grows and open-loop
     // latency must grow with it.
-    let cfg = SimConfig {
-        condition: Condition::baseline(),
-        tx_interval: Some(100_000),
-        latency_from_arrival: true,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::builder()
+        .condition(Condition::baseline())
+        .tx_interval(100_000)
+        .latency_from_arrival(true)
+        .build()
+        .unwrap();
     let mut ops = Vec::new();
     for i in 0..20 {
         ops.extend(tx(i, 300_000));
@@ -60,7 +60,7 @@ fn arrival_latency_includes_queueing_when_behind() {
 
 #[test]
 fn idle_time_consumes_wall_but_not_cpu() {
-    let cfg = SimConfig { condition: Condition::baseline(), ..SimConfig::default() };
+    let cfg = SimConfig::builder().condition(Condition::baseline()).build().unwrap();
     let ops = vec![Op::Compute { cycles: 50_000 }, Op::ThinkIdle { cycles: 450_000 }];
     let s = System::new(cfg).run(ops).unwrap();
     assert!(s.wall_cycles >= 500_000);
@@ -72,12 +72,12 @@ fn idle_time_consumes_wall_but_not_cpu() {
 fn contention_slows_ops_only_while_revoking() {
     // Identical churn; without a spare revoker core, wall grows.
     let mk = |spare: bool| {
-        let cfg = SimConfig {
-            condition: Condition::reloaded(),
-            spare_revoker_core: spare,
-            min_quarantine: 64 << 10,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .condition(Condition::reloaded())
+            .spare_revoker_core(spare)
+            .min_quarantine(64 << 10)
+            .build()
+            .unwrap();
         let mut ops = Vec::new();
         for i in 0..1500u64 {
             ops.push(Op::Alloc { obj: i % 16, size: 4096 });
@@ -94,7 +94,7 @@ fn contention_slows_ops_only_while_revoking() {
 #[test]
 fn cycles_constants_are_consistent() {
     assert_eq!(CYCLES_PER_SEC, 2_500_000_000);
-    let cfg = SimConfig { condition: Condition::baseline(), ..SimConfig::default() };
+    let cfg = SimConfig::builder().condition(Condition::baseline()).build().unwrap();
     let s = System::new(cfg).run(vec![Op::Compute { cycles: CYCLES_PER_SEC / 100 }]).unwrap();
     assert!((9.0..12.0).contains(&s.wall_ms()), "10 ms of compute should read ~10 ms");
 }
@@ -102,13 +102,13 @@ fn cycles_constants_are_consistent() {
 #[test]
 fn blocked_allocations_are_accounted() {
     // A tiny arena with huge min quarantine forces blocking on revocation.
-    let cfg = SimConfig {
-        condition: Condition::cornucopia(),
-        heap_len: 4 << 20,
-        max_objects: 256,
-        min_quarantine: 32 << 10,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::builder()
+        .condition(Condition::cornucopia())
+        .heap_len(4 << 20)
+        .max_objects(256)
+        .min_quarantine(32 << 10)
+        .build()
+        .unwrap();
     let mut ops = Vec::new();
     for i in 0..2000u64 {
         ops.push(Op::Alloc { obj: i % 8, size: 16 << 10 });

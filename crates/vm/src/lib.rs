@@ -47,7 +47,7 @@
 mod machine;
 mod pte;
 
-pub use machine::{Machine, RegisterFile, ThreadId, VmStats, NUM_REGS};
+pub use machine::{Machine, RegisterFile, ThreadId, VmEvent, VmStats, NUM_REGS};
 pub use pte::{MapFlags, Pte};
 
 use core::fmt;

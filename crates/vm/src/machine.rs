@@ -72,6 +72,31 @@ pub struct VmStats {
     pub discarded_stores: u64,
 }
 
+/// A typed MMU event, recorded (when event recording is enabled) for the
+/// telemetry layer. Events carry no timestamps — the machine has no wall
+/// clock; the driving simulator stamps them as it drains the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmEvent {
+    /// A TLB invalidation was broadcast for `page`.
+    TlbShootdown {
+        /// Page-aligned virtual address invalidated.
+        page: u64,
+    },
+    /// Every core's load-generation bit flipped (Reloaded epoch entry).
+    GenerationFlip {
+        /// The new space generation.
+        generation: bool,
+    },
+    /// A capability load-generation fault was taken (§4.1).
+    LoadGenerationFault {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Core that took the fault.
+        core: CoreId,
+    },
+}
+
 /// Slots in the direct-mapped micro-TLB fronting each core's TLB.
 const MICRO_TLB_SLOTS: usize = 16;
 
@@ -180,6 +205,10 @@ pub struct Machine {
     stats: VmStats,
     /// Cycle cost of a page-table walk on TLB miss.
     walk_cycles: u64,
+    /// Whether MMU events are appended to `events` (off by default: the
+    /// telemetry-off configuration must not allocate on any path).
+    log_events: bool,
+    events: Vec<VmEvent>,
 }
 
 impl Machine {
@@ -206,7 +235,24 @@ impl Machine {
             threads: vec![RegisterFile::default(); cores],
             stats: VmStats::default(),
             walk_cycles: 20,
+            log_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enables or disables MMU event recording. Disabled (the default),
+    /// the machine never touches its event buffer; simulated counters are
+    /// identical either way.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.log_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Moves all recorded events into `out`, clearing the internal log.
+    pub fn drain_events_into(&mut self, out: &mut Vec<VmEvent>) {
+        out.append(&mut self.events);
     }
 
     /// Number of cores.
@@ -339,6 +385,9 @@ impl Machine {
         }
         if any {
             self.stats.tlb_shootdowns += 1;
+            if self.log_events {
+                self.events.push(VmEvent::TlbShootdown { page });
+            }
         }
     }
 
@@ -393,6 +442,9 @@ impl Machine {
                 cycles += walk;
                 if fresh.load_gen != self.core_gen[core] || fresh.always_trap_cap_loads {
                     self.stats.load_generation_faults += 1;
+                    if self.log_events {
+                        self.events.push(VmEvent::LoadGenerationFault { vaddr, core });
+                    }
                     return Err(VmFault::CapLoadGeneration { vaddr });
                 }
             }
@@ -546,6 +598,9 @@ impl Machine {
             tlb.clear();
         }
         self.stats.tlb_shootdowns += 1;
+        if self.log_events {
+            self.events.push(VmEvent::GenerationFlip { generation: self.space_gen });
+        }
     }
 
     /// The load generation recorded in the PTE mapping `vaddr`, if mapped.

@@ -251,12 +251,12 @@ mod tests {
             chases_per_step: 4,
             ..tiny()
         };
-        let cfg = SimConfig {
-            condition: Condition::reloaded(),
-            min_quarantine: 128 << 10,
-            max_objects: p.max_objects(),
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .condition(Condition::reloaded())
+            .min_quarantine(128 << 10)
+            .max_objects(p.max_objects())
+            .build()
+            .unwrap();
         let stats = System::new(cfg).run(p.generate(5)).unwrap();
         assert!(stats.revocations > 0);
         assert!(stats.faults > 0);

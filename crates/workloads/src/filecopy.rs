@@ -53,12 +53,12 @@ pub fn file_copy(params: FileCopyParams) -> GeneratedWorkload {
         ops.push(Op::ThinkIdle { cycles: 30_000 });
     }
 
-    let config = SimConfig {
-        heap_len: 64 << 20, // 48 MiB malloc + 16 MiB mmap space
-        max_objects: 64,
-        min_quarantine: 256 << 10,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .heap_len(64 << 20) // 48 MiB malloc + 16 MiB mmap space
+        .max_objects(64)
+        .min_quarantine(256 << 10)
+        .build()
+        .expect("static workload config");
     GeneratedWorkload { name: "file copier".to_string(), ops, config }
 }
 
@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn mmap_churn_triggers_reservation_revocation() {
         let mut w = file_copy(FileCopyParams { files: 300, ..Default::default() });
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert_eq!(stats.tx_latencies.len(), 300);
         assert!(
@@ -85,7 +85,7 @@ mod tests {
         // If quarantined reservations were never recycled, the 16 MiB mmap
         // space would be exhausted by ~150 x 160 KiB mappings.
         let mut w = file_copy(FileCopyParams { files: 1_000, seed: 5 });
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert_eq!(stats.tx_latencies.len(), 1_000, "every copy must complete");
     }
@@ -95,7 +95,7 @@ mod tests {
         // Reservations quarantine independently of the malloc shim, so
         // even the PaintSync pseudo-passes recycle them.
         let mut w = file_copy(FileCopyParams { files: 300, seed: 9 });
-        w.config.condition = Condition::paint_sync();
+        w.config = w.config.with_condition(Condition::paint_sync());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert_eq!(stats.tx_latencies.len(), 300);
     }

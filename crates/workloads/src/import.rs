@@ -193,11 +193,11 @@ free(0x3000)
     #[test]
     fn replays_under_the_simulator() {
         let (ops, slots) = import_malloc_log(LOG, ImportOptions::default()).unwrap();
-        let cfg = SimConfig {
-            condition: Condition::reloaded(),
-            max_objects: slots,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .condition(Condition::reloaded())
+            .max_objects(slots)
+            .build()
+            .unwrap();
         let stats = System::new(cfg).run(ops).unwrap();
         assert_eq!(stats.frees, 3);
     }

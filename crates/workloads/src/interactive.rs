@@ -123,13 +123,13 @@ pub fn pgbench(params: PgbenchParams) -> GeneratedWorkload {
         }
     }
 
-    let config = SimConfig {
-        heap_len: 64 << 20,
-        max_objects: 2048,
-        min_quarantine: 2 << 20, // 8 MiB / 4
-        tx_interval: params.rate.map(|r| (CYCLES_PER_SEC as f64 / r) as u64),
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .heap_len(64 << 20)
+        .max_objects(2048)
+        .min_quarantine(2 << 20) // 8 MiB / 4
+        .tx_interval(params.rate.map(|r| (CYCLES_PER_SEC as f64 / r) as u64))
+        .build()
+        .expect("static workload config");
     GeneratedWorkload { name: "pgbench".to_string(), ops, config }
 }
 
@@ -202,20 +202,20 @@ pub fn grpc_qps(params: GrpcParams) -> GeneratedWorkload {
         }
     }
 
-    let config = SimConfig {
-        heap_len: 32 << 20,
-        max_objects: 2048,
-        min_quarantine: 1 << 20,
-        app_threads: 2,
-        spare_revoker_core: false,
+    let config = SimConfig::builder()
+        .heap_len(32 << 20)
+        .max_objects(2048)
+        .min_quarantine(1 << 20)
+        .app_threads(2)
+        .spare_revoker_core(false)
         // The QPS client keeps up to 4 messages outstanding per channel:
         // arrivals are open-loop at ~3100/s, so a server stall delays every
         // message that arrives during it (queueing, not coordinated
         // omission).
-        tx_interval: Some(800_000),
-        latency_from_arrival: true,
-        ..SimConfig::default()
-    };
+        .tx_interval(800_000)
+        .latency_from_arrival(true)
+        .build()
+        .expect("static workload config");
     GeneratedWorkload { name: "gRPC QPS".to_string(), ops, config }
 }
 
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn pgbench_transactions_complete_and_revoke() {
         let mut w = pgbench(PgbenchParams { transactions: 600, ..PgbenchParams::default() });
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert_eq!(stats.tx_latencies.len(), 600);
         assert!(stats.revocations >= 10, "pgbench must revoke frequently (got {})", stats.revocations);
@@ -237,7 +237,7 @@ mod tests {
     fn pgbench_revocation_cadence_matches_paper_band() {
         // Paper: one revocation per ~17 transactions.
         let mut w = pgbench(PgbenchParams { transactions: 2_000, ..PgbenchParams::default() });
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         let per_rev = 2_000 / stats.revocations.max(1);
         assert!(
@@ -249,8 +249,8 @@ mod tests {
     #[test]
     fn pgbench_rate_mode_spaces_arrivals() {
         let mut w = pgbench(PgbenchParams { transactions: 200, rate: Some(1000.0), seed: 1 });
-        assert!(w.config.tx_interval.is_some());
-        w.config.condition = Condition::baseline();
+        assert!(w.config.tx_interval().is_some());
+        w.config = w.config.with_condition(Condition::baseline());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         // 200 tx at 1000/s is at least 0.14 simulated seconds.
         assert!(stats.wall_cycles > CYCLES_PER_SEC / 7);
@@ -261,7 +261,7 @@ mod tests {
         let mut runs = Vec::new();
         for cond in [Condition::cherivoke(), Condition::cornucopia(), Condition::reloaded()] {
             let mut w = pgbench(PgbenchParams { transactions: 3_000, ..PgbenchParams::default() });
-            w.config.condition = cond;
+            w.config = w.config.with_condition(cond);
             let stats = System::new(w.config.clone()).run(w.ops).unwrap();
             runs.push(stats.latency_summary().p99);
         }
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn grpc_runs_with_shared_cores_and_revokes() {
         let mut w = grpc_qps(GrpcParams { messages: 4_000, seed: 3 });
-        w.config.condition = Condition::cornucopia();
+        w.config = w.config.with_condition(Condition::cornucopia());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert_eq!(stats.tx_latencies.len(), 4_000);
         assert!(stats.revocations >= 3, "got {} revocations", stats.revocations);

@@ -23,7 +23,7 @@
 //!
 //! let mut w = spec(SpecProgram::GobmkTrevord, 42);
 //! w.scale_churn(0.05); // tiny smoke run
-//! w.config.condition = Condition::reloaded();
+//! w.config = w.config.with_condition(Condition::reloaded());
 //! let stats = System::new(w.config.clone()).run(w.ops.clone()).unwrap();
 //! assert!(stats.frees > 0);
 //! ```

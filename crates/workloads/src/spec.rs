@@ -238,12 +238,12 @@ pub fn spec(program: SpecProgram, seed: u64) -> GeneratedWorkload {
     let profile = program.profile();
     let ops = profile.generate(seed);
     let arena = ((profile.target_heap * 4).max(8 << 20)).next_multiple_of(1 << 16);
-    let config = SimConfig {
-        heap_len: arena,
-        max_objects: profile.max_objects(),
-        min_quarantine: (8 << 20) / MEM_SCALE,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .heap_len(arena)
+        .max_objects(profile.max_objects())
+        .min_quarantine((8 << 20) / MEM_SCALE)
+        .build()
+        .expect("profile-derived config");
     GeneratedWorkload { name: profile.name.to_string(), ops, config }
 }
 
@@ -264,7 +264,7 @@ mod tests {
     fn bzip2_and_sjeng_never_trigger_revocation() {
         for p in [SpecProgram::Bzip2, SpecProgram::Sjeng] {
             let mut w = spec(p, 11);
-            w.config.condition = Condition::reloaded();
+            w.config = w.config.with_condition(Condition::reloaded());
             let stats = System::new(w.config.clone()).run(w.ops).unwrap();
             assert_eq!(stats.revocations, 0, "{}", p.name());
             assert!(!p.engages_revocation());
@@ -275,7 +275,7 @@ mod tests {
     fn gobmk_triggers_a_handful_of_revocations() {
         // Table 2 says 7 revocations for gobmk trevord; accept the band.
         let mut w = spec(SpecProgram::GobmkTrevord, 11);
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert!(
             (3..=15).contains(&stats.revocations),
@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn astar_revocation_count_matches_table2_band() {
         let mut w = spec(SpecProgram::AstarLakes, 11);
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         // Table 2: 39 revocations at full scale.
         assert!(

@@ -32,7 +32,7 @@ fn main() {
     let mut tails = Vec::new();
     for cond in conditions {
         let mut w = pgbench(PgbenchParams { transactions: 4000, ..Default::default() });
-        w.config.condition = cond;
+        w.config = w.config.with_condition(cond);
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         let l = stats.latency_summary();
         let ms = |c: u64| c as f64 / CYCLES_PER_MS as f64;

@@ -61,12 +61,12 @@ fn main() {
         Condition::cornucopia(),
         Condition::reloaded(),
     ] {
-        let cfg = SimConfig {
-            condition: cond,
-            max_objects: slots,
-            min_quarantine: 64 << 10,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .condition(cond)
+            .max_objects(slots)
+            .min_quarantine(64 << 10)
+            .build()
+            .expect("replay config");
         let s = System::new(cfg).run(ops.clone()).unwrap();
         println!(
             "{:<12} {:>10.2} {:>6} {:>8} {:>9.3}ms {:>10}",

@@ -30,12 +30,30 @@
 //!     transactions: 200,
 //!     ..Default::default()
 //! });
-//! w.config.condition = Condition::reloaded();
-//! let stats = System::new(w.config.clone()).run(w.ops).unwrap();
+//! w.config = w.config.with_condition(Condition::reloaded());
+//! let report = System::new(w.config.clone()).run(w.ops).unwrap();
 //!
-//! assert_eq!(stats.tx_latencies.len(), 200);
-//! let lat = stats.latency_summary();
+//! assert_eq!(report.tx_latencies.len(), 200); // derefs to `RunStats`
+//! let lat = report.latency_summary();
 //! assert!(lat.p50 <= lat.p99);
+//! ```
+//!
+//! To capture the run's telemetry — the typed event journal, per-phase
+//! spans, and the sampled counter time-series — switch the config's
+//! [`TelemetryConfig`](morello_sim::TelemetryConfig) on and export the
+//! [`RunReport`](morello_sim::RunReport) as deterministic JSON:
+//!
+//! ```
+//! use cornucopia_reloaded::prelude::*;
+//!
+//! let cfg = SimConfig::builder()
+//!     .condition(Condition::reloaded())
+//!     .telemetry(morello_sim::TelemetryConfig::full(1_000_000))
+//!     .build()
+//!     .unwrap();
+//! let report = System::new(cfg).run(vec![Op::Compute { cycles: 10 }]).unwrap();
+//! let json = report.to_json(); // byte-identical for identical runs
+//! assert!(json.starts_with("{\"version\":"));
 //! ```
 //!
 //! See `examples/` for runnable demonstrations (use-after-free fail-stop,
@@ -59,6 +77,8 @@ pub mod prelude {
     pub use cheri_cap::{Capability, Perms};
     pub use cheri_vm::{Machine, MapFlags, VmFault};
     pub use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
-    pub use morello_sim::{Condition, Op, RunStats, SimConfig, System};
+    pub use morello_sim::{
+        Condition, ConfigError, Op, RunReport, RunStats, SimConfig, SimConfigBuilder, System,
+    };
     pub use workloads;
 }

@@ -57,7 +57,12 @@ fn digest(s: &RunStats) -> String {
 
 fn run(condition: Condition, revoker_threads: usize) -> String {
     let (ops, config) = workload();
-    let cfg = SimConfig { condition, revoker_threads, ..config };
+    let cfg = config
+        .to_builder()
+        .condition(condition)
+        .revoker_threads(revoker_threads)
+        .build()
+        .expect("golden config");
     digest(&System::new(cfg).run(ops).expect("golden workload must complete"))
 }
 

@@ -214,7 +214,8 @@ fn system_level_safety_differs_by_condition() {
         v
     };
     for cond in [Condition::baseline(), Condition::reloaded()] {
-        let cfg = SimConfig { condition: cond, min_quarantine: 16 << 10, ..SimConfig::default() };
+        let cfg =
+            SimConfig::builder().condition(cond).min_quarantine(16 << 10).build().unwrap();
         let stats = System::new(cfg).run(ops(2000)).unwrap();
         match cond {
             Condition::Baseline => assert_eq!(stats.revocations, 0),

@@ -8,8 +8,8 @@ use workloads::{grpc_qps, pgbench, spec, GrpcParams, PgbenchParams, SpecProgram}
 fn run_spec(program: SpecProgram, cond: Condition, fraction: f64) -> RunStats {
     let mut w = spec(program, 9);
     w.scale_churn(fraction);
-    w.config.condition = cond;
-    System::new(w.config.clone()).run(w.ops).unwrap()
+    w.config = w.config.with_condition(cond);
+    System::new(w.config.clone()).run(w.ops).unwrap().into_stats()
 }
 
 /// Reloaded must not pause longer than a fraction of CHERIvoke on a
@@ -61,7 +61,7 @@ fn pgbench_tail_ordering() {
     let mut p50s = Vec::new();
     for cond in [Condition::cherivoke(), Condition::cornucopia(), Condition::reloaded()] {
         let mut w = pgbench(PgbenchParams { transactions: 2500, ..Default::default() });
-        w.config.condition = cond;
+        w.config = w.config.with_condition(cond);
         let s = System::new(w.config.clone()).run(w.ops).unwrap();
         let l = s.latency_summary();
         p99s.push(l.p99);
@@ -82,8 +82,7 @@ fn grpc_tail_and_capacity() {
     let mut results = Vec::new();
     for cond in [Condition::baseline(), Condition::cornucopia(), Condition::reloaded()] {
         let w = grpc_qps(GrpcParams { messages: 8000, seed: 5 });
-        let mut cfg = w.config.clone();
-        cfg.condition = cond;
+        let cfg = w.config.clone().with_condition(cond);
         let s = System::new(cfg).run(w.ops).unwrap();
         results.push((s.latency_summary(), s.app_cpu_cycles));
     }
@@ -99,8 +98,7 @@ fn grpc_tail_and_capacity() {
 #[test]
 fn grpc_reloaded_stw_in_paper_band() {
     let w = grpc_qps(GrpcParams { messages: 4000, seed: 6 });
-    let mut cfg = w.config.clone();
-    cfg.condition = Condition::reloaded();
+    let cfg = w.config.clone().with_condition(Condition::reloaded());
     let s = System::new(cfg).run(w.ops).unwrap();
     assert!(s.faults > 0);
     let stw: Vec<u64> = s
@@ -126,7 +124,7 @@ fn end_to_end_determinism() {
     let run = || {
         let mut w = spec(SpecProgram::HmmerRetro, 4);
         w.scale_churn(0.3);
-        w.config.condition = Condition::reloaded();
+        w.config = w.config.with_condition(Condition::reloaded());
         System::new(w.config.clone()).run(w.ops).unwrap()
     };
     let (a, b) = (run(), run());

@@ -18,6 +18,22 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "== hermetic guard =="
 tools/check_hermetic.sh
 
+echo "== telemetry smoke (deterministic report export) =="
+# The exporter must produce well-formed report JSON, and two separate
+# invocations of the same fixed-seed run must agree byte for byte (the
+# schema itself is pinned by tests/golden_report.rs).
+report_a="$(mktemp)"
+report_b="$(mktemp)"
+trap 'rm -f "$report_a" "$report_b"' EXIT
+cargo run --release --offline -q --example export_report >"$report_a" 2>/dev/null
+cargo run --release --offline -q --example export_report >"$report_b" 2>/dev/null
+head -c 12 "$report_a" | grep -q '{"version":1' \
+    || { echo "telemetry smoke: report is not v1 JSON" >&2; exit 1; }
+grep -q '"spans":\[{' "$report_a" \
+    || { echo "telemetry smoke: report has no phase spans" >&2; exit 1; }
+cmp -s "$report_a" "$report_b" \
+    || { echo "telemetry smoke: reports differ across invocations" >&2; exit 1; }
+
 echo "== bench smoke (quick mode) =="
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench micro
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench sweep
