@@ -51,7 +51,7 @@ mod size_class;
 mod snmalloc;
 
 pub use coloring::{ColoredMrs, ColoredStats};
-pub use mrs::{AllocEvent, FreeEffect, Mrs, MrsConfig, MrsStats};
+pub use mrs::{AllocEvent, FreeEffect, Mrs, MrsConfig, MrsStats, RevocationReason};
 pub use reservations::MmapSpace;
 pub use size_class::{size_class_for, SizeClass, LARGE_THRESHOLD, NUM_SIZE_CLASSES};
 pub use snmalloc::{AllocError, Allocation, SnmallocLite};

@@ -30,9 +30,6 @@ pub struct MrsConfig {
     /// Do not trigger below this many quarantined bytes (paper: 8 MiB;
     /// scale it with the workload's memory scale).
     pub min_quarantine_bytes: u64,
-    /// Block allocations when total quarantine exceeds this multiple of
-    /// the policy bound while a pass is in flight (mrs blocks at 2x).
-    pub hard_multiple: u64,
     /// Whether `free` requests revocation at all (false for Paint+sync
     /// runs driven externally — kept true in all paper configurations).
     pub trigger_revocation: bool,
@@ -43,8 +40,39 @@ impl Default for MrsConfig {
         MrsConfig {
             quarantine_divisor: 3,
             min_quarantine_bytes: 8 << 20,
-            hard_multiple: 2,
             trigger_revocation: true,
+        }
+    }
+}
+
+/// Why a revocation pass was requested — the tag on
+/// [`AllocEvent::RevocationRequested`], so the telemetry journal can
+/// distinguish the free-path policy trigger from the simulator's forced
+/// paths (which [`MrsStats::revocations_requested`] has always counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RevocationReason {
+    /// The free path crossed the quarantine policy bound.
+    FreePolicy,
+    /// Allocation hit out-of-memory and forced quarantine turnover.
+    OomForced,
+    /// Address-space (reservation) quarantine crossed its bound after
+    /// `munmap`.
+    ReservationQuarantine,
+    /// An external driver sealed the buffer directly (tests, Paint+sync
+    /// pseudo-passes).
+    External,
+}
+
+impl RevocationReason {
+    /// Stable label used in exported telemetry documents.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RevocationReason::FreePolicy => "free_policy",
+            RevocationReason::OomForced => "oom_forced",
+            RevocationReason::ReservationQuarantine => "reservation_quarantine",
+            RevocationReason::External => "external",
         }
     }
 }
@@ -75,8 +103,12 @@ pub struct MrsStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum AllocEvent {
-    /// The quarantine policy fired: a revocation pass was requested.
+    /// A revocation pass was requested (every [`Mrs::seal_for`] caller
+    /// emits one, so the journal count always equals
+    /// [`MrsStats::revocations_requested`]).
     RevocationRequested {
+        /// Why the pass was requested.
+        reason: RevocationReason,
         /// Live heap bytes at the request.
         allocated_bytes: u64,
         /// Total quarantined bytes at the request.
@@ -194,11 +226,16 @@ impl Mrs {
         (self.alloc.allocated_bytes() / self.cfg.quarantine_divisor).max(self.cfg.min_quarantine_bytes)
     }
 
-    /// Whether allocation must block right now (quarantine hard-full while
-    /// a pass is in flight; §5.3's 99.9th-percentile pathology).
+    /// Whether allocation must block right now: the *accumulating* (open)
+    /// buffer has itself exceeded the policy bound while a pass is still
+    /// in flight, i.e. the application freed a whole quarantine's worth of
+    /// memory faster than the revoker could finish one pass (§5.3's
+    /// 99.9th-percentile pathology). Sealed batches merely waiting out
+    /// their release epochs do not count: they are the double-buffering
+    /// steady state, not backpressure.
     #[must_use]
     pub fn must_block(&self, revoker: &Revoker) -> bool {
-        revoker.is_revoking() && self.quarantine_bytes() > self.policy_bound() * self.cfg.hard_multiple
+        revoker.is_revoking() && self.open_bytes > self.policy_bound()
     }
 
     /// Allocates `size` bytes.
@@ -229,13 +266,7 @@ impl Mrs {
             && self.quarantine_bytes() > self.policy_bound()
         {
             trigger = true;
-            if self.log_events {
-                self.events.push(AllocEvent::RevocationRequested {
-                    allocated_bytes: self.alloc.allocated_bytes(),
-                    quarantine_bytes: self.quarantine_bytes(),
-                });
-            }
-            self.seal(revoker);
+            self.seal_for(revoker, RevocationReason::FreePolicy);
         }
         Ok(FreeEffect { cycles, trigger_revocation: trigger })
     }
@@ -259,13 +290,32 @@ impl Mrs {
     /// Seals the open buffer against the current epoch (called when a
     /// revocation pass is about to start). Public so external drivers
     /// (e.g. a Paint+sync pseudo-pass) can cycle quarantine too.
+    /// Equivalent to [`Mrs::seal_for`] with
+    /// [`RevocationReason::External`].
     pub fn seal(&mut self, revoker: &Revoker) {
+        self.seal_for(revoker, RevocationReason::External);
+    }
+
+    /// Seals the open buffer, tagging the journal entry with why the pass
+    /// was requested. Statistics and the (optional) event journal move in
+    /// lockstep: every seal of a non-empty buffer bumps
+    /// [`MrsStats::revocations_requested`] *and* emits
+    /// [`AllocEvent::RevocationRequested`] followed by
+    /// [`AllocEvent::BatchSealed`].
+    pub fn seal_for(&mut self, revoker: &Revoker, reason: RevocationReason) {
         if self.open.is_empty() {
             return;
         }
         self.stats.revocations_requested += 1;
         self.stats.allocated_at_revocation_sum += self.alloc.allocated_bytes();
         self.stats.quarantine_at_revocation_sum += self.quarantine_bytes();
+        if self.log_events {
+            self.events.push(AllocEvent::RevocationRequested {
+                reason,
+                allocated_bytes: self.alloc.allocated_bytes(),
+                quarantine_bytes: self.quarantine_bytes(),
+            });
+        }
         let batch = SealedBatch {
             regions: std::mem::take(&mut self.open),
             bytes: std::mem::take(&mut self.open_bytes),
@@ -411,9 +461,10 @@ mod tests {
     }
 
     #[test]
-    fn must_block_kicks_in_at_hard_bound() {
+    fn must_block_kicks_in_when_open_buffer_overflows_during_pass() {
         let (mut m, mut rev, mut mrs) = setup(Strategy::Cornucopia, 1 << 10);
-        // Fill quarantine way past 2x policy while a pass is in flight.
+        // Keep freeing into the accumulating buffer while a pass is in
+        // flight until it alone exceeds the policy bound.
         let caps: Vec<_> = (0..40).map(|_| mrs.alloc(&mut m, 0, 4096).unwrap().cap).collect();
         let mut started = false;
         for c in caps {
@@ -427,6 +478,85 @@ mod tests {
         assert!(mrs.must_block(&rev));
         drain(&mut m, &mut rev);
         assert!(!mrs.must_block(&rev));
+    }
+
+    /// Pins the §5.3 predicate: blocking gates on the *accumulating*
+    /// buffer, not on sealed batches waiting out their release epochs.
+    #[test]
+    fn blocking_gates_on_open_buffer_not_sealed_backlog() {
+        let layout = HeapLayout::new(0x4000_0000, 64 << 20);
+        let mut m = Machine::new(2);
+        let mut rev = Revoker::new(
+            RevokerConfig { strategy: Strategy::Cornucopia, ..RevokerConfig::default() },
+            layout.base,
+            layout.total_len,
+        );
+        // trigger_revocation off: this test cycles quarantine by hand.
+        let mut mrs = Mrs::new(
+            layout,
+            MrsConfig {
+                min_quarantine_bytes: 1 << 10,
+                trigger_revocation: false,
+                ..MrsConfig::default()
+            },
+        );
+        let caps: Vec<_> = (0..10).map(|_| mrs.alloc(&mut m, 0, 4096).unwrap().cap).collect();
+        for c in caps {
+            mrs.free(&mut m, &mut rev, 0, c).unwrap();
+        }
+        mrs.seal(&rev);
+        rev.start_epoch(&mut m);
+        // A large sealed backlog alone (40 KiB ≫ the 1 KiB bound) is the
+        // double-buffering steady state — it must NOT block.
+        assert!(rev.is_revoking());
+        assert_eq!(mrs.quarantine_bytes(), 10 * 4096);
+        assert!(!mrs.must_block(&rev));
+        // But once the open buffer itself crosses the bound mid-pass,
+        // allocation blocks.
+        let extra = mrs.alloc(&mut m, 0, 4096).unwrap().cap;
+        mrs.free(&mut m, &mut rev, 0, extra).unwrap();
+        assert!(mrs.must_block(&rev));
+        drain(&mut m, &mut rev);
+        assert!(!mrs.must_block(&rev));
+    }
+
+    /// Journal/stats agreement: every seal — free-path or external —
+    /// produces exactly one reason-tagged `RevocationRequested` event, so
+    /// the telemetry journal count always equals
+    /// `MrsStats::revocations_requested`.
+    #[test]
+    fn every_seal_reason_reaches_the_journal() {
+        let (mut m, mut rev, mut mrs) = setup(Strategy::Reloaded, 1 << 10);
+        mrs.set_event_recording(true);
+        // Free-path policy trigger.
+        let p = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        let e = mrs.free(&mut m, &mut rev, 0, p).unwrap();
+        assert!(e.trigger_revocation);
+        rev.start_epoch(&mut m);
+        // Externally driven seal while the pass is in flight (the shape of
+        // the simulator's OOM-forced and reservation-quarantine seals).
+        let q = mrs.alloc(&mut m, 0, 2048).unwrap().cap;
+        mrs.free(&mut m, &mut rev, 0, q).unwrap();
+        mrs.seal(&rev);
+        // Sealing an empty buffer is a no-op in both stats and journal.
+        mrs.seal_for(&rev, RevocationReason::OomForced);
+        let mut events = Vec::new();
+        mrs.drain_events_into(&mut events);
+        let requested: Vec<RevocationReason> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                AllocEvent::RevocationRequested { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requested.len() as u64, mrs.stats().revocations_requested);
+        assert_eq!(requested, vec![RevocationReason::FreePolicy, RevocationReason::External]);
+        // Each request is immediately followed by its BatchSealed entry.
+        for pair in events.windows(2) {
+            if matches!(pair[0], AllocEvent::RevocationRequested { .. }) {
+                assert!(matches!(pair[1], AllocEvent::BatchSealed { .. }));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Serial vs. parallel wall-clock for the full evaluation matrix (run
+//! with `cargo bench -p rev-bench --bench matrix`; `--quick` /
+//! `SIMBENCH_QUICK=1` runs the smoke scale only and skips the baseline
+//! file).
+//!
+//! Two passes over the identical job list — the single-threaded suite
+//! loops, then the orchestrator at 4 workers — at `Scale::smoke()` and
+//! at fraction 0.2. Besides the timing, the bench *asserts* the
+//! orchestrator's merged suites equal the serial ones, so the
+//! byte-identity contract is exercised at a real scale on every
+//! benchmark run. Non-quick runs record the numbers in
+//! `BENCH_matrix.json` at the workspace root, together with the host's
+//! available parallelism: on a single-core host the honest speedup is
+//! ~1.0×, and the metadata is what makes that number interpretable.
+
+use rev_bench::harness::{
+    grpc_suite_serial, pgbench_rate_suite_serial, pgbench_suite_serial, spec_suite_serial, Scale,
+    Suite, CONDITIONS,
+};
+use rev_bench::orchestrator::{
+    expand_grpc, expand_pgbench, expand_pgbench_rates, expand_spec, JobSpec, RunOptions,
+};
+use std::time::Instant;
+
+const RATES: [Option<f64>; 4] = [Some(800.0), Some(1200.0), Some(2000.0), None];
+const WORKERS: usize = 4;
+
+fn all_jobs(scale: Scale) -> Vec<JobSpec> {
+    let mut jobs = expand_spec(&CONDITIONS, scale);
+    jobs.extend(expand_pgbench(&CONDITIONS, scale));
+    jobs.extend(expand_pgbench_rates(&RATES, scale));
+    jobs.extend(expand_grpc(scale));
+    jobs
+}
+
+struct Measurement {
+    jobs: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn measure(scale: Scale) -> Measurement {
+    let t0 = Instant::now();
+    let serial: Vec<(&str, Suite)> = vec![
+        ("spec", spec_suite_serial(&CONDITIONS, scale)),
+        ("pgbench", pgbench_suite_serial(&CONDITIONS, scale)),
+        ("pgbench-rates", pgbench_rate_suite_serial(&RATES, scale)),
+        ("grpc", grpc_suite_serial(scale)),
+    ];
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let jobs = all_jobs(scale);
+    let opts = RunOptions { workers: WORKERS, ..RunOptions::default() };
+    let t1 = Instant::now();
+    let outcome = rev_bench::orchestrator::run(&jobs, &opts);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert!(outcome.failures.is_empty(), "matrix bench: unexpected job failures");
+    for (kind, suite) in &serial {
+        assert_eq!(
+            outcome.suites.get(kind),
+            Some(suite),
+            "matrix bench: parallel {kind} suite diverged from serial"
+        );
+    }
+    Measurement { jobs: jobs.len(), serial_ms, parallel_ms }
+}
+
+fn main() {
+    let quick = std::env::var("SIMBENCH_QUICK").is_ok_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick" || a == "--smoke");
+    let host_parallelism =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let smoke = measure(Scale::smoke());
+    eprintln!(
+        "matrix/smoke: {} jobs, serial {:.0} ms, {WORKERS}-worker {:.0} ms ({:.2}x)",
+        smoke.jobs,
+        smoke.serial_ms,
+        smoke.parallel_ms,
+        smoke.serial_ms / smoke.parallel_ms,
+    );
+    if quick {
+        eprintln!("matrix: quick mode, not touching BENCH_matrix.json");
+        return;
+    }
+
+    let fifth = measure(Scale { fraction: 0.2, reps: 1 });
+    eprintln!(
+        "matrix/0.2: {} jobs, serial {:.0} ms, {WORKERS}-worker {:.0} ms ({:.2}x)",
+        fifth.jobs,
+        fifth.serial_ms,
+        fifth.parallel_ms,
+        fifth.serial_ms / fifth.parallel_ms,
+    );
+
+    let entry = |m: &Measurement| {
+        format!(
+            "{{ \"jobs\": {}, \"serial_ms\": {:.0}, \"parallel_ms\": {:.0}, \"speedup\": {:.2} }}",
+            m.jobs,
+            m.serial_ms,
+            m.parallel_ms,
+            m.serial_ms / m.parallel_ms,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"matrix\",\n  \"workers\": {WORKERS},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
+         \"smoke\": {},\n  \"fraction_0_2\": {}\n}}\n",
+        entry(&smoke),
+        entry(&fifth),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matrix.json");
+    std::fs::write(path, &json).expect("write BENCH_matrix.json");
+    eprintln!("matrix: wrote {path} (host parallelism {host_parallelism})");
+}

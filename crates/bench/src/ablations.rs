@@ -30,23 +30,24 @@ fn run_with<F: FnOnce(SimConfigBuilder) -> SimConfigBuilder>(
 /// not (§3.1-3.2).
 #[must_use]
 pub fn barriers(scale: Scale) -> String {
-    let mut rows = Vec::new();
-    for (label, program) in [
+    let cells = [
         ("low pointer density (hmmer nph3)", SpecProgram::HmmerNph3),
         ("medium (astar lakes)", SpecProgram::AstarLakes),
         ("high (xalancbmk)", SpecProgram::Xalancbmk),
-    ] {
+    ];
+    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+        let (label, program) = cells[i];
         let corn = spec_single(program, Condition::cornucopia(), scale, 77);
         let rel = spec_single(program, Condition::reloaded(), scale, 77);
         let corn_pause = corn.pauses.iter().copied().max().unwrap_or(0);
         let rel_pause = rel.pauses.iter().copied().max().unwrap_or(0);
-        rows.push(vec![
+        vec![
             label.to_string(),
             ms(corn_pause),
             ms(rel_pause),
             format!("{:.0}x", corn_pause as f64 / rel_pause.max(1) as f64),
-        ]);
-    }
+        ]
+    });
     let mut out = String::from("### Ablation — store barrier vs load barrier (max pause, ms)\n\n");
     out.push_str(&markdown_table(
         &["workload", "Cornucopia (store barrier)", "Reloaded (load barrier)", "pause ratio"],
@@ -62,20 +63,21 @@ pub fn barriers(scale: Scale) -> String {
 /// Per-PTE generation bits vs rewriting every PTE each epoch (§4.1).
 #[must_use]
 pub fn pte_mode(scale: Scale) -> String {
-    let mut rows = Vec::new();
-    for (label, mode) in [
+    let cells = [
         ("generation bits (paper design)", PteUpdateMode::Generation),
         ("rewrite PTEs each epoch (strawman)", PteUpdateMode::RewriteEachEpoch),
-    ] {
+    ];
+    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+        let (label, mode) = cells[i];
         let stats =
             run_with(SpecProgram::Omnetpp, Condition::reloaded(), scale, |b| b.pte_mode(mode));
-        rows.push(vec![
+        vec![
             label.to_string(),
             format!("{:.1}", stats.wall_ms()),
             ms(stats.pauses.iter().copied().max().unwrap_or(0)),
             format!("{}", stats.revocations),
-        ]);
-    }
+        ]
+    });
     let mut out = String::from("### Ablation — PTE maintenance mode (omnetpp, Reloaded)\n\n");
     out.push_str(&markdown_table(&["mode", "wall (ms)", "max pause (ms)", "epochs"], &rows));
     out.push_str(
@@ -89,23 +91,24 @@ pub fn pte_mode(scale: Scale) -> String {
 /// Quarantine policy sweep (§7.2): fraction of heap and floor.
 #[must_use]
 pub fn quarantine_policy(scale: Scale) -> String {
-    let mut rows = Vec::new();
-    for (label, divisor, floor) in [
+    let cells = [
         ("1/7 of heap, 128 KiB floor", 7u64, 128u64 << 10),
         ("1/3 of heap, 128 KiB floor (paper)", 3, 128 << 10),
         ("1/1 of heap, 128 KiB floor", 1, 128 << 10),
         ("1/3 of heap, 1 MiB floor", 3, 1 << 20),
-    ] {
+    ];
+    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+        let (label, divisor, floor) = cells[i];
         let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
             b.quarantine_divisor(divisor).min_quarantine(floor)
         });
-        rows.push(vec![
+        vec![
             label.to_string(),
             format!("{:.1}", stats.wall_ms()),
             format!("{}", stats.revocations),
             format!("{:.1}", stats.peak_rss as f64 / (1 << 20) as f64),
-        ]);
-    }
+        ]
+    });
     let mut out = String::from("### Ablation — quarantine policy (xalancbmk, Reloaded)\n\n");
     out.push_str(&markdown_table(&["policy", "wall (ms)", "revocations", "peak RSS (MiB)"], &rows));
     out.push_str(
@@ -119,19 +122,20 @@ pub fn quarantine_policy(scale: Scale) -> String {
 /// CHERIoT-style in-pipeline load filter vs trapping load barrier (§6.3).
 #[must_use]
 pub fn cheriot(scale: Scale) -> String {
-    let mut rows = Vec::new();
-    for (label, cond) in [
+    let cells = [
         ("Reloaded (trap + self-heal)", Condition::reloaded()),
         ("CHERIoT-style filter (probe every load)", Condition::Safe(cornucopia::Strategy::CheriotFilter)),
-    ] {
+    ];
+    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+        let (label, cond) = cells[i];
         let stats = spec_single(SpecProgram::Omnetpp, cond, scale, 77);
-        rows.push(vec![
+        vec![
             label.to_string(),
             format!("{:.1}", stats.wall_ms()),
             format!("{}", stats.faults),
             ms(stats.pauses.iter().copied().max().unwrap_or(0)),
-        ]);
-    }
+        ]
+    });
     let mut out = String::from("### Ablation — CHERIoT-style load filter vs load barrier (omnetpp)\n\n");
     out.push_str(&markdown_table(&["design", "wall (ms)", "load faults", "max pause (ms)"], &rows));
     out.push_str(
@@ -147,13 +151,15 @@ pub fn cheriot(scale: Scale) -> String {
 /// application.
 #[must_use]
 pub fn revoker_priority(scale: Scale) -> String {
-    let mut rows = Vec::new();
-    for (label, spare) in [("revoker on spare core (SPEC setup)", true), ("revoker competes for app cores (gRPC setup)", false)] {
+    let cells =
+        [("revoker on spare core (SPEC setup)", true), ("revoker competes for app cores (gRPC setup)", false)];
+    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+        let (label, spare) = cells[i];
         let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
             b.spare_revoker_core(spare)
         });
-        rows.push(vec![label.to_string(), format!("{:.1}", stats.wall_ms()), format!("{}", stats.blocked_allocs)]);
-    }
+        vec![label.to_string(), format!("{:.1}", stats.wall_ms()), format!("{}", stats.blocked_allocs)]
+    });
     let mut out = String::from("### Ablation — revoker CPU placement (xalancbmk, Reloaded)\n\n");
     out.push_str(&markdown_table(&["placement", "wall (ms)", "blocked allocations"], &rows));
     out.push_str(
@@ -181,8 +187,9 @@ mod tests {
 /// Cornucopia accumulates re-dirtied pages / Reloaded takes faults).
 #[must_use]
 pub fn revoker_threads(scale: Scale) -> String {
-    let mut rows = Vec::new();
-    for threads in [1usize, 2] {
+    let cells = [1usize, 2];
+    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+        let threads = cells[i];
         let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
             b.revoker_threads(threads)
         });
@@ -194,13 +201,13 @@ pub fn revoker_threads(scale: Scale) -> String {
             .collect();
         concurrent.sort_unstable();
         let median = concurrent.get(concurrent.len() / 2).copied().unwrap_or(0);
-        rows.push(vec![
+        vec![
             format!("{threads} background thread(s)"),
             format!("{:.1}", stats.wall_ms()),
             ms(median),
             format!("{}", stats.faults),
-        ]);
-    }
+        ]
+    });
     let mut out =
         String::from("### Ablation — background revoker threads (§7.1; xalancbmk, Reloaded)\n\n");
     out.push_str(&markdown_table(

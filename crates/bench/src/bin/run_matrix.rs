@@ -1,0 +1,244 @@
+//! Runs the full evaluation matrix on the parallel, fault-isolated
+//! orchestrator and writes one Markdown report.
+//!
+//! Unlike `reproduce_all` (which runs suite-by-suite), this binary
+//! expands every requested suite into a single job list and drains it on
+//! one worker pool, so a wide machine keeps every core busy across suite
+//! boundaries. Progress/ETA lines go to stderr only: the report file is
+//! byte-identical for any worker count.
+//!
+//! ```text
+//! run_matrix [--out PATH] [--checkpoint PATH] [--jobs N] [--smoke]
+//!            [--strict] [--suites spec,pgbench,pgbench-rates,grpc]
+//! ```
+//!
+//! Honours `REPRO_SCALE`, `REPRO_REPS`, `REPRO_JOBS` (CLI `--jobs`
+//! wins), and the fault-injection hook `REPRO_INJECT_PANIC`. With
+//! `--checkpoint`, completed cells are appended to the file as they
+//! finish and replayed on the next invocation, so an interrupted sweep
+//! resumes instead of restarting.
+
+use rev_bench::harness::{Scale, Suite, CONDITIONS};
+use rev_bench::orchestrator::{
+    self, expand_grpc, expand_pgbench, expand_pgbench_rates, expand_spec, JobSpec, RunOptions,
+};
+use rev_bench::{ablations, figures};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Table 1's arrival-rate schedule (matches `reproduce_all`).
+const RATES: [Option<f64>; 4] = [Some(800.0), Some(1200.0), Some(2000.0), None];
+
+struct Cli {
+    out: String,
+    checkpoint: Option<std::path::PathBuf>,
+    jobs: Option<usize>,
+    smoke: bool,
+    strict: bool,
+    suites: Vec<String>,
+    ablations: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_matrix [--out PATH] [--checkpoint PATH] [--jobs N] [--smoke] [--strict]\n\
+         \x20                 [--suites spec,pgbench,pgbench-rates,grpc] [--ablations]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        out: "MATRIX.md".to_string(),
+        checkpoint: None,
+        jobs: None,
+        smoke: false,
+        strict: false,
+        suites: vec![
+            "spec".to_string(),
+            "pgbench".to_string(),
+            "pgbench-rates".to_string(),
+            "grpc".to_string(),
+        ],
+        ablations: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => cli.out = args.next().unwrap_or_else(|| usage()),
+            "--checkpoint" => {
+                cli.checkpoint = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--smoke" => cli.smoke = true,
+            "--strict" => cli.strict = true,
+            "--suites" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.suites = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--ablations" => cli.ablations = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let scale = if cli.smoke { Scale::smoke() } else { Scale::from_env() };
+    let t0 = Instant::now();
+
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for suite in &cli.suites {
+        match suite.as_str() {
+            "spec" => jobs.extend(expand_spec(&CONDITIONS, scale)),
+            "pgbench" => jobs.extend(expand_pgbench(&CONDITIONS, scale)),
+            "pgbench-rates" => jobs.extend(expand_pgbench_rates(&RATES, scale)),
+            "grpc" => jobs.extend(expand_grpc(scale)),
+            other => {
+                eprintln!("error: unknown suite {other:?} (spec, pgbench, pgbench-rates, grpc)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut opts = RunOptions::from_env();
+    if let Some(jobs_override) = cli.jobs {
+        opts.workers = jobs_override;
+    }
+    opts.checkpoint = cli.checkpoint.clone();
+    eprintln!(
+        "run_matrix: {} job(s), {} worker(s), scale={:.3} reps={}{}",
+        jobs.len(),
+        opts.workers.clamp(1, jobs.len().max(1)),
+        scale.fraction,
+        scale.reps,
+        cli.checkpoint
+            .as_deref()
+            .map(|p| format!(", checkpoint {}", p.display()))
+            .unwrap_or_default(),
+    );
+
+    let outcome = orchestrator::run(&jobs, &opts);
+    eprintln!(
+        "run_matrix: {} cell(s) ran, {} resumed from checkpoint, {} failed ({:.1?})",
+        outcome.completed,
+        outcome.resumed,
+        outcome.failures.len(),
+        t0.elapsed()
+    );
+
+    let empty = Suite::default();
+    let suite_of = |kind: &str| outcome.suites.get(kind).unwrap_or(&empty);
+    let spec = suite_of("spec");
+    let pg = suite_of("pgbench");
+    let rates = suite_of("pgbench-rates");
+    let grpc = suite_of("grpc");
+
+    let mut doc = String::new();
+    doc.push_str("# Evaluation matrix\n\n");
+    doc.push_str(&format!(
+        "Regenerated by `cargo run --release -p rev-bench --bin run_matrix` \
+         (scale {:.3}, {} repetition(s) per condition). Cell execution is \
+         parallel and fault-isolated; the tables below are independent of \
+         worker count.\n\n",
+        scale.fraction, scale.reps
+    ));
+
+    let has = |kind: &str| cli.suites.iter().any(|s| s == kind);
+    if has("spec") {
+        for section in [
+            figures::fig1_spec_wall(spec),
+            figures::fig2_cpu_time(spec),
+            figures::fig3_peak_rss(spec),
+            figures::fig4_bus_traffic(spec),
+        ] {
+            doc.push_str(&section);
+            doc.push('\n');
+        }
+    }
+    if has("pgbench") {
+        for section in [
+            figures::fig5_pgbench_time(pg),
+            figures::fig6_pgbench_bus(pg),
+            figures::fig7_pgbench_cdf(pg),
+        ] {
+            doc.push_str(&section);
+            doc.push('\n');
+        }
+    }
+    if has("grpc") {
+        doc.push_str(&figures::fig8_grpc_latency(grpc));
+        doc.push('\n');
+    }
+    if has("spec") && has("pgbench") && has("grpc") {
+        doc.push_str(&figures::fig9_phase_times(spec, pg, grpc));
+        doc.push('\n');
+    }
+    if has("pgbench-rates") {
+        doc.push_str(&figures::table1_rates(rates));
+        doc.push('\n');
+    }
+    if has("spec") && has("pgbench") && has("grpc") {
+        doc.push_str(&figures::table2_revocation_rates(spec, pg, grpc));
+        doc.push('\n');
+    }
+
+    if cli.ablations {
+        doc.push_str("## Ablations\n\n");
+        for section in [
+            ablations::barriers(scale),
+            ablations::pte_mode(scale),
+            ablations::quarantine_policy(scale),
+            ablations::cheriot(scale),
+            ablations::revoker_priority(scale),
+            ablations::revoker_threads(scale),
+            ablations::revoker_core_scaling(scale),
+            ablations::coloring(),
+        ] {
+            doc.push_str(&section);
+            doc.push('\n');
+        }
+    }
+
+    let mut strict_violations = 0usize;
+    if has("spec") && has("pgbench") && has("grpc") && outcome.failures.is_empty() {
+        doc.push_str(&figures::shape_report(spec, pg, grpc));
+        doc.push('\n');
+        strict_violations = figures::shape_checks(spec, pg, grpc)
+            .into_iter()
+            .filter(|(_, held)| !held)
+            .count();
+    }
+    doc.push_str(&figures::failure_report(&outcome.failures));
+
+    let mut f = std::fs::File::create(&cli.out)
+        .unwrap_or_else(|e| panic!("create {}: {e}", cli.out));
+    f.write_all(doc.as_bytes()).expect("write report");
+    eprintln!("run_matrix: wrote {} in {:.1?}", cli.out, t0.elapsed());
+
+    for failure in &outcome.failures {
+        eprintln!(
+            "run_matrix: FAILED cell {} ({}) after {} attempts: {}",
+            failure.job_id, failure.key, failure.attempts, failure.message
+        );
+    }
+    if cli.strict && (!outcome.failures.is_empty() || strict_violations > 0) {
+        eprintln!(
+            "run_matrix: strict mode — {} failed cell(s), {} shape violation(s)",
+            outcome.failures.len(),
+            strict_violations
+        );
+        std::process::exit(1);
+    }
+}

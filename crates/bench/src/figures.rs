@@ -605,6 +605,36 @@ pub fn shape_report(spec: &Suite, pg: &Suite, grpc: &Suite) -> String {
     out
 }
 
+/// Renders a matrix run's [`JobFailure`](crate::orchestrator::JobFailure)
+/// records as a Markdown section, or an all-clear line when there are
+/// none. Failed cells are missing from the suites, so readers must see
+/// *which* numbers are degraded.
+#[must_use]
+pub fn failure_report(failures: &[crate::orchestrator::JobFailure]) -> String {
+    let mut out = String::from("### Job failures\n\n");
+    if failures.is_empty() {
+        out.push_str("All matrix cells completed.\n");
+        return out;
+    }
+    let rows: Vec<Vec<String>> = failures
+        .iter()
+        .map(|f| {
+            vec![
+                f.job_id.to_string(),
+                f.key.clone(),
+                f.attempts.to_string(),
+                f.message.clone(),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(&["job", "cell", "attempts", "panic message"], &rows));
+    out.push_str(
+        "\nEach failed cell is excluded from every figure above; all other cells ran to \
+         completion (failures are isolated per job, not per sweep).\n",
+    );
+    out
+}
+
 /// Cycles-per-ms constant re-export for binaries.
 pub const fn cycles_per_ms() -> u64 {
     CYCLES_PER_MS

@@ -34,21 +34,49 @@ impl Default for Scale {
 }
 
 impl Scale {
+    /// Builds a [`Scale`] from optional `REPRO_SCALE` / `REPRO_REPS`
+    /// strings, rejecting unparsable values instead of silently running
+    /// the (expensive) defaults.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending variable and value.
+    pub fn parse(fraction: Option<&str>, reps: Option<&str>) -> Result<Self, String> {
+        let mut s = Scale::default();
+        if let Some(v) = fraction {
+            let f = v
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("REPRO_SCALE={v:?}: not a number"))?;
+            if !f.is_finite() || f <= 0.0 {
+                return Err(format!("REPRO_SCALE={v:?}: must be a finite fraction > 0"));
+            }
+            s.fraction = f.clamp(0.001, 1.0);
+        }
+        if let Some(v) = reps {
+            let r = v
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("REPRO_REPS={v:?}: not a whole number"))?;
+            if r == 0 {
+                return Err(format!("REPRO_REPS={v:?}: must be ≥ 1"));
+            }
+            s.reps = r.clamp(1, 12);
+        }
+        Ok(s)
+    }
+
     /// Reads `REPRO_SCALE` / `REPRO_REPS` from the environment.
+    /// Unparsable values are a hard error (exit 2): a mistyped scale must
+    /// not silently run a multi-hour full-scale sweep.
     #[must_use]
     pub fn from_env() -> Self {
-        let mut s = Scale::default();
-        if let Ok(v) = std::env::var("REPRO_SCALE") {
-            if let Ok(f) = v.parse::<f64>() {
-                s.fraction = f.clamp(0.001, 1.0);
-            }
-        }
-        if let Ok(v) = std::env::var("REPRO_REPS") {
-            if let Ok(r) = v.parse::<u64>() {
-                s.reps = r.clamp(1, 12);
-            }
-        }
-        s
+        let fraction = std::env::var("REPRO_SCALE").ok();
+        let reps = std::env::var("REPRO_REPS").ok();
+        Scale::parse(fraction.as_deref(), reps.as_deref()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// A fast configuration for tests.
@@ -58,8 +86,38 @@ impl Scale {
     }
 }
 
+/// The gRPC suite's conditions: CHERIvoke is excluded, mirroring the
+/// paper (§5.3: "a bug in our implementation... we are unable to obtain
+/// CHERIvoke results for this experiment").
+pub const GRPC_CONDITIONS: [Condition; 4] = [
+    Condition::Baseline,
+    Condition::Safe(cornucopia::Strategy::PaintSync),
+    Condition::Safe(cornucopia::Strategy::Cornucopia),
+    Condition::Safe(cornucopia::Strategy::Reloaded),
+];
+
+/// Transactions for one pgbench run at `scale` (20 000 full-scale,
+/// floored at 200).
+#[must_use]
+pub fn pgbench_transactions(scale: Scale) -> u64 {
+    ((20_000_f64 * scale.fraction) as u64).max(200)
+}
+
+/// Messages for one gRPC QPS run at `scale` (30 000 full-scale, floored
+/// at 500).
+#[must_use]
+pub fn grpc_messages(scale: Scale) -> u64 {
+    ((30_000_f64 * scale.fraction) as u64).max(500)
+}
+
+/// Table 1 row label for a pgbench arrival rate.
+#[must_use]
+pub fn rate_label(rate: Option<f64>) -> String {
+    rate.map_or("unscheduled".to_string(), |r| format!("{r:.0} tx/s"))
+}
+
 /// Results of running a set of workloads under a set of conditions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Suite {
     runs: BTreeMap<(String, String), Vec<RunStats>>,
 }
@@ -123,9 +181,19 @@ fn progress(msg: &str) {
     let _ = writeln!(err, "  [run] {msg}");
 }
 
-/// Runs all SPEC surrogates under `conditions`.
+/// Runs all SPEC surrogates under `conditions` on the orchestrator's
+/// worker pool (`REPRO_JOBS`; serial when 1). Byte-identical to
+/// [`spec_suite_serial`] by construction.
 #[must_use]
 pub fn spec_suite(conditions: &[Condition], scale: Scale) -> Suite {
+    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_spec(conditions, scale))
+}
+
+/// The original single-threaded SPEC loop, kept as the byte-identity
+/// oracle for the orchestrator (tests and `BENCH_matrix.json` diff
+/// against it).
+#[must_use]
+pub fn spec_suite_serial(conditions: &[Condition], scale: Scale) -> Suite {
     let mut suite = Suite::default();
     for rep in 0..scale.reps {
         for program in SPEC_PROGRAMS {
@@ -156,11 +224,18 @@ pub fn spec_single(program: SpecProgram, condition: Condition, scale: Scale, see
     System::new(cfg).run(w.ops).expect("spec surrogate must run clean").into_stats()
 }
 
-/// Runs the pgbench surrogate under `conditions`.
+/// Runs the pgbench surrogate under `conditions` on the orchestrator's
+/// worker pool.
 #[must_use]
 pub fn pgbench_suite(conditions: &[Condition], scale: Scale) -> Suite {
+    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_pgbench(conditions, scale))
+}
+
+/// Single-threaded pgbench loop (byte-identity oracle).
+#[must_use]
+pub fn pgbench_suite_serial(conditions: &[Condition], scale: Scale) -> Suite {
     let mut suite = Suite::default();
-    let tx = ((20_000_f64 * scale.fraction) as u64).max(200);
+    let tx = pgbench_transactions(scale);
     for rep in 0..scale.reps {
         let w = pgbench(PgbenchParams { transactions: tx, rate: None, seed: 2000 + rep });
         for &cond in conditions {
@@ -174,13 +249,22 @@ pub fn pgbench_suite(conditions: &[Condition], scale: Scale) -> Suite {
     suite
 }
 
-/// Runs the rate-scheduled pgbench variants (Table 1) under Reloaded.
+/// Runs the rate-scheduled pgbench variants (Table 1) under Reloaded on
+/// the orchestrator's worker pool.
 #[must_use]
 pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale) -> Suite {
+    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_pgbench_rates(
+        rates, scale,
+    ))
+}
+
+/// Single-threaded pgbench-rate loop (byte-identity oracle).
+#[must_use]
+pub fn pgbench_rate_suite_serial(rates: &[Option<f64>], scale: Scale) -> Suite {
     let mut suite = Suite::default();
-    let tx = ((20_000_f64 * scale.fraction) as u64).max(200);
+    let tx = pgbench_transactions(scale);
     for &rate in rates {
-        let label = rate.map_or("unscheduled".to_string(), |r| format!("{r:.0} tx/s"));
+        let label = rate_label(rate);
         let w = pgbench(PgbenchParams { transactions: tx, rate, seed: 3000 });
         progress(&format!("pgbench --rate {label}"));
         let cfg = w.config.clone().with_condition(Condition::reloaded());
@@ -191,22 +275,21 @@ pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale) -> Suite {
     suite
 }
 
-/// Runs the gRPC QPS surrogate. CHERIvoke is excluded, mirroring the
-/// paper (§5.3: "a bug in our implementation... we are unable to obtain
-/// CHERIvoke results for this experiment").
+/// Runs the gRPC QPS surrogate under [`GRPC_CONDITIONS`] on the
+/// orchestrator's worker pool.
 #[must_use]
 pub fn grpc_suite(scale: Scale) -> Suite {
+    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_grpc(scale))
+}
+
+/// Single-threaded gRPC loop (byte-identity oracle).
+#[must_use]
+pub fn grpc_suite_serial(scale: Scale) -> Suite {
     let mut suite = Suite::default();
-    let msgs = ((30_000_f64 * scale.fraction) as u64).max(500);
-    let conditions = [
-        Condition::Baseline,
-        Condition::Safe(cornucopia::Strategy::PaintSync),
-        Condition::Safe(cornucopia::Strategy::Cornucopia),
-        Condition::Safe(cornucopia::Strategy::Reloaded),
-    ];
+    let msgs = grpc_messages(scale);
     for rep in 0..scale.reps {
         let w = grpc_qps(GrpcParams { messages: msgs, seed: 4000 + rep });
-        for cond in conditions {
+        for cond in GRPC_CONDITIONS {
             progress(&format!("grpc rep {rep} {}", cond.label()));
             let cfg = w.config.clone().with_condition(cond);
             let report =
@@ -241,5 +324,34 @@ mod tests {
         let s = Scale::default();
         assert_eq!(s.reps, 2);
         assert!((s.fraction - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn scale_parse_accepts_valid_values_and_clamps() {
+        let s = Scale::parse(Some("0.2"), Some("3")).unwrap();
+        assert!((s.fraction - 0.2).abs() < 1e-12);
+        assert_eq!(s.reps, 3);
+        // Out-of-range but parsable values clamp, as before.
+        let s = Scale::parse(Some("7.5"), Some("99")).unwrap();
+        assert!((s.fraction - 1.0).abs() < f64::EPSILON);
+        assert_eq!(s.reps, 12);
+        // Absent variables keep defaults.
+        let s = Scale::parse(None, None).unwrap();
+        assert_eq!(s.reps, 2);
+    }
+
+    #[test]
+    fn scale_parse_rejects_garbage_instead_of_swallowing_it() {
+        let e = Scale::parse(Some("fast"), None).unwrap_err();
+        assert!(e.contains("REPRO_SCALE"), "{e}");
+        assert!(e.contains("fast"), "{e}");
+        let e = Scale::parse(None, Some("two")).unwrap_err();
+        assert!(e.contains("REPRO_REPS"), "{e}");
+        let e = Scale::parse(Some("0"), None).unwrap_err();
+        assert!(e.contains("> 0"), "{e}");
+        let e = Scale::parse(Some("NaN"), None).unwrap_err();
+        assert!(e.contains("finite"), "{e}");
+        let e = Scale::parse(None, Some("0")).unwrap_err();
+        assert!(e.contains("≥ 1"), "{e}");
     }
 }

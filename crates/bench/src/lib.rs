@@ -23,7 +23,13 @@
 //! | `table1_pgbench_rates` | Table 1: latency vs fixed tx rates |
 //! | `table2_revocation_rates` | Table 2: revocation-rate statistics |
 //! | `reproduce_all` | Everything, into `EXPERIMENTS.md` |
+//! | `run_matrix` | The full matrix via the parallel orchestrator |
 //! | `ablation_*` | DESIGN.md's five ablation studies |
+//!
+//! The suite runners execute their matrices on a fault-isolated worker
+//! pool (see [`orchestrator`]); `REPRO_JOBS` picks the worker count and
+//! `REPRO_JOBS=1` recovers the serial path. Output is byte-identical
+//! either way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,3 +38,4 @@ pub mod ablations;
 pub mod figures;
 pub mod fmt;
 pub mod harness;
+pub mod orchestrator;

@@ -1,0 +1,535 @@
+//! Parallel, fault-isolated experiment orchestration.
+//!
+//! The evaluation is a condition × workload × seed matrix whose cells are
+//! completely independent: each one generates its own op stream from a
+//! seed and runs its own deterministic [`System`]. This module expands
+//! the matrix into [`JobSpec`]s, executes them on a work-stealing
+//! `std::thread` pool (worker count from `REPRO_JOBS`, default: available
+//! parallelism), and merges the results back into [`Suite`] indexes **in
+//! job order**, so the merged output is byte-identical to the serial
+//! loops in [`crate::harness`] no matter how many workers ran or in what
+//! order cells finished.
+//!
+//! Fault isolation: every job runs under `catch_unwind` with one retry; a
+//! job that panics twice degrades into a typed [`JobFailure`] record in
+//! the final report instead of killing the whole sweep. A resumable
+//! checkpoint file (one `morello_sim::Json` object per line) lets an
+//! interrupted sweep continue without re-running completed cells.
+//!
+//! Environment knobs:
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `REPRO_JOBS` | Worker threads (`1` = serial; default: available parallelism) |
+//! | `REPRO_INJECT_PANIC` | Fault-injection hook: jobs whose key contains this substring panic (CI uses it to prove isolation) |
+
+use crate::harness::{Scale, Suite, GRPC_CONDITIONS};
+use morello_sim::{Condition, Json, RunStats, System};
+use std::collections::BTreeMap;
+use std::io::{BufRead as _, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use workloads::{grpc_qps, pgbench, spec, GrpcParams, PgbenchParams, SpecProgram, SPEC_PROGRAMS};
+
+/// Which suite a job belongs to (the key of
+/// [`MatrixOutcome::suites`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SuiteKind {
+    /// SPEC CPU2006 surrogates (Figures 1–4, 9; Table 2).
+    Spec,
+    /// pgbench, unscheduled (Figures 5–7, 9; Table 2).
+    Pgbench,
+    /// pgbench at fixed arrival rates (Table 1).
+    PgbenchRates,
+    /// gRPC QPS (Figure 8, 9; Table 2).
+    Grpc,
+}
+
+impl SuiteKind {
+    /// Stable label (checkpoint keys, progress lines, suite map keys).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteKind::Spec => "spec",
+            SuiteKind::Pgbench => "pgbench",
+            SuiteKind::PgbenchRates => "pgbench-rates",
+            SuiteKind::Grpc => "grpc",
+        }
+    }
+}
+
+/// How a job regenerates its workload. Jobs carry generation parameters,
+/// not op streams: each worker generates its own ops, so expansion is
+/// cheap and nothing is shared across threads.
+#[derive(Debug, Clone)]
+enum Payload {
+    Spec { program: SpecProgram, seed: u64, fraction: f64 },
+    Pgbench { transactions: u64, rate: Option<f64>, seed: u64 },
+    Grpc { messages: u64, seed: u64 },
+}
+
+/// One independent cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    suite: SuiteKind,
+    workload: String,
+    condition: Condition,
+    payload: Payload,
+}
+
+impl JobSpec {
+    /// The suite this job merges into.
+    #[must_use]
+    pub fn suite(&self) -> SuiteKind {
+        self.suite
+    }
+
+    /// Unique, stable identity: checkpoint key, progress label, and the
+    /// target of `REPRO_INJECT_PANIC` substring matching.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let seed = match &self.payload {
+            Payload::Spec { seed, .. }
+            | Payload::Pgbench { seed, .. }
+            | Payload::Grpc { seed, .. } => *seed,
+        };
+        format!("{}|{}|{}|s{seed}", self.suite.label(), self.workload, self.condition.label())
+    }
+
+    /// Runs the cell to completion. Panics on simulator error (exactly as
+    /// the serial harness does) — the orchestrator catches it.
+    fn execute(&self) -> RunStats {
+        match &self.payload {
+            Payload::Spec { program, seed, fraction } => {
+                let mut w = spec(*program, *seed);
+                if *fraction < 1.0 {
+                    w.scale_churn(*fraction);
+                }
+                let cfg = w.config.with_condition(self.condition);
+                System::new(cfg).run(w.ops).expect("spec surrogate must run clean").into_stats()
+            }
+            Payload::Pgbench { transactions, rate, seed } => {
+                let w = pgbench(PgbenchParams { transactions: *transactions, rate: *rate, seed: *seed });
+                let cfg = w.config.with_condition(self.condition);
+                System::new(cfg).run(w.ops).expect("pgbench surrogate must run clean").into_stats()
+            }
+            Payload::Grpc { messages, seed } => {
+                let w = grpc_qps(GrpcParams { messages: *messages, seed: *seed });
+                let cfg = w.config.with_condition(self.condition);
+                System::new(cfg).run(w.ops).expect("grpc surrogate must run clean").into_stats()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matrix expansion — loop nesting mirrors the serial suite runners in
+// `harness.rs` exactly, so merging results in job order reproduces the
+// serial `Suite` (including per-key repetition order) byte for byte.
+// ---------------------------------------------------------------------
+
+/// Expands the SPEC suite: rep (outer) → program → condition (inner),
+/// seeds `1000 + rep`, as [`crate::harness::spec_suite_serial`] runs them.
+#[must_use]
+pub fn expand_spec(conditions: &[Condition], scale: Scale) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for rep in 0..scale.reps {
+        for program in SPEC_PROGRAMS {
+            for &cond in conditions {
+                jobs.push(JobSpec {
+                    suite: SuiteKind::Spec,
+                    workload: program.name().to_string(),
+                    condition: cond,
+                    payload: Payload::Spec {
+                        program,
+                        seed: 1000 + rep,
+                        fraction: scale.fraction,
+                    },
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Expands the pgbench suite (seeds `2000 + rep`).
+#[must_use]
+pub fn expand_pgbench(conditions: &[Condition], scale: Scale) -> Vec<JobSpec> {
+    let tx = crate::harness::pgbench_transactions(scale);
+    let mut jobs = Vec::new();
+    for rep in 0..scale.reps {
+        for &cond in conditions {
+            jobs.push(JobSpec {
+                suite: SuiteKind::Pgbench,
+                workload: "pgbench".to_string(),
+                condition: cond,
+                payload: Payload::Pgbench { transactions: tx, rate: None, seed: 2000 + rep },
+            });
+        }
+    }
+    jobs
+}
+
+/// Expands the rate-scheduled pgbench variants (Table 1; Reloaded only,
+/// seed 3000).
+#[must_use]
+pub fn expand_pgbench_rates(rates: &[Option<f64>], scale: Scale) -> Vec<JobSpec> {
+    let tx = crate::harness::pgbench_transactions(scale);
+    rates
+        .iter()
+        .map(|&rate| JobSpec {
+            suite: SuiteKind::PgbenchRates,
+            workload: crate::harness::rate_label(rate),
+            condition: Condition::reloaded(),
+            payload: Payload::Pgbench { transactions: tx, rate, seed: 3000 },
+        })
+        .collect()
+}
+
+/// Expands the gRPC QPS suite (seeds `4000 + rep`; CHERIvoke excluded as
+/// in the paper).
+#[must_use]
+pub fn expand_grpc(scale: Scale) -> Vec<JobSpec> {
+    let msgs = crate::harness::grpc_messages(scale);
+    let mut jobs = Vec::new();
+    for rep in 0..scale.reps {
+        for cond in GRPC_CONDITIONS {
+            jobs.push(JobSpec {
+                suite: SuiteKind::Grpc,
+                workload: "gRPC QPS".to_string(),
+                condition: cond,
+                payload: Payload::Grpc { messages: msgs, seed: 4000 + rep },
+            });
+        }
+    }
+    jobs
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// A job that panicked on both attempts, kept as data instead of
+/// aborting the sweep.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Index of the job in the submitted matrix.
+    pub job_id: usize,
+    /// The job's stable key (`suite|workload|condition|seed`).
+    pub key: String,
+    /// How many attempts were made (the orchestrator retries once).
+    pub attempts: u32,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Orchestrator knobs.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads; `0` or `1` runs the jobs inline (serial).
+    pub workers: usize,
+    /// Checkpoint file: completed cells are appended as they finish and
+    /// replayed (skipping execution) on the next run.
+    pub checkpoint: Option<PathBuf>,
+    /// Emit per-job progress/ETA lines to stderr.
+    pub progress: bool,
+    /// Test hook: jobs whose [`JobSpec::key`] contains this substring
+    /// panic on every attempt.
+    pub inject_panic: Option<String>,
+}
+
+impl RunOptions {
+    /// Reads `REPRO_JOBS` / `REPRO_INJECT_PANIC`. Progress is on.
+    ///
+    /// Unparsable `REPRO_JOBS` is a hard error (exit 2): silently falling
+    /// back to a default would mask a mistyped sweep configuration.
+    #[must_use]
+    pub fn from_env() -> Self {
+        RunOptions {
+            workers: jobs_from_env(),
+            checkpoint: None,
+            progress: true,
+            inject_panic: std::env::var("REPRO_INJECT_PANIC").ok().filter(|v| !v.is_empty()),
+        }
+    }
+}
+
+/// Parses a `REPRO_JOBS` value: a positive worker count.
+///
+/// # Errors
+///
+/// Describes the rejected value ("not a number" / "must be ≥ 1").
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!("REPRO_JOBS={value:?}: must be ≥ 1")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("REPRO_JOBS={value:?}: not a number")),
+    }
+}
+
+/// Worker count from `REPRO_JOBS`, defaulting to the host's available
+/// parallelism. Exits with a diagnostic on unparsable values.
+#[must_use]
+pub fn jobs_from_env() -> usize {
+    match std::env::var("REPRO_JOBS") {
+        Ok(v) => parse_jobs(&v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// The merged result of one orchestrated matrix run.
+#[derive(Debug, Default)]
+pub struct MatrixOutcome {
+    /// One merged [`Suite`] per suite kind present in the job list.
+    pub suites: BTreeMap<&'static str, Suite>,
+    /// Jobs that panicked on both attempts, in job order.
+    pub failures: Vec<JobFailure>,
+    /// Cells executed in this run (excludes checkpoint replays).
+    pub completed: usize,
+    /// Cells replayed from the checkpoint without execution.
+    pub resumed: usize,
+}
+
+impl MatrixOutcome {
+    /// The single suite of a one-suite run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome holds more than one suite.
+    #[must_use]
+    pub fn into_suite(mut self) -> (Suite, Vec<JobFailure>) {
+        assert!(self.suites.len() <= 1, "outcome holds multiple suites");
+        let suite = self.suites.pop_first().map(|(_, s)| s).unwrap_or_default();
+        (suite, self.failures)
+    }
+}
+
+/// One job's terminal state inside the worker pool.
+type Slot = Option<Result<RunStats, JobFailure>>;
+
+/// Executes `jobs` and merges the results in job order.
+///
+/// With `opts.workers <= 1` the jobs run inline on the calling thread in
+/// job order (the serial path); otherwise a work-stealing pool of scoped
+/// threads pulls jobs off a shared cursor. Either way the merge happens
+/// after all jobs settle, in job order, so both paths produce identical
+/// [`Suite`]s.
+#[must_use]
+pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
+    let resumed_stats = opts.checkpoint.as_deref().map(load_checkpoint).unwrap_or_default();
+    let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
+    let mut pending: Vec<usize> = Vec::new();
+    let mut resumed = 0usize;
+    for (i, job) in jobs.iter().enumerate() {
+        if let Some(stats) = resumed_stats.get(&job.key()) {
+            slots.push(Some(Ok(stats.clone())));
+            resumed += 1;
+        } else {
+            slots.push(None);
+            pending.push(i);
+        }
+    }
+
+    let checkpoint_writer = opts.checkpoint.as_deref().map(|path| {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint {}: {e}", path.display()));
+        Mutex::new(file)
+    });
+
+    let total = jobs.len();
+    let slots_shared = Mutex::new(&mut slots);
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(resumed);
+    let started = Instant::now();
+
+    // Work-stealing loop: workers race on `cursor` for the next pending
+    // job id; completion order is nondeterministic, the slot vector is
+    // not.
+    let worker_loop = || loop {
+        let next = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&job_id) = pending.get(next) else { break };
+        let job = &jobs[job_id];
+        let outcome = attempt_job(job_id, job, opts.inject_panic.as_deref());
+        if let (Some(writer), Ok(stats)) = (&checkpoint_writer, &outcome) {
+            append_checkpoint(writer, &job.key(), stats);
+        }
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if opts.progress {
+            progress_line(finished, total, &job.key(), outcome.is_err(), &started);
+        }
+        slots_shared.lock().expect("slot store")[job_id] = Some(outcome);
+    };
+
+    let workers = opts.workers.clamp(1, pending.len().max(1));
+    if workers <= 1 {
+        worker_loop();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(worker_loop);
+            }
+        });
+    }
+
+    // Deterministic reduction: job order, not completion order.
+    let mut out = MatrixOutcome { resumed, ..MatrixOutcome::default() };
+    for (job, slot) in jobs.iter().zip(slots) {
+        match slot.expect("every job settles") {
+            Ok(stats) => {
+                out.suites
+                    .entry(job.suite.label())
+                    .or_default()
+                    .insert(&job.workload, job.condition, stats);
+            }
+            Err(failure) => out.failures.push(failure),
+        }
+    }
+    out.completed = jobs.len() - out.resumed - out.failures.len();
+    out
+}
+
+/// Runs a single-suite job list with environment-configured options and
+/// degrades failures to stderr warnings — the drop-in parallel body for
+/// the `harness.rs` suite runners.
+#[must_use]
+pub fn run_suite_from_env(jobs: &[JobSpec]) -> Suite {
+    let opts = RunOptions::from_env();
+    let (suite, failures) = run(jobs, &opts).into_suite();
+    for f in &failures {
+        eprintln!("  [run] WARNING: job {} ({}) failed after {} attempts: {}", f.job_id, f.key, f.attempts, f.message);
+    }
+    suite
+}
+
+/// Executes independent ablation cells `0..n` on the environment's worker
+/// pool, returning results in cell order. Unlike [`run`], a panicking
+/// cell propagates (ablations keep the serial harness's abort-on-error
+/// contract); the parallelism is purely a wall-clock optimization.
+#[must_use]
+pub fn parallel_cells<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs_from_env().clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("cell slot") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("cell slot").expect("cell completed"))
+        .collect()
+}
+
+/// One `catch_unwind` attempt plus one retry.
+fn attempt_job(job_id: usize, job: &JobSpec, inject: Option<&str>) -> Result<RunStats, JobFailure> {
+    let key = job.key();
+    let run_once = || {
+        if inject.is_some_and(|needle| key.contains(needle)) {
+            panic!("injected panic (REPRO_INJECT_PANIC matched {key})");
+        }
+        job.execute()
+    };
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(run_once)) {
+            Ok(stats) => return Ok(stats),
+            Err(payload) => {
+                if attempts >= 2 {
+                    return Err(JobFailure {
+                        job_id,
+                        key,
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn progress_line(finished: usize, total: usize, key: &str, failed: bool, started: &Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    let eta = if finished > 0 && finished < total {
+        format!(", ~{:.0}s left", elapsed / finished as f64 * (total - finished) as f64)
+    } else {
+        String::new()
+    };
+    let status = if failed { "FAILED" } else { "done" };
+    eprintln!("  [matrix] {finished}/{total} {status} {key} ({elapsed:.1}s elapsed{eta})");
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing — one JSON object per line, rendered and parsed by the
+// deterministic in-tree `morello_sim::Json`.
+// ---------------------------------------------------------------------
+
+fn load_checkpoint(path: &std::path::Path) -> BTreeMap<String, RunStats> {
+    let mut map = BTreeMap::new();
+    let Ok(file) = std::fs::File::open(path) else { return map };
+    for line in std::io::BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A torn final line (interrupted write) or an entry from another
+        // code version simply fails to parse and is re-run.
+        let Ok(v) = Json::parse(&line) else { continue };
+        let (Some(key), Some(stats)) = (v.get("key").and_then(Json::as_str), v.get("stats"))
+        else {
+            continue;
+        };
+        if let Ok(stats) = RunStats::from_json_value(stats) {
+            map.insert(key.to_string(), stats);
+        }
+    }
+    map
+}
+
+fn append_checkpoint(writer: &Mutex<std::fs::File>, key: &str, stats: &RunStats) {
+    let line = Json::Obj(vec![
+        ("key".into(), key.into()),
+        ("stats".into(), stats.to_json_value()),
+    ])
+    .render();
+    let mut file = writer.lock().expect("checkpoint writer");
+    // Failures here abort the run: continuing would silently produce an
+    // unresumable sweep.
+    file.write_all(line.as_bytes()).expect("append checkpoint line");
+    file.write_all(b"\n").expect("append checkpoint newline");
+    file.flush().expect("flush checkpoint");
+}

@@ -6,15 +6,16 @@ use rev_bench::figures;
 use rev_bench::harness::Suite;
 
 fn stats(wall: u64, dram: u64, rss: u64, lat: &[u64]) -> RunStats {
-    let mut s = RunStats::default();
-    s.wall_cycles = wall;
-    s.app_cpu_cycles = wall / 2;
-    s.revoker_cpu_cycles = wall / 10;
-    s.app_dram = dram / 2;
-    s.revoker_dram = dram - dram / 2;
-    s.peak_rss = rss;
-    s.tx_latencies = lat.to_vec();
-    s
+    RunStats {
+        wall_cycles: wall,
+        app_cpu_cycles: wall / 2,
+        revoker_cpu_cycles: wall / 10,
+        app_dram: dram / 2,
+        revoker_dram: dram - dram / 2,
+        peak_rss: rss,
+        tx_latencies: lat.to_vec(),
+        ..RunStats::default()
+    }
 }
 
 fn synthetic_spec() -> Suite {

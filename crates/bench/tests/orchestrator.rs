@@ -1,0 +1,136 @@
+//! Integration tests of the parallel orchestrator: byte-identity with
+//! the serial harness, fault isolation, and checkpoint resume.
+
+use rev_bench::harness::{pgbench_suite_serial, spec_suite_serial, Scale, CONDITIONS};
+use rev_bench::orchestrator::{self, expand_pgbench, expand_spec, RunOptions};
+use morello_sim::Condition;
+
+/// A cheap matrix: 5 pgbench cells at the 200-transaction floor.
+fn tiny_scale() -> Scale {
+    Scale { fraction: 0.001, reps: 1 }
+}
+
+fn quiet(workers: usize) -> RunOptions {
+    RunOptions { workers, ..RunOptions::default() }
+}
+
+#[test]
+fn parallel_run_is_identical_to_serial_loops() {
+    let scale = tiny_scale();
+    let jobs = expand_pgbench(&CONDITIONS, scale);
+    assert_eq!(jobs.len(), CONDITIONS.len());
+
+    let serial = pgbench_suite_serial(&CONDITIONS, scale);
+    for workers in [1, 4] {
+        let outcome = orchestrator::run(&jobs, &quiet(workers));
+        assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.completed, jobs.len());
+        assert_eq!(outcome.suites.get("pgbench"), Some(&serial), "workers={workers}");
+    }
+}
+
+#[test]
+fn spec_expansion_matches_serial_repetition_order() {
+    // Two reps so per-key repetition *order* (not just the set) is
+    // checked: Suite stores a Vec per (workload, condition).
+    let scale = Scale { fraction: 0.005, reps: 2 };
+    let conditions = [Condition::Baseline, Condition::reloaded()];
+    let jobs = expand_spec(&conditions, scale);
+    let serial = spec_suite_serial(&conditions, scale);
+    let outcome = orchestrator::run(&jobs, &quiet(4));
+    assert!(outcome.failures.is_empty());
+    assert_eq!(outcome.suites.get("spec"), Some(&serial));
+}
+
+#[test]
+fn injected_panic_degrades_to_a_failure_record_without_poisoning_the_sweep() {
+    let scale = tiny_scale();
+    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let victim = jobs[2].key();
+    let opts = RunOptions { inject_panic: Some(victim.clone()), ..quiet(4) };
+
+    let outcome = orchestrator::run(&jobs, &opts);
+    assert_eq!(outcome.failures.len(), 1, "exactly the targeted cell fails");
+    let failure = &outcome.failures[0];
+    assert_eq!(failure.job_id, 2);
+    assert_eq!(failure.key, victim);
+    assert_eq!(failure.attempts, 2, "one retry before giving up");
+    assert!(failure.message.contains("injected panic"), "{}", failure.message);
+
+    // Every other cell completed and matches its serial twin.
+    let suite = &outcome.suites["pgbench"];
+    let serial = pgbench_suite_serial(&CONDITIONS, scale);
+    for (i, cond) in CONDITIONS.iter().enumerate() {
+        let got = suite.stats("pgbench", cond.label());
+        if i == 2 {
+            assert!(got.is_empty(), "failed cell must not contribute stats");
+        } else {
+            assert_eq!(got, serial.stats("pgbench", cond.label()));
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_skips_completed_cells() {
+    let scale = tiny_scale();
+    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let path = std::env::temp_dir()
+        .join(format!("orchestrator-resume-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let first = orchestrator::run(
+        &jobs,
+        &RunOptions { checkpoint: Some(path.clone()), ..quiet(2) },
+    );
+    assert!(first.failures.is_empty());
+    assert_eq!(first.completed, jobs.len());
+    assert_eq!(first.resumed, 0);
+
+    // Second run: every cell must be replayed from the checkpoint. The
+    // injector targets *all* keys ("pgbench" is a substring of each), so
+    // any cell that actually executed would fail loudly.
+    let second = orchestrator::run(
+        &jobs,
+        &RunOptions {
+            checkpoint: Some(path.clone()),
+            inject_panic: Some("pgbench".to_string()),
+            ..quiet(2)
+        },
+    );
+    assert!(second.failures.is_empty(), "resumed cells must not re-execute");
+    assert_eq!(second.resumed, jobs.len());
+    assert_eq!(second.completed, 0);
+    assert_eq!(second.suites.get("pgbench"), first.suites.get("pgbench"));
+
+    // A torn final line (interrupted mid-write) only costs that cell.
+    let mut contents = std::fs::read_to_string(&path).unwrap();
+    let keep = contents.trim_end().rfind('\n').unwrap();
+    contents.truncate(keep + 20);
+    std::fs::write(&path, &contents).unwrap();
+    let third = orchestrator::run(
+        &jobs,
+        &RunOptions { checkpoint: Some(path.clone()), ..quiet(2) },
+    );
+    assert_eq!(third.resumed, jobs.len() - 1);
+    assert_eq!(third.completed, 1);
+    assert_eq!(third.suites.get("pgbench"), first.suites.get("pgbench"));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn jobs_env_parser_rejects_garbage() {
+    assert_eq!(orchestrator::parse_jobs("4"), Ok(4));
+    assert_eq!(orchestrator::parse_jobs(" 2 "), Ok(2));
+    assert!(orchestrator::parse_jobs("0").unwrap_err().contains("≥ 1"));
+    assert!(orchestrator::parse_jobs("many").unwrap_err().contains("not a number"));
+    assert!(orchestrator::parse_jobs("-3").unwrap_err().contains("not a number"));
+}
+
+#[test]
+fn parallel_cells_preserves_order() {
+    let out = orchestrator::parallel_cells(7, |i| i * i);
+    assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36]);
+    let empty = orchestrator::parallel_cells(0, |i| i);
+    assert!(empty.is_empty());
+}

@@ -139,10 +139,26 @@ impl PhaseKind {
             PhaseKind::ReloadedFaults => "Reloaded faults (cum.)",
         }
     }
+
+    /// Inverse of [`PhaseKind::label`], for consumers deserializing phase
+    /// records from exported documents (e.g. the bench orchestrator's
+    /// checkpoint files).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<PhaseKind> {
+        const ALL: [PhaseKind; 6] = [
+            PhaseKind::CheriVokeStw,
+            PhaseKind::CornucopiaConcurrent,
+            PhaseKind::CornucopiaStw,
+            PhaseKind::ReloadedStw,
+            PhaseKind::ReloadedConcurrent,
+            PhaseKind::ReloadedFaults,
+        ];
+        ALL.into_iter().find(|k| k.label() == label)
+    }
 }
 
 /// One phase duration observation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseRecord {
     /// Epoch ordinal (counting completed revocation passes).
     pub epoch_index: u64,

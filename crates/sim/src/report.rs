@@ -217,7 +217,8 @@ fn event_json(at: u64, event: &TelemetryEvent) -> Json {
             _ => {}
         },
         TelemetryEvent::Alloc(e) => match *e {
-            AllocEvent::RevocationRequested { allocated_bytes, quarantine_bytes } => {
+            AllocEvent::RevocationRequested { reason, allocated_bytes, quarantine_bytes } => {
+                pairs.push(("reason".into(), reason.label().into()));
                 pairs.push(("allocated_bytes".into(), allocated_bytes.into()));
                 pairs.push(("quarantine_bytes".into(), quarantine_bytes.into()));
             }

@@ -1,5 +1,7 @@
 //! Run statistics and percentile utilities.
 
+use crate::json::Json;
+
 /// Simulated clock frequency: 2.5 GHz, matching the Morello SoC.
 pub const CYCLES_PER_SEC: u64 = 2_500_000_000;
 
@@ -8,7 +10,7 @@ pub const CYCLES_PER_MS: u64 = CYCLES_PER_SEC / 1000;
 
 /// Everything a single run produces; the raw material for every figure
 /// and table in the evaluation.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RunStats {
     /// Total simulated wall-clock cycles.
     pub wall_cycles: u64,
@@ -88,6 +90,128 @@ impl RunStats {
     #[must_use]
     pub fn latency_summary(&self) -> LatencySummary {
         LatencySummary::from_cycles(&self.tx_latencies)
+    }
+
+    /// Full-fidelity serialization to a [`Json`] tree: every field,
+    /// including the raw transaction latencies and phase records that
+    /// [`RunReport::to_json_value`](crate::RunReport::to_json_value)
+    /// summarizes. [`RunStats::from_json_value`] inverts it exactly, so
+    /// interrupted sweeps can checkpoint completed runs and resume without
+    /// losing figure inputs.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        let arr = |v: &[u64]| Json::Arr(v.iter().map(|&x| x.into()).collect());
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("epoch".into(), p.epoch_index.into()),
+                        ("kind".into(), p.kind.label().into()),
+                        ("cycles".into(), p.cycles.into()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("wall_cycles".into(), self.wall_cycles.into()),
+            ("app_cpu_cycles".into(), self.app_cpu_cycles.into()),
+            ("revoker_cpu_cycles".into(), self.revoker_cpu_cycles.into()),
+            ("app_dram".into(), self.app_dram.into()),
+            ("revoker_dram".into(), self.revoker_dram.into()),
+            ("revoker_dram_per_core".into(), arr(&self.revoker_dram_per_core)),
+            (
+                "revoker_cores".into(),
+                Json::Arr(self.revoker_cores.iter().map(|&c| c.into()).collect()),
+            ),
+            ("pages_swept".into(), self.pages_swept.into()),
+            ("peak_rss".into(), self.peak_rss.into()),
+            ("pauses".into(), arr(&self.pauses)),
+            ("blocked_cycles".into(), self.blocked_cycles.into()),
+            ("tx_latencies".into(), arr(&self.tx_latencies)),
+            ("fault_cycles".into(), self.fault_cycles.into()),
+            ("faults".into(), self.faults.into()),
+            ("revocations".into(), self.revocations.into()),
+            ("mean_alloc_at_revocation".into(), self.mean_alloc_at_revocation.into()),
+            ("total_freed_bytes".into(), self.total_freed_bytes.into()),
+            ("allocs".into(), self.allocs.into()),
+            ("frees".into(), self.frees.into()),
+            ("phases".into(), phases),
+            ("blocked_allocs".into(), self.blocked_allocs.into()),
+            ("tlb_misses".into(), self.tlb_misses.into()),
+            ("tlb_shootdowns".into(), self.tlb_shootdowns.into()),
+            ("pte_writes".into(), self.pte_writes.into()),
+        ])
+    }
+
+    /// Reconstructs statistics serialized by [`RunStats::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field; a
+    /// checkpoint written by a different code version fails here rather
+    /// than resurrecting half-parsed statistics.
+    pub fn from_json_value(v: &Json) -> Result<RunStats, String> {
+        fn num(v: &Json, key: &str) -> Result<u64, String> {
+            let n =
+                v.get(key).and_then(Json::as_num).ok_or_else(|| format!("missing field {key}"))?;
+            u64::try_from(n).map_err(|_| format!("field {key} out of range"))
+        }
+        fn nums(v: &Json, key: &str) -> Result<Vec<u64>, String> {
+            let arr =
+                v.get(key).and_then(Json::as_arr).ok_or_else(|| format!("missing array {key}"))?;
+            arr.iter()
+                .map(|x| {
+                    x.as_num()
+                        .and_then(|n| u64::try_from(n).ok())
+                        .ok_or_else(|| format!("non-numeric entry in {key}"))
+                })
+                .collect()
+        }
+        let wall_cycles = num(v, "wall_cycles")?;
+        let phases = v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing array phases")?
+            .iter()
+            .map(|p| {
+                let label =
+                    p.get("kind").and_then(Json::as_str).ok_or("phase record missing kind")?;
+                let kind = cornucopia::PhaseKind::from_label(label)
+                    .ok_or_else(|| format!("unknown phase kind {label:?}"))?;
+                Ok(cornucopia::PhaseRecord {
+                    epoch_index: num(p, "epoch")?,
+                    kind,
+                    cycles: num(p, "cycles")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunStats {
+            wall_cycles,
+            app_cpu_cycles: num(v, "app_cpu_cycles")?,
+            revoker_cpu_cycles: num(v, "revoker_cpu_cycles")?,
+            app_dram: num(v, "app_dram")?,
+            revoker_dram: num(v, "revoker_dram")?,
+            revoker_dram_per_core: nums(v, "revoker_dram_per_core")?,
+            revoker_cores: nums(v, "revoker_cores")?.into_iter().map(|c| c as usize).collect(),
+            pages_swept: num(v, "pages_swept")?,
+            peak_rss: num(v, "peak_rss")?,
+            pauses: nums(v, "pauses")?,
+            blocked_cycles: num(v, "blocked_cycles")?,
+            tx_latencies: nums(v, "tx_latencies")?,
+            fault_cycles: num(v, "fault_cycles")?,
+            faults: num(v, "faults")?,
+            revocations: num(v, "revocations")?,
+            mean_alloc_at_revocation: num(v, "mean_alloc_at_revocation")?,
+            total_freed_bytes: num(v, "total_freed_bytes")?,
+            allocs: num(v, "allocs")?,
+            frees: num(v, "frees")?,
+            phases,
+            blocked_allocs: num(v, "blocked_allocs")?,
+            tlb_misses: num(v, "tlb_misses")?,
+            tlb_shootdowns: num(v, "tlb_shootdowns")?,
+            pte_writes: num(v, "pte_writes")?,
+        })
     }
 }
 
@@ -318,6 +442,76 @@ mod tests {
         let b = BoxStats::from_samples(&samples).unwrap();
         assert_eq!(b.median, d.percentile(50.0));
         assert_eq!(b.q3, d.percentile(75.0));
+    }
+
+    #[test]
+    fn stats_json_roundtrip_is_exact() {
+        let stats = RunStats {
+            wall_cycles: 123_456_789,
+            app_cpu_cycles: 10,
+            revoker_cpu_cycles: 20,
+            app_dram: 30,
+            revoker_dram: 40,
+            revoker_dram_per_core: vec![25, 15],
+            revoker_cores: vec![1, 3],
+            pages_swept: 50,
+            peak_rss: 60,
+            pauses: vec![7, 8, 9],
+            blocked_cycles: 70,
+            tx_latencies: vec![100, 200, 300],
+            fault_cycles: 80,
+            faults: 90,
+            revocations: 3,
+            mean_alloc_at_revocation: 4096,
+            total_freed_bytes: 1 << 20,
+            allocs: 1000,
+            frees: 900,
+            phases: vec![
+                cornucopia::PhaseRecord {
+                    epoch_index: 1,
+                    kind: cornucopia::PhaseKind::ReloadedStw,
+                    cycles: 11,
+                },
+                cornucopia::PhaseRecord {
+                    epoch_index: 1,
+                    kind: cornucopia::PhaseKind::ReloadedConcurrent,
+                    cycles: 22,
+                },
+            ],
+            blocked_allocs: 2,
+            tlb_misses: 5,
+            tlb_shootdowns: 6,
+            pte_writes: 7,
+        };
+        let rendered = stats.to_json_value().render();
+        let parsed = Json::parse(&rendered).expect("serialized stats must parse");
+        let back = RunStats::from_json_value(&parsed).expect("roundtrip must succeed");
+        assert_eq!(back, stats);
+        // Defaults roundtrip too (empty vectors, zero counters).
+        let d = RunStats::default();
+        let back =
+            RunStats::from_json_value(&Json::parse(&d.to_json_value().render()).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn stats_from_json_rejects_malformed_documents() {
+        assert!(RunStats::from_json_value(&Json::parse("{}").unwrap())
+            .unwrap_err()
+            .contains("wall_cycles"));
+        let mut v = RunStats::default().to_json_value();
+        if let Json::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "phases" {
+                    *val = Json::Arr(vec![Json::Obj(vec![
+                        ("epoch".into(), 1u64.into()),
+                        ("kind".into(), "not a phase".into()),
+                        ("cycles".into(), 2u64.into()),
+                    ])]);
+                }
+            }
+        }
+        assert!(RunStats::from_json_value(&v).unwrap_err().contains("unknown phase kind"));
     }
 
     #[test]

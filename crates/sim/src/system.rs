@@ -732,7 +732,7 @@ impl System {
                 // Force quarantine turnover, then retry once.
                 if matches!(self.cfg.condition, Condition::Safe(_)) {
                     if !self.revoker.is_revoking() {
-                        self.heap.seal(&self.revoker);
+                        self.heap.seal_for(&self.revoker, cheri_alloc::RevocationReason::OomForced);
                         self.start_revocation();
                     }
                     self.block_on_revocation();
@@ -868,7 +868,8 @@ impl System {
             && !self.revoker.is_revoking()
             && self.mmap_space.quarantined_bytes() > self.cfg.min_quarantine * 4
         {
-            self.heap.seal(&self.revoker);
+            self.heap
+                .seal_for(&self.revoker, cheri_alloc::RevocationReason::ReservationQuarantine);
             self.start_revocation();
         }
         Ok(())
@@ -1035,6 +1036,46 @@ mod tests {
             .unwrap();
         let s = System::new(cfg).run(churn_ops(3000, 8192)).unwrap();
         assert!(s.revocations > 0);
+    }
+
+    /// The full OOM forced-turnover path: with the policy floor raised to
+    /// the arena size, the free path can never trigger, so the *only* way
+    /// the workload completes is seal → start_revocation → block → retry.
+    #[test]
+    fn oom_forced_turnover_blocks_then_retry_succeeds() {
+        let cfg = SimConfig::builder()
+            .condition(Condition::reloaded())
+            .heap_len(4 << 20)
+            .max_objects(1 << 10)
+            .min_quarantine(4 << 20)
+            .record_events(true)
+            .build()
+            .unwrap();
+        let report = System::new(cfg).run(churn_ops(3000, 8192)).unwrap();
+        // Every retry succeeded (run returned Ok) and every pass was forced
+        // by OOM, never by free-path policy.
+        assert!(report.revocations > 0, "forced turnover never ran");
+        assert!(report.blocked_allocs > 0, "blocking retries must be counted");
+        assert!(report.blocked_cycles > 0, "blocked wall time must be attributed");
+        // churn + root table, with failed first attempts re-counted on retry
+        assert!(report.allocs >= 3001);
+        assert_eq!(report.frees, 3000, "every churn object must still be freed");
+        let reasons: Vec<cheri_alloc::RevocationReason> = report
+            .telemetry()
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                crate::telemetry::TelemetryEvent::Alloc(
+                    cheri_alloc::AllocEvent::RevocationRequested { reason, .. },
+                ) => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert!(!reasons.is_empty(), "forced seals must reach the journal");
+        assert!(
+            reasons.iter().all(|r| *r == cheri_alloc::RevocationReason::OomForced),
+            "expected only oom_forced requests, got {reasons:?}"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ fn golden_json() -> String {
 }
 
 /// Digest of the full JSON document, captured when the exporter landed.
-const GOLDEN_DIGEST: u64 = 0xb3e5_3d39_e288_2bf2;
+/// Re-captured when `RevocationRequested` events gained a `reason` tag
+/// and `must_block` switched to gating on the open (accumulating)
+/// quarantine buffer.
+const GOLDEN_DIGEST: u64 = 0xde2a_a1d3_017a_cc51;
 
 #[test]
 fn report_json_matches_golden_digest_and_schema() {

@@ -38,5 +38,29 @@ echo "== bench smoke (quick mode) =="
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench micro
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench sweep
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench hotpath
+SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench matrix
+
+echo "== matrix smoke (parallel orchestrator) =="
+# 1. Byte-identity: the same smoke matrix at 1 and 4 workers must render
+#    the exact same report (merging is in job order, not completion order).
+matrix_dir="$(mktemp -d)"
+REPRO_JOBS=1 cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --out "$matrix_dir/serial.md" 2>/dev/null
+REPRO_JOBS=4 cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --out "$matrix_dir/parallel.md" 2>/dev/null
+cmp -s "$matrix_dir/serial.md" "$matrix_dir/parallel.md" \
+    || { echo "matrix smoke: parallel report differs from serial" >&2; exit 1; }
+grep -q "All matrix cells completed" "$matrix_dir/serial.md" \
+    || { echo "matrix smoke: missing all-clear failure section" >&2; exit 1; }
+# 2. Fault isolation: an injected panic must surface as a JobFailure row
+#    while every other cell still reports (run_matrix exits 0 sans --strict).
+REPRO_JOBS=4 REPRO_INJECT_PANIC='pgbench|pgbench|Cornucopia' \
+    cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --out "$matrix_dir/faulty.md" 2>/dev/null
+grep -q "injected panic" "$matrix_dir/faulty.md" \
+    || { echo "matrix smoke: injected panic not recorded as JobFailure" >&2; exit 1; }
+grep -q "unscheduled" "$matrix_dir/faulty.md" \
+    || { echo "matrix smoke: healthy cells missing from faulty run" >&2; exit 1; }
+rm -rf "$matrix_dir"
 
 echo "ci: all gates passed"
