@@ -1,0 +1,212 @@
+//! Materialized vs. streaming op-pipeline comparison (run with
+//! `cargo bench -p rev-bench --bench opstream`; `--quick` /
+//! `SIMBENCH_QUICK=1` runs small workloads, asserts equivalence, and
+//! skips the baseline file).
+//!
+//! Two passes per workload over the full condition set:
+//!
+//! * **materialized** — the pre-streaming harness shape: generate the
+//!   whole `Vec<Op>` once, then hand each condition its own clone. Peak
+//!   workload-resident bytes = 2 × stream length × `size_of::<Op>()`
+//!   (the kept vector plus the clone being consumed).
+//! * **streaming** — regenerate an [`OpSource`] from the seed per
+//!   condition and drive `System::run_stream`. Peak resident bytes =
+//!   the largest batch the source ever emitted (measured, not assumed:
+//!   sources overshoot [`OP_BATCH`] to finish a step or transaction).
+//!
+//! Every pass *asserts* that the streaming `RunStats` equal the
+//! materialized ones condition-for-condition, so the bit-identity
+//! contract is exercised on every benchmark run — this is the digest
+//! check `tools/ci.sh` relies on. Non-quick runs record ops/sec and the
+//! peak-bytes ratio in `BENCH_opstream.json` at the workspace root.
+
+use morello_sim::{Op, OpSource, RunStats, System};
+use rev_bench::harness::CONDITIONS;
+use std::time::Instant;
+use workloads::{
+    pgbench, pgbench_stream, spec, spec_stream, GeneratedWorkload, PgbenchParams, SpecProgram,
+    StreamedWorkload,
+};
+
+const OP_BYTES: usize = std::mem::size_of::<Op>();
+
+/// Wraps a source to record the high-water batch size the simulator's
+/// refill buffer actually reached, plus the total ops emitted.
+struct PeakMeter<S> {
+    inner: S,
+    peak_ops: usize,
+    total_ops: usize,
+}
+
+impl<S: OpSource> OpSource for PeakMeter<S> {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        let n = self.inner.refill(buf);
+        self.peak_ops = self.peak_ops.max(buf.len());
+        self.total_ops += n;
+        n
+    }
+}
+
+struct PathResult {
+    stats: Vec<RunStats>,
+    ops_run: usize,
+    ms: f64,
+    peak_bytes: usize,
+}
+
+impl PathResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops_run as f64 / (self.ms / 1e3)
+    }
+}
+
+/// The pre-streaming harness shape: one generation, one clone per
+/// condition. Generation time is included — both paths are measured
+/// end-to-end.
+fn run_materialized(gen: impl Fn() -> GeneratedWorkload) -> PathResult {
+    let t0 = Instant::now();
+    let w = gen();
+    let mut stats = Vec::new();
+    let mut ops_run = 0usize;
+    for cond in CONDITIONS {
+        let cfg = w.config.clone().with_condition(cond);
+        let report = System::new(cfg).run(w.ops.clone()).expect("materialized run");
+        ops_run += w.ops.len();
+        stats.push(report.into_stats());
+    }
+    PathResult {
+        stats,
+        ops_run,
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+        peak_bytes: w.ops.len() * OP_BYTES * 2,
+    }
+}
+
+/// The streaming shape: regenerate from the seed per condition, O(batch)
+/// resident ops throughout.
+fn run_streaming<S: OpSource>(gen: impl Fn() -> StreamedWorkload<S>) -> PathResult {
+    let t0 = Instant::now();
+    let mut stats = Vec::new();
+    let mut ops_run = 0usize;
+    let mut peak_ops = 0usize;
+    for cond in CONDITIONS {
+        let w = gen();
+        let mut src = PeakMeter { inner: w.source, peak_ops: 0, total_ops: 0 };
+        let report =
+            System::new(w.config.with_condition(cond)).run_stream(&mut src).expect("streaming run");
+        peak_ops = peak_ops.max(src.peak_ops);
+        ops_run += src.total_ops;
+        stats.push(report.into_stats());
+    }
+    PathResult { stats, ops_run, ms: t0.elapsed().as_secs_f64() * 1e3, peak_bytes: peak_ops * OP_BYTES }
+}
+
+struct Comparison {
+    name: &'static str,
+    mat: PathResult,
+    stream: PathResult,
+}
+
+impl Comparison {
+    fn reduction(&self) -> f64 {
+        self.mat.peak_bytes as f64 / self.stream.peak_bytes as f64
+    }
+
+    fn report(&self) {
+        eprintln!(
+            "opstream/{}: materialized {:.0} ms ({:.2} Mops/s, peak {} KiB) | streaming \
+             {:.0} ms ({:.2} Mops/s, peak {} KiB) | {:.0}x peak reduction",
+            self.name,
+            self.mat.ms,
+            self.mat.ops_per_sec() / 1e6,
+            self.mat.peak_bytes / 1024,
+            self.stream.ms,
+            self.stream.ops_per_sec() / 1e6,
+            self.stream.peak_bytes / 1024,
+            self.reduction(),
+        );
+    }
+
+    fn json(&self) -> String {
+        let path = |p: &PathResult| {
+            format!(
+                "{{ \"ops\": {}, \"ms\": {:.0}, \"ops_per_sec\": {:.0}, \"peak_bytes\": {} }}",
+                p.ops_run,
+                p.ms,
+                p.ops_per_sec(),
+                p.peak_bytes,
+            )
+        };
+        format!(
+            "{{ \"workload\": \"{}\", \"materialized\": {}, \"streaming\": {}, \
+             \"peak_reduction\": {:.1} }}",
+            self.name,
+            path(&self.mat),
+            path(&self.stream),
+            self.reduction(),
+        )
+    }
+}
+
+fn compare<S: OpSource>(
+    name: &'static str,
+    mat: impl Fn() -> GeneratedWorkload,
+    stream: impl Fn() -> StreamedWorkload<S>,
+) -> Comparison {
+    let mat = run_materialized(mat);
+    let stream = run_streaming(stream);
+    assert_eq!(mat.ops_run, stream.ops_run, "{name}: op counts diverged");
+    assert_eq!(mat.stats, stream.stats, "{name}: streaming RunStats diverged from materialized");
+    Comparison { name, mat, stream }
+}
+
+fn main() {
+    let quick = std::env::var("SIMBENCH_QUICK").is_ok_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick" || a == "--smoke");
+
+    if quick {
+        // Small workloads, equivalence asserts only: this is the CI
+        // digest smoke, not a measurement.
+        let c = compare(
+            "pgbench-smoke",
+            || pgbench(PgbenchParams { transactions: 300, rate: None, seed: 2000 }),
+            || pgbench_stream(PgbenchParams { transactions: 300, rate: None, seed: 2000 }),
+        );
+        c.report();
+        let c = compare(
+            "spec-bzip2-smoke",
+            || spec(SpecProgram::Bzip2, 1000),
+            || spec_stream(SpecProgram::Bzip2, 1000),
+        );
+        c.report();
+        eprintln!("opstream: quick mode, not touching BENCH_opstream.json");
+        return;
+    }
+
+    let comparisons = [
+        compare(
+            "spec-gobmk-trevord",
+            || spec(SpecProgram::GobmkTrevord, 1000),
+            || spec_stream(SpecProgram::GobmkTrevord, 1000),
+        ),
+        compare(
+            "pgbench",
+            || pgbench(PgbenchParams { transactions: 20_000, rate: None, seed: 2000 }),
+            || pgbench_stream(PgbenchParams { transactions: 20_000, rate: None, seed: 2000 }),
+        ),
+    ];
+    for c in &comparisons {
+        c.report();
+    }
+
+    let entries: Vec<String> = comparisons.iter().map(Comparison::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"opstream\",\n  \"conditions\": {},\n  \"op_bytes\": {OP_BYTES},\n  \
+         \"workloads\": [\n    {}\n  ]\n}}\n",
+        CONDITIONS.len(),
+        entries.join(",\n    "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_opstream.json");
+    std::fs::write(path, &json).expect("write BENCH_opstream.json");
+    eprintln!("opstream: wrote {path}");
+}

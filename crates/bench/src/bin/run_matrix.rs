@@ -8,15 +8,17 @@
 //! byte-identical for any worker count.
 //!
 //! ```text
-//! run_matrix [--out PATH] [--checkpoint PATH] [--jobs N] [--smoke]
-//!            [--strict] [--suites spec,pgbench,pgbench-rates,grpc]
+//! run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]
+//!            [--smoke] [--strict] [--suites spec,pgbench,pgbench-rates,grpc]
 //! ```
 //!
 //! Honours `REPRO_SCALE`, `REPRO_REPS`, `REPRO_JOBS` (CLI `--jobs`
 //! wins), and the fault-injection hook `REPRO_INJECT_PANIC`. With
 //! `--checkpoint`, completed cells are appended to the file as they
 //! finish and replayed on the next invocation, so an interrupted sweep
-//! resumes instead of restarting.
+//! resumes instead of restarting. `--compact` rewrites the checkpoint in
+//! place before the run — last write per cell wins, torn tails from a
+//! crash are dropped — so long resume chains stop growing the file.
 
 use rev_bench::harness::{Scale, Suite, CONDITIONS};
 use rev_bench::orchestrator::{
@@ -32,6 +34,7 @@ const RATES: [Option<f64>; 4] = [Some(800.0), Some(1200.0), Some(2000.0), None];
 struct Cli {
     out: String,
     checkpoint: Option<std::path::PathBuf>,
+    compact: bool,
     jobs: Option<usize>,
     smoke: bool,
     strict: bool,
@@ -41,8 +44,8 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_matrix [--out PATH] [--checkpoint PATH] [--jobs N] [--smoke] [--strict]\n\
-         \x20                 [--suites spec,pgbench,pgbench-rates,grpc] [--ablations]"
+        "usage: run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N] [--smoke]\n\
+         \x20                 [--strict] [--suites spec,pgbench,pgbench-rates,grpc] [--ablations]"
     );
     std::process::exit(2)
 }
@@ -51,6 +54,7 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         out: "MATRIX.md".to_string(),
         checkpoint: None,
+        compact: false,
         jobs: None,
         smoke: false,
         strict: false,
@@ -69,6 +73,7 @@ fn parse_cli() -> Cli {
             "--checkpoint" => {
                 cli.checkpoint = Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--compact" => cli.compact = true,
             "--jobs" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| {
@@ -95,8 +100,27 @@ fn parse_cli() -> Cli {
 
 fn main() {
     let cli = parse_cli();
+    if cli.compact && cli.checkpoint.is_none() {
+        eprintln!("error: --compact requires --checkpoint PATH");
+        usage();
+    }
     let scale = if cli.smoke { Scale::smoke() } else { Scale::from_env() };
     let t0 = Instant::now();
+
+    if cli.compact {
+        let path = cli.checkpoint.as_deref().expect("checked above");
+        match orchestrator::compact_checkpoint(path) {
+            Ok((kept, dropped)) => eprintln!(
+                "run_matrix: compacted checkpoint {} ({kept} cell(s) kept, {dropped} \
+                 stale/torn line(s) dropped)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: compacting {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     let mut jobs: Vec<JobSpec> = Vec::new();
     for suite in &cli.suites {
@@ -211,13 +235,17 @@ fn main() {
         }
     }
 
+    // The shape section always renders for three-suite runs: claims whose
+    // input cells failed are marked "not evaluable" rather than dropping
+    // the whole section. Strict mode counts only outright violations (lost
+    // cells already trip strict via the failure count).
     let mut strict_violations = 0usize;
-    if has("spec") && has("pgbench") && has("grpc") && outcome.failures.is_empty() {
-        doc.push_str(&figures::shape_report(spec, pg, grpc));
+    if has("spec") && has("pgbench") && has("grpc") {
+        doc.push_str(&figures::shape_report_checked(spec, pg, grpc, &outcome.failures));
         doc.push('\n');
-        strict_violations = figures::shape_checks(spec, pg, grpc)
+        strict_violations = figures::shape_checks_checked(spec, pg, grpc, &outcome.failures)
             .into_iter()
-            .filter(|(_, held)| !held)
+            .filter(|(_, status)| *status == figures::ClaimStatus::Violated)
             .count();
     }
     doc.push_str(&figures::failure_report(&outcome.failures));

@@ -1,10 +1,14 @@
 //! Suite running: executes each workload under every condition, with
 //! repetitions, and indexes the results for the figure generators.
 
-use morello_sim::{Condition, RunStats, System};
+use morello_sim::{Condition, Op, RunStats, System};
 use std::collections::BTreeMap;
 use std::io::Write as _;
-use workloads::{grpc_qps, pgbench, spec, GrpcParams, PgbenchParams, SpecProgram, SPEC_PROGRAMS};
+use std::sync::Arc;
+use workloads::{
+    grpc_qps, pgbench, pgbench_tx_interval, spec, GrpcParams, PgbenchParams, SpecProgram,
+    SPEC_PROGRAMS,
+};
 
 /// The conditions every figure draws from, in the paper's order.
 pub const CONDITIONS: [Condition; 5] = [
@@ -201,11 +205,15 @@ pub fn spec_suite_serial(conditions: &[Condition], scale: Scale) -> Suite {
             if scale.fraction < 1.0 {
                 w.scale_churn(scale.fraction);
             }
+            // One generation serves every condition: the stream is shared
+            // (never cloned) and each run replays it by copy of `Op`s.
+            let ops: Arc<[Op]> = w.ops.into();
             for &cond in conditions {
                 progress(&format!("spec {} rep {rep} {}", w.name, cond.label()));
                 let cfg = w.config.clone().with_condition(cond);
-                let report =
-                    System::new(cfg).run(w.ops.clone()).expect("spec surrogate must run clean");
+                let report = System::new(cfg)
+                    .run(ops.iter().copied())
+                    .expect("spec surrogate must run clean");
                 suite.insert(&w.name, cond, report.into_stats());
             }
         }
@@ -238,11 +246,13 @@ pub fn pgbench_suite_serial(conditions: &[Condition], scale: Scale) -> Suite {
     let tx = pgbench_transactions(scale);
     for rep in 0..scale.reps {
         let w = pgbench(PgbenchParams { transactions: tx, rate: None, seed: 2000 + rep });
+        let ops: Arc<[Op]> = w.ops.into();
         for &cond in conditions {
             progress(&format!("pgbench rep {rep} {}", cond.label()));
             let cfg = w.config.clone().with_condition(cond);
-            let report =
-                System::new(cfg).run(w.ops.clone()).expect("pgbench surrogate must run clean");
+            let report = System::new(cfg)
+                .run(ops.iter().copied())
+                .expect("pgbench surrogate must run clean");
             suite.insert(&w.name, cond, report.into_stats());
         }
     }
@@ -263,13 +273,23 @@ pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale) -> Suite {
 pub fn pgbench_rate_suite_serial(rates: &[Option<f64>], scale: Scale) -> Suite {
     let mut suite = Suite::default();
     let tx = pgbench_transactions(scale);
+    // The op stream is rate-independent (the arrival rate only sets the
+    // config's `tx_interval`), so one generation serves every rate row.
+    let w = pgbench(PgbenchParams { transactions: tx, rate: None, seed: 3000 });
+    let ops: Arc<[Op]> = w.ops.into();
     for &rate in rates {
         let label = rate_label(rate);
-        let w = pgbench(PgbenchParams { transactions: tx, rate, seed: 3000 });
         progress(&format!("pgbench --rate {label}"));
-        let cfg = w.config.clone().with_condition(Condition::reloaded());
-        let report =
-            System::new(cfg).run(w.ops.clone()).expect("pgbench rate run must run clean");
+        let cfg = w
+            .config
+            .to_builder()
+            .tx_interval(pgbench_tx_interval(rate))
+            .build()
+            .expect("rate-adjusted pgbench config")
+            .with_condition(Condition::reloaded());
+        let report = System::new(cfg)
+            .run(ops.iter().copied())
+            .expect("pgbench rate run must run clean");
         suite.insert(&label, Condition::reloaded(), report.into_stats());
     }
     suite
@@ -289,11 +309,13 @@ pub fn grpc_suite_serial(scale: Scale) -> Suite {
     let msgs = grpc_messages(scale);
     for rep in 0..scale.reps {
         let w = grpc_qps(GrpcParams { messages: msgs, seed: 4000 + rep });
+        let ops: Arc<[Op]> = w.ops.into();
         for cond in GRPC_CONDITIONS {
             progress(&format!("grpc rep {rep} {}", cond.label()));
             let cfg = w.config.clone().with_condition(cond);
-            let report =
-                System::new(cfg).run(w.ops.clone()).expect("grpc surrogate must run clean");
+            let report = System::new(cfg)
+                .run(ops.iter().copied())
+                .expect("grpc surrogate must run clean");
             suite.insert(&w.name, cond, report.into_stats());
         }
     }

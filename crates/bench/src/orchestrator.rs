@@ -32,7 +32,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use workloads::{grpc_qps, pgbench, spec, GrpcParams, PgbenchParams, SpecProgram, SPEC_PROGRAMS};
+use workloads::{
+    grpc_stream, pgbench_stream, spec_stream, spec_stream_scaled, GrpcParams, PgbenchParams,
+    SpecProgram, SPEC_PROGRAMS,
+};
 
 /// Which suite a job belongs to (the key of
 /// [`MatrixOutcome::suites`]).
@@ -101,25 +104,51 @@ impl JobSpec {
 
     /// Runs the cell to completion. Panics on simulator error (exactly as
     /// the serial harness does) — the orchestrator catches it.
+    ///
+    /// Workloads stream straight from their seeds through
+    /// [`System::run_stream`]: no cell ever materializes its op vector,
+    /// so a worker's resident footprint is one batch buffer plus
+    /// generator state. The streams are op-for-op identical to the
+    /// materializing generators (property-tested), so the merged suites
+    /// stay byte-identical to the serial harness loops.
     fn execute(&self) -> RunStats {
         match &self.payload {
             Payload::Spec { program, seed, fraction } => {
-                let mut w = spec(*program, *seed);
                 if *fraction < 1.0 {
-                    w.scale_churn(*fraction);
+                    let w = spec_stream_scaled(*program, *seed, *fraction);
+                    let (mut source, config) = (w.source, w.config);
+                    System::new(config.with_condition(self.condition))
+                        .run_stream(&mut source)
+                        .expect("spec surrogate must run clean")
+                        .into_stats()
+                } else {
+                    let w = spec_stream(*program, *seed);
+                    let (mut source, config) = (w.source, w.config);
+                    System::new(config.with_condition(self.condition))
+                        .run_stream(&mut source)
+                        .expect("spec surrogate must run clean")
+                        .into_stats()
                 }
-                let cfg = w.config.with_condition(self.condition);
-                System::new(cfg).run(w.ops).expect("spec surrogate must run clean").into_stats()
             }
             Payload::Pgbench { transactions, rate, seed } => {
-                let w = pgbench(PgbenchParams { transactions: *transactions, rate: *rate, seed: *seed });
-                let cfg = w.config.with_condition(self.condition);
-                System::new(cfg).run(w.ops).expect("pgbench surrogate must run clean").into_stats()
+                let w = pgbench_stream(PgbenchParams {
+                    transactions: *transactions,
+                    rate: *rate,
+                    seed: *seed,
+                });
+                let (mut source, config) = (w.source, w.config);
+                System::new(config.with_condition(self.condition))
+                    .run_stream(&mut source)
+                    .expect("pgbench surrogate must run clean")
+                    .into_stats()
             }
             Payload::Grpc { messages, seed } => {
-                let w = grpc_qps(GrpcParams { messages: *messages, seed: *seed });
-                let cfg = w.config.with_condition(self.condition);
-                System::new(cfg).run(w.ops).expect("grpc surrogate must run clean").into_stats()
+                let w = grpc_stream(GrpcParams { messages: *messages, seed: *seed });
+                let (mut source, config) = (w.source, w.config);
+                System::new(config.with_condition(self.condition))
+                    .run_stream(&mut source)
+                    .expect("grpc surrogate must run clean")
+                    .into_stats()
             }
         }
     }
@@ -498,6 +527,16 @@ fn progress_line(finished: usize, total: usize, key: &str, failed: bool, started
 // deterministic in-tree `morello_sim::Json`.
 // ---------------------------------------------------------------------
 
+/// Parses one checkpoint line into its cell key and stats. `None` for a
+/// torn final line (interrupted write) or an entry from another code
+/// version — callers simply re-run such cells.
+fn parse_checkpoint_line(line: &str) -> Option<(String, RunStats)> {
+    let v = Json::parse(line).ok()?;
+    let key = v.get("key").and_then(Json::as_str)?;
+    let stats = RunStats::from_json_value(v.get("stats")?).ok()?;
+    Some((key.to_string(), stats))
+}
+
 fn load_checkpoint(path: &std::path::Path) -> BTreeMap<String, RunStats> {
     let mut map = BTreeMap::new();
     let Ok(file) = std::fs::File::open(path) else { return map };
@@ -506,18 +545,57 @@ fn load_checkpoint(path: &std::path::Path) -> BTreeMap<String, RunStats> {
         if line.trim().is_empty() {
             continue;
         }
-        // A torn final line (interrupted write) or an entry from another
-        // code version simply fails to parse and is re-run.
-        let Ok(v) = Json::parse(&line) else { continue };
-        let (Some(key), Some(stats)) = (v.get("key").and_then(Json::as_str), v.get("stats"))
-        else {
-            continue;
-        };
-        if let Ok(stats) = RunStats::from_json_value(stats) {
-            map.insert(key.to_string(), stats);
+        if let Some((key, stats)) = parse_checkpoint_line(&line) {
+            map.insert(key, stats);
         }
     }
     map
+}
+
+/// Rewrites an append-only checkpoint so it holds exactly one line per
+/// cell key — the last write wins, matching [`load_checkpoint`]'s replay
+/// semantics — and drops superseded or unparsable lines. Long interrupted
+/// sweeps re-append every re-run cell, so the file otherwise grows
+/// without bound; compaction returns it to O(cells).
+///
+/// The rewrite goes through a sibling temp file and a rename, so an
+/// interrupted compaction leaves the original checkpoint untouched.
+/// Lines are rewritten in sorted key order (deterministic, and exactly
+/// the order resume reads them back). A missing file compacts to nothing.
+///
+/// Returns `(kept, dropped)` line counts.
+///
+/// # Errors
+///
+/// Propagates I/O failures from reading or rewriting the file.
+pub fn compact_checkpoint(path: &std::path::Path) -> std::io::Result<(usize, usize)> {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+        Err(e) => return Err(e),
+    };
+    let mut total = 0usize;
+    let mut map: BTreeMap<String, String> = BTreeMap::new();
+    for line in contents.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        if let Some((key, _)) = parse_checkpoint_line(line) {
+            map.insert(key, line.to_string());
+        }
+    }
+    let tmp = path.with_extension("compact.tmp");
+    {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        for line in map.values() {
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok((map.len(), total - map.len()))
 }
 
 fn append_checkpoint(writer: &Mutex<std::fs::File>, key: &str, stats: &RunStats) {

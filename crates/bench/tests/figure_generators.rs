@@ -99,3 +99,65 @@ fn shape_report_renders_all_claims() {
     let report = figures::shape_report(&spec, &pg, &grpc);
     assert!(report.lines().filter(|l| l.starts_with('|')).count() >= 9);
 }
+
+#[test]
+fn shape_checks_mark_claims_with_failed_inputs_as_not_evaluable() {
+    use figures::ClaimStatus;
+    use rev_bench::orchestrator::JobFailure;
+
+    let spec = synthetic_spec();
+    let mut pg = Suite::default();
+    let mut grpc = Suite::default();
+    let lat: Vec<u64> = (0..100).map(|i| 100_000 + i * 10).collect();
+    for c in [Condition::baseline(), Condition::paint_sync(), Condition::cherivoke(), Condition::cornucopia(), Condition::reloaded()] {
+        pg.insert("pgbench", c, stats(1_000_000, 1000, 100, &lat));
+    }
+    for c in [Condition::baseline(), Condition::paint_sync(), Condition::cornucopia(), Condition::reloaded()] {
+        grpc.insert("gRPC QPS", c, stats(1_000_000, 1000, 100, &lat));
+    }
+    let failure = |key: &str| JobFailure {
+        job_id: 0,
+        key: key.to_string(),
+        attempts: 2,
+        message: "injected".to_string(),
+    };
+
+    // No failures: the checked variant agrees with the boolean one.
+    let clean = figures::shape_checks_checked(&spec, &pg, &grpc, &[]);
+    assert!(clean.iter().all(|(_, s)| *s != ClaimStatus::NotEvaluable));
+    assert_eq!(
+        figures::shape_checks(&spec, &pg, &grpc),
+        clean
+            .iter()
+            .map(|(c, s)| (c.clone(), *s == ClaimStatus::Holds))
+            .collect::<Vec<_>>(),
+    );
+
+    // Losing a pgbench Reloaded cell poisons exactly the claims that read
+    // it; SPEC- and gRPC-only claims still evaluate.
+    let failures = [failure("pgbench|pgbench|Reloaded|s2000")];
+    let checked = figures::shape_checks_checked(&spec, &pg, &grpc, &failures);
+    for (claim, status) in &checked {
+        let expect_lost = claim.starts_with("pgbench") && claim.contains("Reloaded");
+        assert_eq!(
+            *status == ClaimStatus::NotEvaluable,
+            expect_lost,
+            "claim {claim:?} got {status:?}"
+        );
+    }
+    let report = figures::shape_report_checked(&spec, &pg, &grpc, &failures);
+    assert!(report.contains("not evaluable (input cell failed)"), "{report}");
+
+    // A lost engaging SPEC cell poisons the SPEC aggregate claims but
+    // leaves the interactive ones alone.
+    let failures = [failure("spec|alpha one|Cornucopia|s1000")];
+    let checked = figures::shape_checks_checked(&spec, &pg, &grpc, &failures);
+    for (claim, status) in &checked {
+        let expect_lost = claim.starts_with("SPEC");
+        assert_eq!(
+            *status == ClaimStatus::NotEvaluable,
+            expect_lost,
+            "claim {claim:?} got {status:?}"
+        );
+    }
+}

@@ -134,3 +134,57 @@ fn parallel_cells_preserves_order() {
     let empty = orchestrator::parallel_cells(0, |i| i);
     assert!(empty.is_empty());
 }
+
+#[test]
+fn checkpoint_compaction_drops_stale_lines_and_preserves_resume() {
+    let scale = tiny_scale();
+    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let path = std::env::temp_dir()
+        .join(format!("orchestrator-compact-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let first = orchestrator::run(
+        &jobs,
+        &RunOptions { checkpoint: Some(path.clone()), ..quiet(2) },
+    );
+    assert!(first.failures.is_empty());
+    assert_eq!(first.completed, jobs.len());
+
+    // Simulate a long resume chain: every cell appears twice (the first
+    // copy is stale), plus a torn tail from an interrupted write.
+    let contents = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, format!("{contents}{contents}{{\"key\": \"torn")).unwrap();
+
+    let (kept, dropped) = orchestrator::compact_checkpoint(&path).unwrap();
+    assert_eq!(kept, jobs.len(), "one line per cell survives");
+    assert_eq!(dropped, jobs.len() + 1, "stale duplicates and the torn tail go");
+
+    // The compacted file still resumes every cell: the injector targets
+    // all keys, so any cell that re-executed would fail loudly.
+    let second = orchestrator::run(
+        &jobs,
+        &RunOptions {
+            checkpoint: Some(path.clone()),
+            inject_panic: Some("pgbench".to_string()),
+            ..quiet(2)
+        },
+    );
+    assert!(second.failures.is_empty(), "compacted cells must not re-execute");
+    assert_eq!(second.resumed, jobs.len());
+    assert_eq!(second.completed, 0);
+    assert_eq!(second.suites.get("pgbench"), first.suites.get("pgbench"));
+
+    // Compaction is idempotent.
+    assert_eq!(orchestrator::compact_checkpoint(&path).unwrap(), (jobs.len(), 0));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn compacting_a_missing_checkpoint_is_a_no_op() {
+    let path = std::env::temp_dir()
+        .join(format!("orchestrator-compact-missing-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(orchestrator::compact_checkpoint(&path).unwrap(), (0, 0));
+    assert!(!path.exists(), "compaction must not create the file");
+}

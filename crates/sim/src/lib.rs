@@ -58,7 +58,7 @@ pub mod trace;
 
 pub use config::{Condition, ConfigError, SimConfig, SimConfigBuilder, TelemetryConfig};
 pub use json::{Json, JsonError};
-pub use ops::{ObjId, Op};
+pub use ops::{ObjId, Op, OpSource, OP_BATCH};
 pub use report::{RunReport, REPORT_VERSION};
 pub use stats::{percentile, BoxStats, Dist, LatencySummary, RunStats, CYCLES_PER_MS, CYCLES_PER_SEC};
 pub use system::{SimError, System};

@@ -108,3 +108,48 @@ pub enum Op {
         id: u64,
     },
 }
+
+/// Target number of ops per [`OpSource::refill`] batch.
+///
+/// Sources aim for roughly this many ops per call; a batch may run over
+/// when a generator's natural unit (a churn step, a transaction, a warmup
+/// phase) doesn't land on the boundary. At 32 bytes per [`Op`] the batch
+/// buffer stays comfortably inside one L1 data cache's worth of stream.
+pub const OP_BATCH: usize = 1024;
+
+/// A pull-based supplier of operations.
+///
+/// This is the streaming alternative to materializing a whole workload as
+/// a `Vec<Op>`: a source regenerates its stream lazily from internal
+/// (typically RNG) state, so the resident footprint is one batch buffer
+/// plus the generator state instead of the entire op vector.
+///
+/// The contract: `refill` **appends** a source-chosen batch of ops to
+/// `buf` (aiming for about [`OP_BATCH`], but any positive amount is legal)
+/// and returns how many ops it appended. Returning `0` means the stream is
+/// exhausted; callers stop on the first `0` and must not call again
+/// expecting more. Because sources append without clearing, collecting an
+/// entire stream into one vector is just `while src.refill(&mut v) > 0 {}`
+/// — which is exactly what [`OpSource::collect_ops`] does.
+pub trait OpSource {
+    /// Appends the next batch of ops to `buf`; returns the number
+    /// appended, with `0` signalling exhaustion.
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize;
+
+    /// Drains the remaining stream into a fresh vector (the materialized
+    /// form; useful for oracles and tests).
+    fn collect_ops(mut self) -> Vec<Op>
+    where
+        Self: Sized,
+    {
+        let mut ops = Vec::new();
+        while self.refill(&mut ops) > 0 {}
+        ops
+    }
+}
+
+impl<S: OpSource + ?Sized> OpSource for &mut S {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        (**self).refill(buf)
+    }
+}

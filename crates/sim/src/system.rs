@@ -1,7 +1,7 @@
 //! The simulated system: machine + revoker + heap, driven by an op stream.
 
 use crate::config::{Condition, SimConfig};
-use crate::ops::{ObjId, Op};
+use crate::ops::{ObjId, Op, OpSource, OP_BATCH};
 use crate::report::RunReport;
 use crate::stats::RunStats;
 use crate::telemetry::{
@@ -251,10 +251,92 @@ impl System {
     /// Runs an op stream to completion and returns the [`RunReport`]
     /// (statistics + telemetry; derefs to [`RunStats`]).
     pub fn run(mut self, ops: impl IntoIterator<Item = Op>) -> Result<RunReport, SimError> {
-        for op in ops {
-            self.exec(op)?;
+        let mut iter = ops.into_iter();
+        let mut buf = Vec::with_capacity(OP_BATCH);
+        loop {
+            buf.clear();
+            buf.extend(iter.by_ref().take(OP_BATCH));
+            if buf.is_empty() {
+                break;
+            }
+            self.exec_batch(&buf)?;
         }
         Ok(self.finish())
+    }
+
+    /// Runs a lazily-generated op stream to completion, pulling batches
+    /// from `source` into one reused buffer. Resident footprint is
+    /// O([`OP_BATCH`] + generator state) instead of O(stream length), and
+    /// the resulting [`RunStats`] are bit-identical to materializing the
+    /// same stream and calling [`System::run`].
+    pub fn run_stream<S: OpSource + ?Sized>(
+        mut self,
+        source: &mut S,
+    ) -> Result<RunReport, SimError> {
+        let mut buf = Vec::with_capacity(OP_BATCH);
+        loop {
+            buf.clear();
+            if source.refill(&mut buf) == 0 {
+                break;
+            }
+            self.exec_batch(&buf)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Executes a batch of operations through the fused dispatch path.
+    ///
+    /// Semantically identical to calling [`System::exec`] per op — the
+    /// goldens pin this — but cheaper: runs of consecutive `Compute` (and
+    /// separately `ThinkIdle`) ops collapse into one `advance` while the
+    /// revoker is idle. That fusion is exact because the idle
+    /// `pump_revoker` path only syncs `rev_mark` to the wall clock (and
+    /// `maybe_release` is a no-op at any op boundary with no pass in
+    /// flight), so N idle advances and one summed advance produce the same
+    /// state. While a pass *is* in flight the per-op path is kept: sweep
+    /// budgets overshoot at page granularity, so `background_step(a)` then
+    /// `background_step(b)` is not `background_step(a + b)`. Data ops are
+    /// never fused across op boundaries — each performs an architecturally
+    /// visible capability load through the barrier — but each already
+    /// issues its byte traffic as a single ranged access internally.
+    pub fn exec_batch(&mut self, ops: &[Op]) -> Result<(), SimError> {
+        if self.telemetry_on {
+            // Telemetry journals at op granularity (events drained and
+            // counters sampled between ops); fusing would coarsen the
+            // timeline, so fall back to the per-op path.
+            for &op in ops {
+                self.exec(op)?;
+            }
+            return Ok(());
+        }
+        let mut i = 0;
+        while i < ops.len() {
+            match ops[i] {
+                Op::Compute { cycles } if !self.revoker.is_revoking() => {
+                    let mut total = cycles;
+                    i += 1;
+                    while let Some(&Op::Compute { cycles }) = ops.get(i) {
+                        total += cycles;
+                        i += 1;
+                    }
+                    self.advance(total, true);
+                }
+                Op::ThinkIdle { cycles } if !self.revoker.is_revoking() => {
+                    let mut total = cycles;
+                    i += 1;
+                    while let Some(&Op::ThinkIdle { cycles }) = ops.get(i) {
+                        total += cycles;
+                        i += 1;
+                    }
+                    self.advance(total, false);
+                }
+                op => {
+                    self.exec_op(op)?;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Finalizes the run: drains any in-flight revocation and collects

@@ -1,6 +1,13 @@
 //! The generic heap-churn generator behind the SPEC surrogates.
+//!
+//! Two equivalent forms exist: [`ChurnProfile::generate`] materializes the
+//! whole stream as a `Vec<Op>` (the equivalence oracle, pinned by the
+//! golden tests), and [`ChurnSource`] replays the identical RNG schedule
+//! lazily in O(live set) memory for the streaming pipeline. A property
+//! test (`crates/workloads/tests/stream_equivalence.rs`) holds the two
+//! op-for-op identical across seeds and profiles.
 
-use morello_sim::{ObjId, Op};
+use morello_sim::{ObjId, Op, OpSource, OP_BATCH};
 use simtest::Rng;
 
 /// Log-uniform object size distribution.
@@ -176,6 +183,145 @@ impl ChurnProfile {
         // Live set plus slack for quarantined slots in flight.
         (self.target_heap / self.obj_size.approx_mean().max(16) + 64) * 2
     }
+
+    /// A streaming source over the same op stream [`ChurnProfile::generate`]
+    /// materializes for this `seed`.
+    #[must_use]
+    pub fn source(&self, seed: u64) -> ChurnSource {
+        ChurnSource::new(self, seed)
+    }
+}
+
+/// Resumable state machine emitting a [`ChurnProfile`]'s op stream batch
+/// by batch. Identical RNG call order to [`ChurnProfile::generate`], so
+/// the streams match op for op; memory is O(live set + hot links) instead
+/// of O(total ops).
+#[derive(Debug, Clone)]
+pub struct ChurnSource {
+    profile: ChurnProfile,
+    rng: Rng,
+    live: Vec<(ObjId, u64)>,
+    free_slots: Vec<ObjId>,
+    hot_links: Vec<(ObjId, u64)>,
+    next_slot: ObjId,
+    live_bytes: u64,
+    churned: u64,
+    step: u64,
+    chunk: u64,
+    warm: bool,
+}
+
+impl ChurnSource {
+    /// Starts a fresh stream for `profile` at `seed`.
+    #[must_use]
+    pub fn new(profile: &ChurnProfile, seed: u64) -> Self {
+        let access_ops = 2
+            + profile.links_per_step as u64
+            + profile.chases_per_step as u64
+            + profile.reads_per_step as u64;
+        ChurnSource {
+            profile: profile.clone(),
+            rng: Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            live: Vec::new(),
+            free_slots: Vec::new(),
+            hot_links: Vec::new(),
+            next_slot: 0,
+            live_bytes: 0,
+            churned: 0,
+            step: 0,
+            chunk: profile.compute_per_step / access_ops.max(1),
+            warm: false,
+        }
+    }
+
+    fn emit_alloc(&mut self, ops: &mut Vec<Op>) {
+        let size = self.profile.obj_size.sample(&mut self.rng);
+        let obj = self.free_slots.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        ops.push(Op::Alloc { obj, size });
+        ops.push(Op::WriteData { obj, len: size.min(2048) });
+        self.live.push((obj, size));
+        self.live_bytes += size;
+    }
+
+    fn emit_compute(&self, ops: &mut Vec<Op>) {
+        if self.chunk > 0 {
+            ops.push(Op::Compute { cycles: self.chunk });
+        }
+    }
+
+    /// One steady-state churn step: free a victim, replace it, then the
+    /// link/chase/read accesses — the body of `generate`'s main loop.
+    fn emit_step(&mut self, ops: &mut Vec<Op>) {
+        self.step += 1;
+        self.emit_compute(ops);
+        let idx = self.rng.gen_range(0..self.live.len());
+        let (victim, vsize) = self.live.swap_remove(idx);
+        ops.push(Op::Free { obj: victim });
+        self.free_slots.push(victim);
+        self.live_bytes -= vsize;
+        self.churned += vsize;
+        self.hot_links.retain(|&(o, _)| o != victim);
+        self.emit_compute(ops);
+        self.emit_alloc(ops);
+
+        for _ in 0..self.profile.links_per_step {
+            self.emit_compute(ops);
+            let from = self.live[self.rng.gen_range(0..self.live.len())].0;
+            let to = self.live[self.rng.gen_range(0..self.live.len())].0;
+            let slot = self.rng.gen_range(0..64);
+            ops.push(Op::LinkPtr { from, slot, to });
+            if self.hot_links.len() >= 512 {
+                let i = self.rng.gen_range(0..self.hot_links.len());
+                self.hot_links.swap_remove(i);
+            }
+            self.hot_links.push((from, slot));
+        }
+        for _ in 0..self.profile.chases_per_step {
+            self.emit_compute(ops);
+            let (from, slot) = if self.hot_links.is_empty() {
+                (
+                    self.live[self.rng.gen_range(0..self.live.len())].0,
+                    self.rng.gen_range(0..64),
+                )
+            } else {
+                self.hot_links[self.rng.gen_range(0..self.hot_links.len())]
+            };
+            ops.push(Op::ChasePtr { from, slot });
+        }
+        for _ in 0..self.profile.reads_per_step {
+            self.emit_compute(ops);
+            let obj = self.live[self.rng.gen_range(0..self.live.len())].0;
+            ops.push(Op::ReadData { obj, len: self.profile.read_len });
+        }
+        if self.profile.hoard_every > 0 && self.step.is_multiple_of(self.profile.hoard_every) {
+            let obj = self.live[self.rng.gen_range(0..self.live.len())].0;
+            ops.push(Op::SyscallHoard { obj });
+        }
+    }
+}
+
+impl OpSource for ChurnSource {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        let start = buf.len();
+        while buf.len() - start < OP_BATCH {
+            if !self.warm {
+                if self.live_bytes < self.profile.target_heap {
+                    self.emit_alloc(buf);
+                    continue;
+                }
+                self.warm = true;
+            }
+            if self.churned >= self.profile.total_churn || self.live.is_empty() {
+                break;
+            }
+            self.emit_step(buf);
+        }
+        buf.len() - start
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +372,14 @@ mod tests {
         let live_estimate = (allocs - frees) as u64 * mean;
         assert!(live_estimate >= p.target_heap / 2);
         assert!(live_estimate <= p.target_heap * 3);
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_generate() {
+        let p = tiny();
+        for seed in [0, 7, 41] {
+            assert_eq!(p.source(seed).collect_ops(), p.generate(seed), "seed {seed}");
+        }
     }
 
     #[test]

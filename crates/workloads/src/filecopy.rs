@@ -8,8 +8,8 @@
 //! with occasional stale cross-references from the staging area into
 //! mapped files (exactly the pointers the reservation sweep must revoke).
 
-use crate::GeneratedWorkload;
-use morello_sim::{ObjId, Op, SimConfig};
+use crate::{GeneratedWorkload, StreamedWorkload};
+use morello_sim::{ObjId, Op, OpSource, SimConfig, OP_BATCH};
 use simtest::Rng;
 
 /// Parameters for the file-copier surrogate.
@@ -53,13 +53,85 @@ pub fn file_copy(params: FileCopyParams) -> GeneratedWorkload {
         ops.push(Op::ThinkIdle { cycles: 30_000 });
     }
 
-    let config = SimConfig::builder()
+    GeneratedWorkload { name: "file copier".to_string(), ops, config: file_copy_config() }
+}
+
+fn file_copy_config() -> SimConfig {
+    SimConfig::builder()
         .heap_len(64 << 20) // 48 MiB malloc + 16 MiB mmap space
         .max_objects(64)
         .min_quarantine(256 << 10)
         .build()
-        .expect("static workload config");
-    GeneratedWorkload { name: "file copier".to_string(), ops, config }
+        .expect("static workload config")
+}
+
+/// The streaming form of [`file_copy`]: identical op stream and config,
+/// regenerated lazily from the seed.
+#[must_use]
+pub fn file_copy_stream(params: FileCopyParams) -> StreamedWorkload<FileCopySource> {
+    StreamedWorkload {
+        name: "file copier".to_string(),
+        source: FileCopySource::new(params),
+        config: file_copy_config(),
+    }
+}
+
+/// Resumable state machine emitting [`file_copy`]'s op stream batch by
+/// batch: the staging-buffer prologue, then one copied file at a time.
+#[derive(Debug, Clone)]
+pub struct FileCopySource {
+    params: FileCopyParams,
+    rng: Rng,
+    next_file: u64,
+    warm: bool,
+}
+
+impl FileCopySource {
+    /// Starts a fresh stream for `params`.
+    #[must_use]
+    pub fn new(params: FileCopyParams) -> Self {
+        FileCopySource {
+            params,
+            rng: Rng::seed_from_u64(params.seed ^ 0x1656_67b1),
+            next_file: 0,
+            warm: false,
+        }
+    }
+
+    fn emit_file(&mut self, ops: &mut Vec<Op>) {
+        let staging: ObjId = 0;
+        let file_base: ObjId = 8;
+        let f = self.next_file;
+        self.next_file += 1;
+
+        ops.push(Op::TxBegin { id: f });
+        let obj = file_base + f % 4;
+        let len = self.rng.gen_range(64 << 10..256 << 10);
+        ops.push(Op::Mmap { obj, len });
+        ops.push(Op::WriteData { obj, len });
+        ops.push(Op::LinkPtr { from: staging, slot: f % 1024, to: obj });
+        ops.push(Op::ReadData { obj, len: len.min(64 << 10) });
+        ops.push(Op::Compute { cycles: 150_000 });
+        ops.push(Op::Munmap { obj });
+        ops.push(Op::TxEnd { id: f });
+        ops.push(Op::ThinkIdle { cycles: 30_000 });
+    }
+}
+
+impl OpSource for FileCopySource {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        let start = buf.len();
+        if !self.warm {
+            self.warm = true;
+            let staging: ObjId = 0;
+            buf.push(Op::Alloc { obj: staging, size: 256 << 10 });
+            buf.push(Op::WriteData { obj: staging, len: 256 << 10 });
+        }
+        while buf.len() - start < OP_BATCH && self.next_file < self.params.files {
+            self.emit_file(buf);
+        }
+        buf.len() - start
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +160,12 @@ mod tests {
         w.config = w.config.with_condition(Condition::reloaded());
         let stats = System::new(w.config.clone()).run(w.ops).unwrap();
         assert_eq!(stats.tx_latencies.len(), 1_000, "every copy must complete");
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_generator() {
+        let p = FileCopyParams { files: 2_500, seed: 21 };
+        assert_eq!(file_copy_stream(p).source.collect_ops(), file_copy(p).ops);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! under any revocation strategy — the closest this reproduction can get
 //! to "run your own workload against Cornucopia Reloaded".
 
-use morello_sim::{ObjId, Op};
+use morello_sim::{ObjId, Op, OpSource, OP_BATCH};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -165,6 +165,169 @@ pub fn import_malloc_log(log: &str, opts: ImportOptions) -> Result<(Vec<Op>, u64
     Ok((ops, next_slot.max(1)))
 }
 
+/// Streaming form of [`import_malloc_log`]: parses the log one line at a
+/// time, so the resident footprint is one batch buffer plus the live
+/// pointer map instead of the whole op vector.
+///
+/// Error handling differs from the materializing oracle by necessity: a
+/// bad line cannot un-emit the ops already streamed, so the source simply
+/// ends its stream there and records the error. Callers must check
+/// [`ImportSource::error`] after exhaustion before trusting the replay;
+/// on a valid log the emitted stream is op-for-op identical to the
+/// oracle's.
+#[derive(Debug)]
+pub struct ImportSource<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    opts: ImportOptions,
+    live: HashMap<u64, ObjId>,
+    free_slots: Vec<ObjId>,
+    next_slot: ObjId,
+    emitted_any: bool,
+    error: Option<ImportError>,
+    done: bool,
+}
+
+impl<'a> ImportSource<'a> {
+    /// Starts streaming `log` with `opts`.
+    #[must_use]
+    pub fn new(log: &'a str, opts: ImportOptions) -> Self {
+        ImportSource {
+            lines: log.lines().enumerate(),
+            opts,
+            live: HashMap::new(),
+            free_slots: Vec::new(),
+            next_slot: 0,
+            emitted_any: false,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// The parse error that terminated the stream, if any. Only
+    /// meaningful once `refill` has returned `0`.
+    #[must_use]
+    pub fn error(&self) -> Option<&ImportError> {
+        self.error.as_ref()
+    }
+
+    /// Takes ownership of the terminating error, if any.
+    pub fn take_error(&mut self) -> Option<ImportError> {
+        self.error.take()
+    }
+
+    /// Root-table slots the stream has needed so far (pass the final
+    /// value as `SimConfig::max_objects`; matches the oracle's second
+    /// return value once the stream is exhausted).
+    #[must_use]
+    pub fn slots_used(&self) -> u64 {
+        self.next_slot.max(1)
+    }
+
+    fn take_slot(&mut self) -> ObjId {
+        self.free_slots.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        })
+    }
+
+    /// Translates one log line, mirroring the oracle's emission order
+    /// (including the inter-event compute) exactly.
+    fn emit_line(&mut self, lineno: usize, raw: &str, ops: &mut Vec<Op>) -> Result<(), ImportError> {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let bad = || ImportError::Parse { line: lineno, text: line.to_string() };
+        let (call, rest) = line.split_once('(').ok_or_else(bad)?;
+        let (args, tail) = rest.split_once(')').ok_or_else(bad)?;
+        let result = tail.trim().strip_prefix('=').map(str::trim);
+        if self.opts.compute_between_events > 0 && self.emitted_any {
+            ops.push(Op::Compute { cycles: self.opts.compute_between_events });
+        }
+        match call.trim() {
+            "malloc" | "calloc" => {
+                let size = if call.trim() == "calloc" {
+                    let (n, sz) = args.split_once(',').ok_or_else(bad)?;
+                    parse_u64(n).zip(parse_u64(sz)).map(|(a, b)| a * b).ok_or_else(bad)?
+                } else {
+                    parse_u64(args).ok_or_else(bad)?
+                };
+                let ptr = result.and_then(parse_u64).ok_or_else(bad)?;
+                let obj = self.take_slot();
+                ops.push(Op::Alloc { obj, size: size.max(1) });
+                if self.opts.touch_bytes > 0 {
+                    ops.push(Op::WriteData { obj, len: size.clamp(1, self.opts.touch_bytes) });
+                }
+                self.live.insert(ptr, obj);
+            }
+            "realloc" => {
+                let (old, sz) = args.split_once(',').ok_or_else(bad)?;
+                let old_ptr = parse_u64(old).ok_or_else(bad)?;
+                let size = parse_u64(sz).ok_or_else(bad)?;
+                let new_ptr = result.and_then(parse_u64).ok_or_else(bad)?;
+                let old_obj = if old_ptr == 0 {
+                    None
+                } else {
+                    Some(
+                        self.live
+                            .remove(&old_ptr)
+                            .ok_or(ImportError::UnknownPointer { line: lineno, ptr: old_ptr })?,
+                    )
+                };
+                let obj = self.take_slot();
+                ops.push(Op::Alloc { obj, size: size.max(1) });
+                if let Some(old_obj) = old_obj {
+                    ops.push(Op::ReadData { obj: old_obj, len: size.max(1) });
+                    ops.push(Op::WriteData {
+                        obj,
+                        len: size.clamp(1, self.opts.touch_bytes.max(1)),
+                    });
+                    ops.push(Op::Free { obj: old_obj });
+                    self.free_slots.push(old_obj);
+                }
+                self.live.insert(new_ptr, obj);
+            }
+            "free" => {
+                let ptr = parse_u64(args).ok_or_else(bad)?;
+                if ptr == 0 {
+                    return Ok(()); // free(NULL): the inter-event compute stays
+                }
+                let obj = self
+                    .live
+                    .remove(&ptr)
+                    .ok_or(ImportError::UnknownPointer { line: lineno, ptr })?;
+                ops.push(Op::Free { obj });
+                self.free_slots.push(obj);
+            }
+            _ => return Err(bad()),
+        }
+        Ok(())
+    }
+}
+
+impl OpSource for ImportSource<'_> {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        let start = buf.len();
+        while !self.done && buf.len() - start < OP_BATCH {
+            let Some((i, raw)) = self.lines.next() else {
+                self.done = true;
+                break;
+            };
+            let before = buf.len();
+            if let Err(e) = self.emit_line(i + 1, raw, buf) {
+                self.error = Some(e);
+                self.done = true;
+                break;
+            }
+            if buf.len() > before {
+                self.emitted_any = true;
+            }
+        }
+        buf.len() - start
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +388,30 @@ free(0x3000)
         let log = "malloc(16) = 4096\nfree(0x1000)\n";
         let (ops, _) = import_malloc_log(log, ImportOptions::default()).unwrap();
         assert_eq!(ops.iter().filter(|o| matches!(o, Op::Free { .. })).count(), 1);
+    }
+
+    #[test]
+    fn streaming_import_matches_oracle_on_valid_logs() {
+        let (ops, slots) = import_malloc_log(LOG, ImportOptions::default()).unwrap();
+        let mut src = ImportSource::new(LOG, ImportOptions::default());
+        let mut streamed = Vec::new();
+        while src.refill(&mut streamed) > 0 {}
+        assert!(src.error().is_none());
+        assert_eq!(streamed, ops);
+        assert_eq!(src.slots_used(), slots);
+    }
+
+    #[test]
+    fn streaming_import_surfaces_errors_after_exhaustion() {
+        let log = "malloc(8) = 0x10\nfree(0x10)\nfree(0x10)\n";
+        let mut src = ImportSource::new(log, ImportOptions::default());
+        let mut streamed = Vec::new();
+        while src.refill(&mut streamed) > 0 {}
+        assert!(!streamed.is_empty(), "valid prefix still streams");
+        assert_eq!(
+            src.take_error(),
+            Some(ImportError::UnknownPointer { line: 3, ptr: 0x10 })
+        );
     }
 
     #[test]

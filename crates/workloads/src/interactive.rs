@@ -9,8 +9,8 @@
 //! timebase; ratios, orderings, and per-epoch page counts are the
 //! comparable quantities.
 
-use crate::GeneratedWorkload;
-use morello_sim::{ObjId, Op, SimConfig, CYCLES_PER_SEC};
+use crate::{GeneratedWorkload, StreamedWorkload};
+use morello_sim::{ObjId, Op, OpSource, SimConfig, CYCLES_PER_SEC, OP_BATCH};
 use simtest::Rng;
 
 /// `pgbench` surrogate parameters.
@@ -123,14 +123,142 @@ pub fn pgbench(params: PgbenchParams) -> GeneratedWorkload {
         }
     }
 
-    let config = SimConfig::builder()
+    GeneratedWorkload { name: "pgbench".to_string(), ops, config: pgbench_config(params) }
+}
+
+/// The arrival interval (in cycles) for a `--rate` setting, shared by the
+/// generator and by harness code that re-derives per-rate configs from one
+/// generated op stream (the ops themselves are rate-independent).
+#[must_use]
+pub fn pgbench_tx_interval(rate: Option<f64>) -> Option<u64> {
+    rate.map(|r| (CYCLES_PER_SEC as f64 / r) as u64)
+}
+
+fn pgbench_config(params: PgbenchParams) -> SimConfig {
+    SimConfig::builder()
         .heap_len(64 << 20)
         .max_objects(2048)
         .min_quarantine(2 << 20) // 8 MiB / 4
-        .tx_interval(params.rate.map(|r| (CYCLES_PER_SEC as f64 / r) as u64))
+        .tx_interval(pgbench_tx_interval(params.rate))
         .build()
-        .expect("static workload config");
-    GeneratedWorkload { name: "pgbench".to_string(), ops, config }
+        .expect("static workload config")
+}
+
+/// The streaming form of [`pgbench`]: identical op stream and config, but
+/// the ops are regenerated lazily from the seed instead of materialized.
+#[must_use]
+pub fn pgbench_stream(params: PgbenchParams) -> StreamedWorkload<PgbenchSource> {
+    StreamedWorkload {
+        name: "pgbench".to_string(),
+        source: PgbenchSource::new(params),
+        config: pgbench_config(params),
+    }
+}
+
+/// Resumable state machine emitting [`pgbench`]'s op stream batch by
+/// batch: the pointer-rich table warmup first, then one transaction at a
+/// time with the same RNG call order as the materializing generator.
+#[derive(Debug, Clone)]
+pub struct PgbenchSource {
+    params: PgbenchParams,
+    rng: Rng,
+    wr_cursor: u64,
+    next_tx: u64,
+    warm: bool,
+}
+
+impl PgbenchSource {
+    /// Starts a fresh stream for `params`.
+    #[must_use]
+    pub fn new(params: PgbenchParams) -> Self {
+        PgbenchSource {
+            params,
+            rng: Rng::seed_from_u64(params.seed ^ 0x5bd1_e995),
+            wr_cursor: 0,
+            next_tx: 0,
+            warm: false,
+        }
+    }
+
+    fn emit_warmup(&mut self, ops: &mut Vec<Op>) {
+        let table_objs: Vec<ObjId> = (0..PG_TABLES as u64).collect();
+        let pages_per_table = PG_TABLE_BYTES / 4096;
+        for &t in &table_objs {
+            ops.push(Op::Alloc { obj: t, size: PG_TABLE_BYTES });
+            ops.push(Op::WriteData { obj: t, len: PG_TABLE_BYTES });
+        }
+        for &t in &table_objs {
+            for p in 0..pages_per_table {
+                let to = table_objs[((t + p * 7 + 3) as usize) % PG_TABLES];
+                ops.push(Op::LinkPtr { from: t, slot: p * PG_LINK_STRIDE, to });
+            }
+        }
+    }
+
+    fn emit_tx(&mut self, ops: &mut Vec<Op>) {
+        let table_objs: Vec<ObjId> = (0..PG_TABLES as u64).collect();
+        let pages_per_table = PG_TABLE_BYTES / 4096;
+        let tmp_base: ObjId = 1000;
+        let total_pages = PG_TABLES as u64 * pages_per_table;
+        let tx = self.next_tx;
+        self.next_tx += 1;
+
+        ops.push(Op::TxBegin { id: tx });
+        for stmt in 0..5u64 {
+            ops.push(Op::Compute { cycles: 25_000 });
+            let ti = self.rng.gen_range(0..PG_TABLES);
+            let t = table_objs[ti];
+            let slot = self.rng.gen_range(0..pages_per_table) * PG_LINK_STRIDE;
+            ops.push(Op::ChasePtr { from: t, slot });
+            ops.push(Op::ReadData { obj: t, len: 2048 });
+            if stmt >= 3 {
+                ops.push(Op::WriteData { obj: t, len: 512 });
+            }
+            ops.push(Op::ThinkIdle { cycles: 112_000 });
+        }
+        let t1 = tmp_base + (tx * 3) % 384;
+        let t2 = tmp_base + (tx * 3 + 1) % 384;
+        let t3 = tmp_base + (tx * 3 + 2) % 384;
+        ops.push(Op::Alloc { obj: t1, size: 64 << 10 });
+        ops.push(Op::WriteData { obj: t1, len: 64 << 10 });
+        ops.push(Op::Alloc { obj: t2, size: 64 << 10 });
+        ops.push(Op::Alloc { obj: t3, size: 40 << 10 });
+        ops.push(Op::LinkPtr { from: t1, slot: 0, to: t2 });
+        for _ in 0..128 {
+            let page_id = self.wr_cursor % total_pages;
+            self.wr_cursor += 1;
+            let from = table_objs[(page_id / pages_per_table) as usize];
+            let to = table_objs[self.rng.gen_range(0..PG_TABLES)];
+            ops.push(Op::LinkPtr {
+                from,
+                slot: (page_id % pages_per_table) * PG_LINK_STRIDE,
+                to,
+            });
+        }
+        ops.push(Op::Compute { cycles: 25_000 });
+        ops.push(Op::Free { obj: t3 });
+        ops.push(Op::Free { obj: t2 });
+        ops.push(Op::Free { obj: t1 });
+        ops.push(Op::TxEnd { id: tx });
+        ops.push(Op::ThinkIdle { cycles: 45_000 });
+        if tx % 500 == 499 {
+            ops.push(Op::SyscallHoard { obj: table_objs[(tx % PG_TABLES as u64) as usize] });
+        }
+    }
+}
+
+impl OpSource for PgbenchSource {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        let start = buf.len();
+        if !self.warm {
+            self.warm = true;
+            self.emit_warmup(buf);
+        }
+        while buf.len() - start < OP_BATCH && self.next_tx < self.params.transactions {
+            self.emit_tx(buf);
+        }
+        buf.len() - start
+    }
 }
 
 /// gRPC QPS surrogate parameters.
@@ -202,7 +330,11 @@ pub fn grpc_qps(params: GrpcParams) -> GeneratedWorkload {
         }
     }
 
-    let config = SimConfig::builder()
+    GeneratedWorkload { name: "gRPC QPS".to_string(), ops, config: grpc_config() }
+}
+
+fn grpc_config() -> SimConfig {
+    SimConfig::builder()
         .heap_len(32 << 20)
         .max_objects(2048)
         .min_quarantine(1 << 20)
@@ -215,8 +347,96 @@ pub fn grpc_qps(params: GrpcParams) -> GeneratedWorkload {
         .tx_interval(800_000)
         .latency_from_arrival(true)
         .build()
-        .expect("static workload config");
-    GeneratedWorkload { name: "gRPC QPS".to_string(), ops, config }
+        .expect("static workload config")
+}
+
+/// The streaming form of [`grpc_qps`]: identical op stream and config,
+/// regenerated lazily from the seed.
+#[must_use]
+pub fn grpc_stream(params: GrpcParams) -> StreamedWorkload<GrpcSource> {
+    StreamedWorkload {
+        name: "gRPC QPS".to_string(),
+        source: GrpcSource::new(params),
+        config: grpc_config(),
+    }
+}
+
+/// Resumable state machine emitting [`grpc_qps`]'s op stream batch by
+/// batch with the same RNG call order as the materializing generator.
+#[derive(Debug, Clone)]
+pub struct GrpcSource {
+    params: GrpcParams,
+    rng: Rng,
+    next_msg: u64,
+    warm: bool,
+}
+
+impl GrpcSource {
+    /// Starts a fresh stream for `params`.
+    #[must_use]
+    pub fn new(params: GrpcParams) -> Self {
+        GrpcSource {
+            params,
+            rng: Rng::seed_from_u64(params.seed ^ 0xc2b2_ae35),
+            next_msg: 0,
+            warm: false,
+        }
+    }
+
+    fn emit_warmup(&mut self, ops: &mut Vec<Op>) {
+        let channels: Vec<ObjId> = (0..GRPC_CHANNELS as u64).collect();
+        let pages_per_channel = GRPC_CHANNEL_BYTES / 4096;
+        for &c in &channels {
+            ops.push(Op::Alloc { obj: c, size: GRPC_CHANNEL_BYTES });
+            ops.push(Op::WriteData { obj: c, len: GRPC_CHANNEL_BYTES });
+        }
+        for &c in &channels {
+            for p in 0..pages_per_channel {
+                let to = channels[((c + p * 3 + 1) as usize) % GRPC_CHANNELS];
+                ops.push(Op::LinkPtr { from: c, slot: p * GRPC_LINK_STRIDE, to });
+            }
+        }
+    }
+
+    fn emit_msg(&mut self, ops: &mut Vec<Op>) {
+        let channels: Vec<ObjId> = (0..GRPC_CHANNELS as u64).collect();
+        let pages_per_channel = GRPC_CHANNEL_BYTES / 4096;
+        let msg_base: ObjId = 100;
+        let m = self.next_msg;
+        self.next_msg += 1;
+
+        ops.push(Op::TxBegin { id: m });
+        ops.push(Op::Compute { cycles: 200_000 });
+        let buf = msg_base + m % 512;
+        let size = self.rng.gen_range(8 << 10..16 << 10);
+        ops.push(Op::Alloc { obj: buf, size });
+        ops.push(Op::WriteData { obj: buf, len: size });
+        let ch = channels[self.rng.gen_range(0..GRPC_CHANNELS)];
+        let slot = self.rng.gen_range(0..pages_per_channel) * GRPC_LINK_STRIDE;
+        ops.push(Op::LinkPtr { from: ch, slot, to: buf });
+        ops.push(Op::ChasePtr { from: ch, slot });
+        ops.push(Op::Compute { cycles: 200_000 });
+        ops.push(Op::Free { obj: buf });
+        ops.push(Op::TxEnd { id: m });
+        ops.push(Op::ThinkIdle { cycles: 20_000 });
+        if m % 1000 == 999 {
+            ops.push(Op::SyscallHoard { obj: ch });
+        }
+    }
+}
+
+impl OpSource for GrpcSource {
+    fn refill(&mut self, buf: &mut Vec<Op>) -> usize {
+        let start = buf.len();
+        if !self.warm {
+            self.warm = true;
+            self.emit_warmup(buf);
+        }
+        while buf.len() - start < OP_BATCH && self.next_msg < self.params.messages {
+            self.emit_msg(buf);
+        }
+        buf.len() - start
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +503,20 @@ mod tests {
         let a = pgbench(PgbenchParams::default());
         let b = pgbench(PgbenchParams::default());
         assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn streaming_sources_match_materialized_generators() {
+        let pp = PgbenchParams { transactions: 700, rate: Some(900.0), seed: 11 };
+        let sw = pgbench_stream(pp);
+        let mw = pgbench(pp);
+        assert_eq!(sw.name, mw.name);
+        assert_eq!(sw.config.tx_interval(), mw.config.tx_interval());
+        assert_eq!(sw.source.collect_ops(), mw.ops);
+
+        let gp = GrpcParams { messages: 900, seed: 5 };
+        let sw = grpc_stream(gp);
+        let mw = grpc_qps(gp);
+        assert_eq!(sw.source.collect_ops(), mw.ops);
     }
 }

@@ -36,12 +36,18 @@ mod filecopy;
 mod import;
 mod interactive;
 mod spec;
+mod stream;
 
-pub use churn::{ChurnProfile, SizeDist};
-pub use filecopy::{file_copy, FileCopyParams};
-pub use import::{import_malloc_log, ImportError, ImportOptions};
-pub use interactive::{grpc_qps, pgbench, GrpcParams, PgbenchParams};
-pub use spec::{spec, SpecProgram, SPEC_PROGRAMS};
+pub use churn::{ChurnProfile, ChurnSource, SizeDist};
+pub use filecopy::{file_copy, file_copy_stream, FileCopyParams, FileCopySource};
+pub use import::{import_malloc_log, ImportError, ImportOptions, ImportSource};
+pub use interactive::{
+    grpc_qps, grpc_stream, pgbench, pgbench_stream, pgbench_tx_interval, GrpcParams, GrpcSource,
+    PgbenchParams, PgbenchSource,
+};
+pub use morello_sim::OpSource;
+pub use spec::{spec, spec_stream, spec_stream_scaled, SpecProgram, SPEC_PROGRAMS};
+pub use stream::{count_ops, scaled_keep, SliceSource, Truncated};
 
 use morello_sim::{Op, SimConfig};
 
@@ -79,5 +85,32 @@ impl GeneratedWorkload {
         self.ops.truncate(end);
         // Drop trailing ops that reference objects but keep frees balanced:
         // the simulator tolerates leaks, so truncation is safe.
+    }
+}
+
+/// A workload whose ops are produced lazily by an [`OpSource`] instead of
+/// a materialized vector: the streaming twin of [`GeneratedWorkload`].
+/// Resident memory is one batch buffer plus generator state (a few KiB)
+/// rather than the whole op stream (tens of MiB for the big SPEC rows).
+#[derive(Debug, Clone)]
+pub struct StreamedWorkload<S> {
+    /// Workload name (figure row label).
+    pub name: String,
+    /// The lazy op stream.
+    pub source: S,
+    /// Simulator configuration tuned for this workload.
+    pub config: SimConfig,
+}
+
+impl<S: OpSource> StreamedWorkload<S> {
+    /// Drains the stream into a [`GeneratedWorkload`] (the materialized
+    /// form; the two run bit-identically under the simulator).
+    #[must_use]
+    pub fn materialize(self) -> GeneratedWorkload {
+        GeneratedWorkload {
+            name: self.name,
+            ops: self.source.collect_ops(),
+            config: self.config,
+        }
     }
 }

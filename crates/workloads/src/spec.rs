@@ -9,8 +9,9 @@
 //! omnetpp, and xalancbmk are "pointer-chase-heavy"; bzip2 and sjeng
 //! never engage revocation).
 
-use crate::churn::{ChurnProfile, SizeDist};
-use crate::{GeneratedWorkload, MEM_SCALE};
+use crate::churn::{ChurnProfile, ChurnSource, SizeDist};
+use crate::stream::{count_ops, scaled_keep, Truncated};
+use crate::{GeneratedWorkload, StreamedWorkload, MEM_SCALE};
 use morello_sim::SimConfig;
 
 /// The eight CHERI-compatible SPEC CPU2006 INT workloads (named workload
@@ -237,14 +238,47 @@ impl SpecProgram {
 pub fn spec(program: SpecProgram, seed: u64) -> GeneratedWorkload {
     let profile = program.profile();
     let ops = profile.generate(seed);
+    let config = spec_config(&profile);
+    GeneratedWorkload { name: profile.name.to_string(), ops, config }
+}
+
+fn spec_config(profile: &ChurnProfile) -> SimConfig {
     let arena = ((profile.target_heap * 4).max(8 << 20)).next_multiple_of(1 << 16);
-    let config = SimConfig::builder()
+    SimConfig::builder()
         .heap_len(arena)
         .max_objects(profile.max_objects())
         .min_quarantine((8 << 20) / MEM_SCALE)
         .build()
-        .expect("profile-derived config");
-    GeneratedWorkload { name: profile.name.to_string(), ops, config }
+        .expect("profile-derived config")
+}
+
+/// The streaming form of [`spec`]: identical op stream and config, with
+/// the ops regenerated lazily from the profile's RNG schedule.
+#[must_use]
+pub fn spec_stream(program: SpecProgram, seed: u64) -> StreamedWorkload<ChurnSource> {
+    let profile = program.profile();
+    let config = spec_config(&profile);
+    StreamedWorkload { name: profile.name.to_string(), source: profile.source(seed), config }
+}
+
+/// [`spec_stream`] truncated exactly as `GeneratedWorkload::scale_churn`
+/// would truncate the materialized vector, without materializing it: a
+/// counting pass over a second identically-seeded source sizes the
+/// stream, then the replay is cut at the same whole-transaction boundary.
+#[must_use]
+pub fn spec_stream_scaled(
+    program: SpecProgram,
+    seed: u64,
+    fraction: f64,
+) -> StreamedWorkload<Truncated<ChurnSource>> {
+    let w = spec_stream(program, seed);
+    let mut counter = program.profile().source(seed);
+    let keep = scaled_keep(count_ops(&mut counter), fraction);
+    StreamedWorkload {
+        name: w.name,
+        source: Truncated::new(w.source, keep),
+        config: w.config,
+    }
 }
 
 #[cfg(test)]

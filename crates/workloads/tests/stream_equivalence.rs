@@ -1,0 +1,110 @@
+//! Property tests pinning the streaming generators to their materializing
+//! oracles: for every workload family, the [`OpSource`] regenerated from a
+//! seed must emit op-for-op the same stream the original `Vec<Op>`
+//! generator produces, across random seeds, sizes, and `REPRO_SCALE`-style
+//! truncation fractions.
+//!
+//! The per-file unit tests check a handful of hand-picked seeds; these
+//! properties walk the seed space, so a generator whose streaming twin
+//! drifts on *any* RNG path fails here first.
+
+use simtest::check::{Gen, GenExt};
+use simtest::{sim_assert, sim_assert_eq};
+use workloads::{
+    file_copy, file_copy_stream, grpc_qps, grpc_stream, pgbench, pgbench_stream, scaled_keep, spec,
+    spec_stream, spec_stream_scaled, FileCopyParams, GeneratedWorkload, GrpcParams, OpSource,
+    PgbenchParams, Truncated, SPEC_PROGRAMS,
+};
+
+/// A truncation fraction in [0, 1], dense near the interesting edges.
+fn fraction_strategy() -> impl Gen<Value = f64> {
+    (0u32..=1000).gmap(|n| f64::from(n) / 1000.0)
+}
+
+simtest::props! {
+    #![config(simtest::Config { cases: 32, ..Default::default() })]
+
+    /// Every SPEC profile's churn stream matches its materialized oracle
+    /// for arbitrary seeds.
+    fn spec_stream_matches_oracle(seed in 0u64..1_000_000, idx in 0usize..11) {
+        let program = SPEC_PROGRAMS[idx % SPEC_PROGRAMS.len()];
+        let oracle = spec(program, seed);
+        let streamed = spec_stream(program, seed);
+        sim_assert_eq!(streamed.name, oracle.name);
+        sim_assert_eq!(streamed.source.collect_ops(), oracle.ops);
+    }
+
+    /// `spec_stream_scaled` cuts exactly where `scale_churn` cuts the
+    /// materialized vector (for churn streams that is usually "nowhere" —
+    /// they carry no transactions — which must hold on both sides too).
+    fn spec_scaled_stream_matches_scale_churn(
+        seed in 0u64..1_000_000,
+        idx in 0usize..11,
+        fraction in fraction_strategy(),
+    ) {
+        let program = SPEC_PROGRAMS[idx % SPEC_PROGRAMS.len()];
+        let mut oracle = spec(program, seed);
+        oracle.scale_churn(fraction);
+        let streamed = spec_stream_scaled(program, seed, fraction);
+        sim_assert_eq!(streamed.source.collect_ops(), oracle.ops);
+    }
+
+    /// pgbench streams match across seeds, sizes, and arrival rates; the
+    /// rate must not perturb the op stream (it only tunes the config).
+    fn pgbench_stream_matches_oracle(
+        seed in 0u64..1_000_000,
+        transactions in 1u64..400,
+        rate_millis in 0u64..3,
+    ) {
+        let rate = match rate_millis {
+            0 => None,
+            r => Some(r as f64 * 800.0),
+        };
+        let params = PgbenchParams { transactions, rate, seed };
+        let oracle = pgbench(params);
+        let streamed = pgbench_stream(params);
+        sim_assert_eq!(streamed.config.tx_interval(), oracle.config.tx_interval());
+        sim_assert_eq!(streamed.source.collect_ops(), oracle.ops);
+    }
+
+    /// gRPC streams match across seeds and message counts.
+    fn grpc_stream_matches_oracle(seed in 0u64..1_000_000, messages in 1u64..600) {
+        let params = GrpcParams { messages, seed };
+        let oracle = grpc_qps(params);
+        let streamed = grpc_stream(params);
+        sim_assert_eq!(streamed.source.collect_ops(), oracle.ops);
+    }
+
+    /// File-copy streams match across seeds and file counts.
+    fn filecopy_stream_matches_oracle(seed in 0u64..1_000_000, files in 1u64..300) {
+        let params = FileCopyParams { files, seed };
+        let oracle = file_copy(params);
+        let streamed = file_copy_stream(params);
+        sim_assert_eq!(streamed.source.collect_ops(), oracle.ops);
+    }
+
+    /// `Truncated` over a regenerated stream reproduces `scale_churn` on
+    /// the materialized vector for any fraction, on a stream that *does*
+    /// carry transactions (pgbench), so the extend-to-TxEnd path is hit.
+    fn truncated_stream_matches_scale_churn(
+        seed in 0u64..1_000_000,
+        transactions in 1u64..200,
+        fraction in fraction_strategy(),
+    ) {
+        let params = PgbenchParams { transactions, rate: None, seed };
+        let full = pgbench(params);
+        let mut oracle = GeneratedWorkload {
+            name: full.name.clone(),
+            ops: full.ops.clone(),
+            config: full.config.clone(),
+        };
+        oracle.scale_churn(fraction);
+        let keep = scaled_keep(full.ops.len(), fraction);
+        let streamed = Truncated::new(pgbench_stream(params).source, keep).collect_ops();
+        sim_assert!(
+            fraction >= 1.0 || streamed.len() <= full.ops.len(),
+            "truncation never grows the stream"
+        );
+        sim_assert_eq!(streamed, oracle.ops);
+    }
+}

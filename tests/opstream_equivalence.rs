@@ -1,0 +1,58 @@
+//! End-to-end check of the streaming op pipeline through the facade
+//! crate: `System::run_stream` over a regenerated [`OpSource`] must
+//! produce `RunStats` equal to `System::run` over the materialized
+//! `Vec<Op>`, for every revocation condition. This is the whole-system
+//! version of the per-generator equivalence tests in `workloads` — it
+//! exercises the batched dispatch (`exec_batch` fusion) against the
+//! one-op-at-a-time semantics on real workload shapes.
+
+use cornucopia_reloaded::morello_sim::{Condition, System};
+use cornucopia_reloaded::workloads::{
+    pgbench, pgbench_stream, spec, spec_stream, PgbenchParams, SpecProgram,
+};
+
+#[test]
+fn streamed_spec_run_matches_materialized_run_under_all_conditions() {
+    let conditions = [
+        Condition::baseline(),
+        Condition::paint_sync(),
+        Condition::cherivoke(),
+        Condition::cornucopia(),
+        Condition::reloaded(),
+    ];
+    for cond in conditions {
+        let mat = spec(SpecProgram::Bzip2, 77);
+        let materialized = System::new(mat.config.with_condition(cond))
+            .run(mat.ops)
+            .expect("materialized run")
+            .into_stats();
+
+        let sw = spec_stream(SpecProgram::Bzip2, 77);
+        let mut source = sw.source;
+        let streamed = System::new(sw.config.with_condition(cond))
+            .run_stream(&mut source)
+            .expect("streamed run")
+            .into_stats();
+
+        assert_eq!(streamed, materialized, "condition {}", cond.label());
+    }
+}
+
+#[test]
+fn streamed_pgbench_run_matches_materialized_run() {
+    let params = PgbenchParams { transactions: 400, rate: Some(1200.0), seed: 9 };
+    let mat = pgbench(params);
+    let materialized = System::new(mat.config.with_condition(Condition::reloaded()))
+        .run(mat.ops)
+        .expect("materialized run")
+        .into_stats();
+
+    let sw = pgbench_stream(params);
+    let mut source = sw.source;
+    let streamed = System::new(sw.config.with_condition(Condition::reloaded()))
+        .run_stream(&mut source)
+        .expect("streamed run")
+        .into_stats();
+
+    assert_eq!(streamed, materialized);
+}

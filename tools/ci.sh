@@ -39,6 +39,9 @@ SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench micro
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench sweep
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench hotpath
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench matrix
+# The opstream smoke asserts the streaming pipeline's RunStats digest
+# equals the materialized path's, condition for condition.
+SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench opstream
 
 echo "== matrix smoke (parallel orchestrator) =="
 # 1. Byte-identity: the same smoke matrix at 1 and 4 workers must render
