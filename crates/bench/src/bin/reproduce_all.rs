@@ -2,29 +2,139 @@
 //! studies and shape checks — and writes `EXPERIMENTS.md` at the workspace
 //! root (or the path given as the first argument).
 //!
-//! Honours `REPRO_SCALE` (workload fraction, default 1.0) and
-//! `REPRO_REPS` (repetitions, default 2). A full run takes a few minutes
-//! in `--release`.
+//! ```text
+//! reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N]
+//! ```
+//!
+//! The whole matrix — all four suites — expands into **one global job
+//! list** drained by the parallel, fault-isolated orchestrator, so
+//! cross-suite cells interleave on the worker pool and a single
+//! `--checkpoint` covers the entire regeneration: an interrupted run
+//! resumes exactly where it stopped, across suite boundaries. The
+//! checkpoint may also be a directory produced by sharded `run_matrix`
+//! processes (`--shard`/`--spawn`) — cell keys are topology-agnostic, so
+//! a cluster can pre-fill the checkpoint and this binary just merges and
+//! renders. Cells that fail both attempts are isolated as typed failure
+//! records, written to `repro/<key>.json` for replay, and marked in the
+//! shape-check section rather than aborting the run.
+//!
+//! Honours `REPRO_SCALE` (workload fraction, default 1.0), `REPRO_REPS`
+//! (repetitions, default 2), and `REPRO_JOBS` (worker threads, CLI
+//! `--jobs` wins). A full run takes a few minutes in `--release`.
 
-use rev_bench::harness::{grpc_suite, pgbench_rate_suite, pgbench_suite, spec_suite, Scale, CONDITIONS};
+use rev_bench::harness::Scale;
+use rev_bench::orchestrator::{self, RunOptions};
 use rev_bench::{ablations, figures};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
+struct Cli {
+    out: String,
+    checkpoint: Option<PathBuf>,
+    compact: bool,
+    jobs: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N]");
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        out: "EXPERIMENTS.md".to_string(),
+        checkpoint: None,
+        compact: false,
+        jobs: None,
+    };
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => {
+                cli.checkpoint = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--compact" => cli.compact = true,
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && positional == 0 => {
+                cli.out = other.to_string();
+                positional += 1;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+    let cli = parse_cli();
+    if cli.compact && cli.checkpoint.is_none() {
+        eprintln!("error: --compact requires --checkpoint PATH");
+        usage();
+    }
     let scale = Scale::from_env();
     let t0 = Instant::now();
-    eprintln!("reproduce_all: scale={:.3} reps={}", scale.fraction, scale.reps);
 
-    eprintln!("== SPEC CPU2006 suite ==");
-    let spec = spec_suite(&CONDITIONS, scale);
-    eprintln!("== pgbench suite ==");
-    let pg = pgbench_suite(&CONDITIONS, scale);
-    eprintln!("== pgbench rate schedules ==");
-    let rates = pgbench_rate_suite(&[Some(800.0), Some(1200.0), Some(2000.0), None], scale);
-    eprintln!("== gRPC QPS suite ==");
-    let grpc = grpc_suite(scale);
+    if cli.compact {
+        let path = cli.checkpoint.as_deref().expect("checked above");
+        match orchestrator::compact_checkpoint(path) {
+            Ok((kept, dropped)) => eprintln!(
+                "reproduce_all: compacted checkpoint {} ({kept} kept, {dropped} dropped)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: compacting {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // One global job list: a single checkpoint spans every suite, and the
+    // pool never drains between suites.
+    let jobs = orchestrator::expand_all(scale);
+    let mut opts = RunOptions::from_env();
+    if let Some(jobs_override) = cli.jobs {
+        opts.workers = jobs_override;
+    }
+    opts.checkpoint = cli.checkpoint.clone();
+    opts.repro_dir = Some(PathBuf::from("repro"));
+    eprintln!(
+        "reproduce_all: {} job(s), {} worker(s), scale={:.3} reps={}{}",
+        jobs.len(),
+        opts.workers.clamp(1, jobs.len().max(1)),
+        scale.fraction,
+        scale.reps,
+        cli.checkpoint
+            .as_deref()
+            .map(|p| format!(", checkpoint {}", p.display()))
+            .unwrap_or_default(),
+    );
+
+    let outcome = orchestrator::run(&jobs, &opts);
+    eprintln!(
+        "reproduce_all: {} cell(s) ran, {} resumed from checkpoint, {} failed ({:.1?})",
+        outcome.completed,
+        outcome.resumed,
+        outcome.failures.len(),
+        t0.elapsed()
+    );
+    let empty = rev_bench::harness::Suite::default();
+    let suite_of = |kind: &str| outcome.suites.get(kind).unwrap_or(&empty);
+    let spec = suite_of("spec");
+    let pg = suite_of("pgbench");
+    let rates = suite_of("pgbench-rates");
+    let grpc = suite_of("grpc");
 
     let mut doc = String::new();
     doc.push_str("# EXPERIMENTS — paper vs. measured\n\n");
@@ -39,17 +149,17 @@ fn main() {
     ));
 
     for section in [
-        figures::fig1_spec_wall(&spec),
-        figures::fig2_cpu_time(&spec),
-        figures::fig3_peak_rss(&spec),
-        figures::fig4_bus_traffic(&spec),
-        figures::fig5_pgbench_time(&pg),
-        figures::fig6_pgbench_bus(&pg),
-        figures::fig7_pgbench_cdf(&pg),
-        figures::fig8_grpc_latency(&grpc),
-        figures::fig9_phase_times(&spec, &pg, &grpc),
-        figures::table1_rates(&rates),
-        figures::table2_revocation_rates(&spec, &pg, &grpc),
+        figures::fig1_spec_wall(spec),
+        figures::fig2_cpu_time(spec),
+        figures::fig3_peak_rss(spec),
+        figures::fig4_bus_traffic(spec),
+        figures::fig5_pgbench_time(pg),
+        figures::fig6_pgbench_bus(pg),
+        figures::fig7_pgbench_cdf(pg),
+        figures::fig8_grpc_latency(grpc),
+        figures::fig9_phase_times(spec, pg, grpc),
+        figures::table1_rates(rates),
+        figures::table2_revocation_rates(spec, pg, grpc),
     ] {
         doc.push_str(&section);
         doc.push('\n');
@@ -71,22 +181,31 @@ fn main() {
         doc.push('\n');
     }
 
-    doc.push_str(&figures::shape_report(&spec, &pg, &grpc));
+    doc.push_str(&figures::shape_report_checked(spec, pg, grpc, &outcome.failures));
+    doc.push('\n');
+    doc.push_str(&figures::failure_report(&outcome.failures));
     doc.push_str(&format!("\n_Total harness wall time: {:.1?}._\n", t0.elapsed()));
 
     print!("{doc}");
-    let mut f = std::fs::File::create(&out_path).expect("create EXPERIMENTS.md");
-    f.write_all(doc.as_bytes()).expect("write EXPERIMENTS.md");
-    eprintln!("reproduce_all: wrote {out_path} in {:.1?}", t0.elapsed());
+    let mut f = std::fs::File::create(&cli.out)
+        .unwrap_or_else(|e| panic!("create {}: {e}", cli.out));
+    f.write_all(doc.as_bytes()).expect("write report");
+    eprintln!("reproduce_all: wrote {} in {:.1?}", cli.out, t0.elapsed());
 
-    let failed: Vec<String> = figures::shape_checks(&spec, &pg, &grpc)
+    for failure in &outcome.failures {
+        eprintln!(
+            "WARNING: cell {} ({}) failed after {} attempts: {}",
+            failure.job_id, failure.key, failure.attempts, failure.message
+        );
+    }
+    let violated: Vec<String> = figures::shape_checks_checked(spec, pg, grpc, &outcome.failures)
         .into_iter()
-        .filter(|(_, held)| !held)
+        .filter(|(_, status)| *status == figures::ClaimStatus::Violated)
         .map(|(claim, _)| claim)
         .collect();
-    if !failed.is_empty() {
-        eprintln!("WARNING: {} shape check(s) violated:", failed.len());
-        for c in failed {
+    if !violated.is_empty() {
+        eprintln!("WARNING: {} shape check(s) violated:", violated.len());
+        for c in violated {
             eprintln!("  - {c}");
         }
         std::process::exit(1);

@@ -1,41 +1,63 @@
 //! Runs the full evaluation matrix on the parallel, fault-isolated
 //! orchestrator and writes one Markdown report.
 //!
-//! Unlike `reproduce_all` (which runs suite-by-suite), this binary
-//! expands every requested suite into a single job list and drains it on
-//! one worker pool, so a wide machine keeps every core busy across suite
-//! boundaries. Progress/ETA lines go to stderr only: the report file is
-//! byte-identical for any worker count.
+//! Unlike the per-figure binaries, this one expands every requested suite
+//! into a single job list and drains it on one worker pool, so a wide
+//! machine keeps every core busy across suite boundaries. Progress/ETA
+//! lines go to stderr only: the report file is byte-identical for any
+//! worker count, shard topology, or process count.
 //!
 //! ```text
 //! run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]
+//!            [--shard K/N] [--spawn N] [--only SUBSTR] [--repro-dir DIR]
 //!            [--smoke] [--strict] [--suites spec,pgbench,pgbench-rates,grpc]
 //! ```
 //!
 //! Honours `REPRO_SCALE`, `REPRO_REPS`, `REPRO_JOBS` (CLI `--jobs`
 //! wins), and the fault-injection hook `REPRO_INJECT_PANIC`. With
-//! `--checkpoint`, completed cells are appended to the file as they
-//! finish and replayed on the next invocation, so an interrupted sweep
-//! resumes instead of restarting. `--compact` rewrites the checkpoint in
-//! place before the run — last write per cell wins, torn tails from a
-//! crash are dropped — so long resume chains stop growing the file.
+//! `--checkpoint`, completed cells are appended as they finish and
+//! replayed on the next invocation, so an interrupted sweep resumes
+//! instead of restarting. `--compact` rewrites the checkpoint in place
+//! before the run — last write per cell wins, torn tails from a crash
+//! are dropped — so long resume chains stop growing the file.
+//!
+//! # Scale-out
+//!
+//! `--shard K/N` runs one shard of the matrix (`job_id % N == K`) in
+//! this process, appending to a shared checkpoint *directory*; run the
+//! other shards on other processes or machines against the same
+//! directory, then merge with a final unsharded invocation (which
+//! resumes every cell and writes the report). A shard invocation that
+//! happens to settle every cell — e.g. the last of a hand-run sequence —
+//! writes the merged report itself. `--spawn N` is the single-machine
+//! convenience: it forks N child processes of this binary (one per
+//! shard), aggregates their progress into one ETA line, and performs the
+//! merge when they finish. Either way the report is byte-identical to a
+//! serial run.
+//!
+//! Cells that fail both attempts are recorded under `--repro-dir`
+//! (default `repro/`) as `<key>.json` files whose `replay` field is a
+//! ready-to-run `run_matrix --suites ... --only <key>` command.
 
-use rev_bench::harness::{Scale, Suite, CONDITIONS};
+use rev_bench::harness::{Scale, Suite, CONDITIONS, RATE_SCHEDULE};
 use rev_bench::orchestrator::{
     self, expand_grpc, expand_pgbench, expand_pgbench_rates, expand_spec, JobSpec, RunOptions,
+    Shard,
 };
 use rev_bench::{ablations, figures};
-use std::io::Write as _;
+use std::io::{BufRead as _, IsTerminal as _, Write as _};
+use std::path::PathBuf;
 use std::time::Instant;
-
-/// Table 1's arrival-rate schedule (matches `reproduce_all`).
-const RATES: [Option<f64>; 4] = [Some(800.0), Some(1200.0), Some(2000.0), None];
 
 struct Cli {
     out: String,
-    checkpoint: Option<std::path::PathBuf>,
+    checkpoint: Option<PathBuf>,
     compact: bool,
     jobs: Option<usize>,
+    shard: Shard,
+    spawn: Option<usize>,
+    only: Option<String>,
+    repro_dir: PathBuf,
     smoke: bool,
     strict: bool,
     suites: Vec<String>,
@@ -44,8 +66,10 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N] [--smoke]\n\
-         \x20                 [--strict] [--suites spec,pgbench,pgbench-rates,grpc] [--ablations]"
+        "usage: run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]\n\
+         \x20                 [--shard K/N] [--spawn N] [--only SUBSTR] [--repro-dir DIR]\n\
+         \x20                 [--smoke] [--strict] [--suites spec,pgbench,pgbench-rates,grpc]\n\
+         \x20                 [--ablations]"
     );
     std::process::exit(2)
 }
@@ -56,6 +80,10 @@ fn parse_cli() -> Cli {
         checkpoint: None,
         compact: false,
         jobs: None,
+        shard: Shard::default(),
+        spawn: None,
+        only: None,
+        repro_dir: PathBuf::from("repro"),
         smoke: false,
         strict: false,
         suites: vec![
@@ -67,6 +95,10 @@ fn parse_cli() -> Cli {
         ablations: false,
     };
     let mut args = std::env::args().skip(1);
+    let fail = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => cli.out = args.next().unwrap_or_else(|| usage()),
@@ -76,10 +108,25 @@ fn parse_cli() -> Cli {
             "--compact" => cli.compact = true,
             "--jobs" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                }));
+                cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| fail(e)));
+            }
+            "--shard" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.shard = Shard::parse(&v).unwrap_or_else(|e| fail(e));
+            }
+            "--spawn" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n = v
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| fail(format!("--spawn {v:?}: expected a count ≥ 1")));
+                cli.spawn = Some(n);
+            }
+            "--only" => cli.only = Some(args.next().unwrap_or_else(|| usage())),
+            "--repro-dir" => {
+                cli.repro_dir = args.next().unwrap_or_else(|| usage()).into();
             }
             "--smoke" => cli.smoke = true,
             "--strict" => cli.strict = true,
@@ -98,10 +145,153 @@ fn parse_cli() -> Cli {
     cli
 }
 
+fn expand_suites(cli: &Cli, scale: Scale) -> Vec<JobSpec> {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for suite in &cli.suites {
+        match suite.as_str() {
+            "spec" => jobs.extend(expand_spec(&CONDITIONS, scale)),
+            "pgbench" => jobs.extend(expand_pgbench(&CONDITIONS, scale)),
+            "pgbench-rates" => jobs.extend(expand_pgbench_rates(&RATE_SCHEDULE, scale)),
+            "grpc" => jobs.extend(expand_grpc(scale)),
+            other => {
+                eprintln!("error: unknown suite {other:?} (spec, pgbench, pgbench-rates, grpc)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(needle) = &cli.only {
+        jobs.retain(|j| j.key().contains(needle.as_str()));
+        if jobs.is_empty() {
+            eprintln!("error: --only {needle:?} matches no cell in the selected suites");
+            std::process::exit(2);
+        }
+    }
+    jobs
+}
+
+/// Forks one `run_matrix --shard K/N` child per shard against the shared
+/// checkpoint directory and folds their stderr into a single aggregated
+/// ETA line (per-cell `[shard K/N]` lines are consumed; everything else
+/// is passed through with the shard prefix). Returns true when every
+/// child exited cleanly; the caller's merge run re-executes whatever a
+/// crashed child left behind either way.
+fn spawn_shards(cli: &Cli, checkpoint: &std::path::Path, n: usize, workers: usize, total: usize) -> bool {
+    let exe = std::env::current_exe().expect("current_exe for --spawn");
+    let child_jobs = (workers / n).max(1);
+    let started = Instant::now();
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let single_line = std::io::stderr().is_terminal();
+    eprintln!(
+        "run_matrix: spawning {n} shard process(es) ({child_jobs} worker(s) each) on {}",
+        checkpoint.display()
+    );
+
+    let mut children = Vec::new();
+    for k in 0..n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--shard")
+            .arg(format!("{k}/{n}"))
+            .arg("--checkpoint")
+            .arg(checkpoint)
+            .arg("--out")
+            .arg(checkpoint.join(format!("shard-{k}.md")))
+            .arg("--jobs")
+            .arg(child_jobs.to_string())
+            .arg("--suites")
+            .arg(cli.suites.join(","))
+            .arg("--repro-dir")
+            .arg(&cli.repro_dir)
+            .stderr(std::process::Stdio::piped());
+        if cli.smoke {
+            cmd.arg("--smoke");
+        }
+        if let Some(needle) = &cli.only {
+            cmd.arg("--only").arg(needle);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((k, child)),
+            Err(e) => {
+                eprintln!("run_matrix: WARNING: cannot spawn shard {k}/{n}: {e}");
+            }
+        }
+    }
+
+    let mut all_ok = !children.is_empty();
+    std::thread::scope(|scope| {
+        let counter = &counter;
+        let mut handles = Vec::new();
+        for (k, child) in &mut children {
+            let k = *k;
+            let stderr = child.stderr.take().expect("piped child stderr");
+            handles.push(scope.spawn(move || {
+                for line in std::io::BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim_start().starts_with("[shard ") || line.starts_with("  [shard ") {
+                        // One per-cell progress line from any shard ==
+                        // one more finished cell; replace the interleaved
+                        // stream with a single aggregate counter.
+                        let finished = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                        let elapsed = started.elapsed().as_secs_f64();
+                        let eta = if finished < total {
+                            format!(", ~{:.0}s left", elapsed / finished as f64 * (total - finished) as f64)
+                        } else {
+                            String::new()
+                        };
+                        let msg =
+                            format!("  [spawn] {finished}/{total} cells ({elapsed:.1}s elapsed{eta})");
+                        if single_line {
+                            eprint!("\r{msg}");
+                            let _ = std::io::stderr().flush();
+                        } else {
+                            eprintln!("{msg}");
+                        }
+                    } else if !line.is_empty() {
+                        if single_line && counter.load(std::sync::atomic::Ordering::Relaxed) > 0 {
+                            eprintln!();
+                        }
+                        eprintln!("  [shard {k}/{n}] {line}");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    if single_line && counter.load(std::sync::atomic::Ordering::Relaxed) > 0 {
+        eprintln!();
+    }
+    for (k, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!(
+                    "run_matrix: WARNING: shard {k}/{n} exited with {status}; \
+                     its cells will re-run in the merge"
+                );
+                all_ok = false;
+            }
+            Err(e) => {
+                eprintln!("run_matrix: WARNING: waiting for shard {k}/{n}: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    all_ok
+}
+
 fn main() {
     let cli = parse_cli();
     if cli.compact && cli.checkpoint.is_none() {
         eprintln!("error: --compact requires --checkpoint PATH");
+        usage();
+    }
+    if cli.shard.is_sharded() && cli.checkpoint.is_none() {
+        eprintln!("error: --shard requires --checkpoint PATH (shards merge through it)");
+        usage();
+    }
+    if cli.spawn.is_some() && cli.shard.is_sharded() {
+        eprintln!("error: --spawn and --shard are mutually exclusive (--spawn forks the shards)");
         usage();
     }
     let scale = if cli.smoke { Scale::smoke() } else { Scale::from_env() };
@@ -122,32 +312,55 @@ fn main() {
         }
     }
 
-    let mut jobs: Vec<JobSpec> = Vec::new();
-    for suite in &cli.suites {
-        match suite.as_str() {
-            "spec" => jobs.extend(expand_spec(&CONDITIONS, scale)),
-            "pgbench" => jobs.extend(expand_pgbench(&CONDITIONS, scale)),
-            "pgbench-rates" => jobs.extend(expand_pgbench_rates(&RATES, scale)),
-            "grpc" => jobs.extend(expand_grpc(scale)),
-            other => {
-                eprintln!("error: unknown suite {other:?} (spec, pgbench, pgbench-rates, grpc)");
-                std::process::exit(2);
-            }
-        }
-    }
+    let jobs = expand_suites(&cli, scale);
 
     let mut opts = RunOptions::from_env();
     if let Some(jobs_override) = cli.jobs {
         opts.workers = jobs_override;
     }
     opts.checkpoint = cli.checkpoint.clone();
+    opts.shard = cli.shard;
+    opts.repro_dir = Some(cli.repro_dir.clone());
+
+    // --spawn: fork the shards against a shared checkpoint directory,
+    // then fall through to a normal unsharded run over the same
+    // directory — it resumes everything the children completed, executes
+    // any stragglers locally, and renders the merged report.
+    let mut spawn_tmp: Option<PathBuf> = None;
+    if let Some(n) = cli.spawn {
+        let dir = cli.checkpoint.clone().unwrap_or_else(|| {
+            let dir = std::env::temp_dir()
+                .join(format!("run-matrix-spawn-{}", std::process::id()));
+            spawn_tmp = Some(dir.clone());
+            dir
+        });
+        if dir.is_file() {
+            eprintln!(
+                "error: --spawn needs a checkpoint *directory*, but {} is a file",
+                dir.display()
+            );
+            std::process::exit(2);
+        }
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create checkpoint directory {}: {e}", dir.display()));
+        spawn_shards(&cli, &dir, n, opts.workers, jobs.len());
+        opts.checkpoint = Some(dir);
+    }
+
+    let sharded = cli.shard.is_sharded();
     eprintln!(
-        "run_matrix: {} job(s), {} worker(s), scale={:.3} reps={}{}",
+        "run_matrix: {} job(s){}, {} worker(s), scale={:.3} reps={}{}",
         jobs.len(),
+        if sharded {
+            format!(" (shard {}/{} owns {})", cli.shard.index, cli.shard.count,
+                (0..jobs.len()).filter(|&i| cli.shard.owns(i)).count())
+        } else {
+            String::new()
+        },
         opts.workers.clamp(1, jobs.len().max(1)),
         scale.fraction,
         scale.reps,
-        cli.checkpoint
+        opts.checkpoint
             .as_deref()
             .map(|p| format!(", checkpoint {}", p.display()))
             .unwrap_or_default(),
@@ -155,12 +368,37 @@ fn main() {
 
     let outcome = orchestrator::run(&jobs, &opts);
     eprintln!(
-        "run_matrix: {} cell(s) ran, {} resumed from checkpoint, {} failed ({:.1?})",
+        "run_matrix: {} cell(s) ran, {} resumed from checkpoint, {} failed, {} left to \
+         other shards ({:.1?})",
         outcome.completed,
         outcome.resumed,
         outcome.failures.len(),
+        outcome.skipped,
         t0.elapsed()
     );
+
+    for failure in &outcome.failures {
+        eprintln!(
+            "run_matrix: FAILED cell {} ({}) after {} attempts: {}",
+            failure.job_id, failure.key, failure.attempts, failure.message
+        );
+    }
+
+    // A partial shard run holds only its own slice of the matrix: writing
+    // the report would bake in partial means. Leave that to the merge.
+    if !outcome.is_complete() {
+        eprintln!(
+            "run_matrix: shard run settled {}/{} cell(s); run the remaining shard(s) \
+             against this checkpoint, then merge with an unsharded run (no --shard) to \
+             write the report",
+            jobs.len() - outcome.skipped,
+            jobs.len()
+        );
+        if cli.strict && !outcome.failures.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let empty = Suite::default();
     let suite_of = |kind: &str| outcome.suites.get(kind).unwrap_or(&empty);
@@ -255,12 +493,12 @@ fn main() {
     f.write_all(doc.as_bytes()).expect("write report");
     eprintln!("run_matrix: wrote {} in {:.1?}", cli.out, t0.elapsed());
 
-    for failure in &outcome.failures {
-        eprintln!(
-            "run_matrix: FAILED cell {} ({}) after {} attempts: {}",
-            failure.job_id, failure.key, failure.attempts, failure.message
-        );
+    if let Some(dir) = spawn_tmp {
+        // The checkpoint was a private scratch directory for this spawn
+        // run; the merged report has everything it held.
+        let _ = std::fs::remove_dir_all(&dir);
     }
+
     if cli.strict && (!outcome.failures.is_empty() || strict_violations > 0) {
         eprintln!(
             "run_matrix: strict mode — {} failed cell(s), {} shape violation(s)",

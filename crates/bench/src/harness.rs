@@ -90,6 +90,12 @@ impl Scale {
     }
 }
 
+/// Table 1's pgbench arrival-rate schedule (x8-compressed timebase;
+/// `None` is the unscheduled row). One definition shared by
+/// `reproduce_all`, `run_matrix`, and the matrix benchmark so their job
+/// lists — and therefore their checkpoint keys — always agree.
+pub const RATE_SCHEDULE: [Option<f64>; 4] = [Some(800.0), Some(1200.0), Some(2000.0), None];
+
 /// The gRPC suite's conditions: CHERIvoke is excluded, mirroring the
 /// paper (§5.3: "a bug in our implementation... we are unable to obtain
 /// CHERIvoke results for this experiment").

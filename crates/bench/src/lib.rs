@@ -22,14 +22,19 @@
 //! | `fig9_phase_times` | Figure 9: revocation phase times |
 //! | `table1_pgbench_rates` | Table 1: latency vs fixed tx rates |
 //! | `table2_revocation_rates` | Table 2: revocation-rate statistics |
-//! | `reproduce_all` | Everything, into `EXPERIMENTS.md` |
-//! | `run_matrix` | The full matrix via the parallel orchestrator |
+//! | `reproduce_all` | Everything, into `EXPERIMENTS.md` (one global job list, resumable via `--checkpoint`) |
+//! | `run_matrix` | The full matrix via the parallel orchestrator (`--shard K/N` / `--spawn N` for multi-process runs) |
 //! | `ablation_*` | DESIGN.md's five ablation studies |
 //!
 //! The suite runners execute their matrices on a fault-isolated worker
 //! pool (see [`orchestrator`]); `REPRO_JOBS` picks the worker count and
 //! `REPRO_JOBS=1` recovers the serial path. Output is byte-identical
-//! either way.
+//! either way — including across process counts: shards of the matrix
+//! (`job_id % N`) append to per-shard files in a shared checkpoint
+//! directory and any later run merges them in deterministic job order,
+//! so an N-shard cluster run renders the same bytes as a laptop run.
+//! Cells that fail both attempts leave replayable `repro/<key>.json`
+//! files behind.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

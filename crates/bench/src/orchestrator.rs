@@ -12,23 +12,44 @@
 //!
 //! Fault isolation: every job runs under `catch_unwind` with one retry; a
 //! job that panics twice degrades into a typed [`JobFailure`] record in
-//! the final report instead of killing the whole sweep. A resumable
-//! checkpoint file (one `morello_sim::Json` object per line) lets an
+//! the final report instead of killing the whole sweep, and (when a repro
+//! directory is configured) into a `repro/<key>.json` file that
+//! `run_matrix --suites ... --only <key>` replays directly. A resumable
+//! checkpoint (one `morello_sim::Json` object per line) lets an
 //! interrupted sweep continue without re-running completed cells.
+//!
+//! # Multi-process sharding
+//!
+//! The worker pool is in-process threads; to scale past one process, a
+//! run can take a [`Shard`] identity `K/N`: it executes only the jobs
+//! with `job_id % N == K` and skips the rest, while **resume** stays
+//! global — any cell already in the checkpoint is replayed no matter
+//! which shard wrote it. Sharded runs require the checkpoint to be a
+//! *directory*: each shard appends to its own `shard-K-of-N.jsonl` file
+//! (headed by a shard-metadata line), so shards never contend on a file,
+//! and loading reads every `*.jsonl` in the directory. Because cell keys
+//! are topology-independent (`suite|workload|condition|seed`) and the
+//! final reduction is in job order, a checkpoint written by N shards
+//! replays under M shards or serially, and the merged output is
+//! byte-identical to the serial loops. The conventional merge step is
+//! simply an unsharded run over the same checkpoint directory: every
+//! completed cell resumes, stragglers (including cells whose shard
+//! failed) execute locally, and the job-order reduction produces the
+//! report.
 //!
 //! Environment knobs:
 //!
 //! | Variable | Meaning |
 //! |---|---|
-//! | `REPRO_JOBS` | Worker threads (`1` = serial; default: available parallelism) |
+//! | `REPRO_JOBS` | Worker threads per process (`1` = serial; default: available parallelism) |
 //! | `REPRO_INJECT_PANIC` | Fault-injection hook: jobs whose key contains this substring panic (CI uses it to prove isolation) |
 
-use crate::harness::{Scale, Suite, GRPC_CONDITIONS};
+use crate::harness::{Scale, Suite, CONDITIONS, GRPC_CONDITIONS, RATE_SCHEDULE};
 use morello_sim::{Condition, Json, RunStats, System};
 use std::collections::BTreeMap;
-use std::io::{BufRead as _, Write as _};
+use std::io::{BufRead as _, BufWriter, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -64,6 +85,63 @@ impl SuiteKind {
     }
 }
 
+/// A process's identity in a sharded run: this process executes exactly
+/// the jobs with `job_id % count == index`. The default `0/1` owns every
+/// job (unsharded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, `0 <= index < count`.
+    pub index: usize,
+    /// Total shard count.
+    pub count: usize,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+}
+
+impl Shard {
+    /// Parses a `K/N` shard spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed specs, `N == 0`, and `K >= N`, naming the value.
+    pub fn parse(spec: &str) -> Result<Shard, String> {
+        let (k, n) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("shard {spec:?}: expected K/N (e.g. 0/2)"))?;
+        let index = k
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("shard {spec:?}: K is not a number"))?;
+        let count = n
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("shard {spec:?}: N is not a number"))?;
+        if count == 0 {
+            return Err(format!("shard {spec:?}: N must be ≥ 1"));
+        }
+        if index >= count {
+            return Err(format!("shard {spec:?}: K must be < N"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard executes the job at `job_id`.
+    #[must_use]
+    pub fn owns(&self, job_id: usize) -> bool {
+        job_id % self.count == self.index
+    }
+
+    /// True when the run is split across more than one process.
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        self.count > 1
+    }
+}
+
 /// How a job regenerates its workload. Jobs carry generation parameters,
 /// not op streams: each worker generates its own ops, so expansion is
 /// cheap and nothing is shared across threads.
@@ -90,16 +168,54 @@ impl JobSpec {
         self.suite
     }
 
-    /// Unique, stable identity: checkpoint key, progress label, and the
-    /// target of `REPRO_INJECT_PANIC` substring matching.
+    /// The workload seed the cell regenerates from.
     #[must_use]
-    pub fn key(&self) -> String {
-        let seed = match &self.payload {
+    pub fn seed(&self) -> u64 {
+        match &self.payload {
             Payload::Spec { seed, .. }
             | Payload::Pgbench { seed, .. }
             | Payload::Grpc { seed, .. } => *seed,
-        };
+        }
+    }
+
+    /// Unique, stable identity: checkpoint key, progress label, and the
+    /// target of `REPRO_INJECT_PANIC` substring matching. Deliberately
+    /// independent of job *order*, so checkpoints written by any shard
+    /// topology or suite selection replay under any other.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let seed = self.seed();
         format!("{}|{}|{}|s{seed}", self.suite.label(), self.workload, self.condition.label())
+    }
+
+    /// Structured generation parameters for `repro/<key>.json` files:
+    /// everything needed to re-run exactly this cell. Fractions and rates
+    /// are rendered as strings because the checkpoint JSON dialect is
+    /// integer-only.
+    #[must_use]
+    fn payload_json(&self) -> Json {
+        match &self.payload {
+            Payload::Spec { program, seed, fraction } => Json::obj([
+                ("kind", Json::from("spec")),
+                ("program", Json::from(program.name())),
+                ("seed", Json::from(*seed)),
+                ("fraction", Json::Str(format!("{fraction}"))),
+            ]),
+            Payload::Pgbench { transactions, rate, seed } => Json::obj([
+                ("kind", Json::from("pgbench")),
+                ("transactions", Json::from(*transactions)),
+                (
+                    "rate",
+                    rate.map_or(Json::Null, |r| Json::Str(format!("{r}"))),
+                ),
+                ("seed", Json::from(*seed)),
+            ]),
+            Payload::Grpc { messages, seed } => Json::obj([
+                ("kind", Json::from("grpc")),
+                ("messages", Json::from(*messages)),
+                ("seed", Json::from(*seed)),
+            ]),
+        }
     }
 
     /// Runs the cell to completion. Panics on simulator error (exactly as
@@ -237,6 +353,21 @@ pub fn expand_grpc(scale: Scale) -> Vec<JobSpec> {
     jobs
 }
 
+/// Expands the entire evaluation — all four suites at the paper's
+/// conditions and Table 1 rate schedule — into one global job list, in
+/// the fixed order `spec, pgbench, pgbench-rates, grpc` (the order
+/// `reproduce_all` and `run_matrix`'s default suite selection use). One
+/// list means one checkpoint covers the whole EXPERIMENTS.md
+/// regeneration and cross-suite cells interleave on the same pool.
+#[must_use]
+pub fn expand_all(scale: Scale) -> Vec<JobSpec> {
+    let mut jobs = expand_spec(&CONDITIONS, scale);
+    jobs.extend(expand_pgbench(&CONDITIONS, scale));
+    jobs.extend(expand_pgbench_rates(&RATE_SCHEDULE, scale));
+    jobs.extend(expand_grpc(scale));
+    jobs
+}
+
 // ---------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------
@@ -260,14 +391,24 @@ pub struct JobFailure {
 pub struct RunOptions {
     /// Worker threads; `0` or `1` runs the jobs inline (serial).
     pub workers: usize,
-    /// Checkpoint file: completed cells are appended as they finish and
-    /// replayed (skipping execution) on the next run.
+    /// Checkpoint: completed cells are appended as they finish and
+    /// replayed (skipping execution) on the next run. A plain file in
+    /// unsharded runs; a *directory* of per-shard `*.jsonl` files when
+    /// the path is a directory or [`RunOptions::shard`] is sharded.
     pub checkpoint: Option<PathBuf>,
-    /// Emit per-job progress/ETA lines to stderr.
+    /// Emit per-job progress/ETA lines to stderr (prefixed `[shard K/N]`
+    /// in sharded runs).
     pub progress: bool,
     /// Test hook: jobs whose [`JobSpec::key`] contains this substring
     /// panic on every attempt.
     pub inject_panic: Option<String>,
+    /// This process's shard identity; the default `0/1` executes every
+    /// pending job.
+    pub shard: Shard,
+    /// When set, each job that fails both attempts writes a
+    /// `<dir>/<sanitized key>.json` repro file recording its seed,
+    /// condition, workload, generation parameters, and a replay command.
+    pub repro_dir: Option<PathBuf>,
 }
 
 impl RunOptions {
@@ -282,6 +423,8 @@ impl RunOptions {
             checkpoint: None,
             progress: true,
             inject_panic: std::env::var("REPRO_INJECT_PANIC").ok().filter(|v| !v.is_empty()),
+            shard: Shard::default(),
+            repro_dir: None,
         }
     }
 }
@@ -323,6 +466,20 @@ pub struct MatrixOutcome {
     pub completed: usize,
     /// Cells replayed from the checkpoint without execution.
     pub resumed: usize,
+    /// Cells owned by *other* shards that were neither resumed nor
+    /// executed. Always zero in unsharded runs; nonzero means the merged
+    /// suites are partial and the report should not be rendered yet.
+    pub skipped: usize,
+}
+
+impl MatrixOutcome {
+    /// True when every submitted job settled (resumed, executed, or
+    /// failed) — i.e. the suites cover the whole matrix and the report
+    /// can be rendered. Only a sharded run with stragglers is incomplete.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.skipped == 0
+    }
 }
 
 impl MatrixOutcome {
@@ -349,8 +506,15 @@ type Slot = Option<Result<RunStats, JobFailure>>;
 /// threads pulls jobs off a shared cursor. Either way the merge happens
 /// after all jobs settle, in job order, so both paths produce identical
 /// [`Suite`]s.
+///
+/// With a sharded [`RunOptions::shard`], only the pending jobs this shard
+/// owns execute; cells owned by other shards (and absent from the
+/// checkpoint) are counted in [`MatrixOutcome::skipped`] and excluded
+/// from the merged suites — re-run unsharded over the same checkpoint to
+/// merge a complete matrix.
 #[must_use]
 pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
+    let shard = opts.shard;
     let resumed_stats = opts.checkpoint.as_deref().map(load_checkpoint).unwrap_or_default();
     let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
     let mut pending: Vec<usize> = Vec::new();
@@ -361,20 +525,18 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
             resumed += 1;
         } else {
             slots.push(None);
-            pending.push(i);
+            if shard.owns(i) {
+                pending.push(i);
+            }
         }
     }
 
-    let checkpoint_writer = opts.checkpoint.as_deref().map(|path| {
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .unwrap_or_else(|e| panic!("cannot open checkpoint {}: {e}", path.display()));
-        Mutex::new(file)
-    });
+    let checkpoint_writer =
+        opts.checkpoint.as_deref().map(|path| CheckpointWriter::open(path, shard));
 
-    let total = jobs.len();
+    // ETA denominator: the cells *this process* will settle (its own
+    // pending jobs plus everything resumed), not the global matrix.
+    let total = resumed + pending.len();
     let slots_shared = Mutex::new(&mut slots);
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(resumed);
@@ -389,11 +551,11 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
         let job = &jobs[job_id];
         let outcome = attempt_job(job_id, job, opts.inject_panic.as_deref());
         if let (Some(writer), Ok(stats)) = (&checkpoint_writer, &outcome) {
-            append_checkpoint(writer, &job.key(), stats);
+            writer.append(&job.key(), stats);
         }
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         if opts.progress {
-            progress_line(finished, total, &job.key(), outcome.is_err(), &started);
+            progress_line(shard, finished, total, &job.key(), outcome.is_err(), &started);
         }
         slots_shared.lock().expect("slot store")[job_id] = Some(outcome);
     };
@@ -409,20 +571,34 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
         });
     }
 
+    // Push buffered checkpoint lines to disk before reporting success:
+    // after `run` returns, every settled cell must be resumable.
+    if let Some(writer) = checkpoint_writer {
+        writer.finish();
+    }
+
     // Deterministic reduction: job order, not completion order.
     let mut out = MatrixOutcome { resumed, ..MatrixOutcome::default() };
     for (job, slot) in jobs.iter().zip(slots) {
-        match slot.expect("every job settles") {
-            Ok(stats) => {
+        match slot {
+            Some(Ok(stats)) => {
                 out.suites
                     .entry(job.suite.label())
                     .or_default()
                     .insert(&job.workload, job.condition, stats);
             }
-            Err(failure) => out.failures.push(failure),
+            Some(Err(failure)) => {
+                if let Some(dir) = opts.repro_dir.as_deref() {
+                    write_repro_file(dir, job, &failure, opts.progress);
+                }
+                out.failures.push(failure);
+            }
+            // Owned pending jobs always settle; only foreign-shard cells
+            // can remain unsettled.
+            None => out.skipped += 1,
         }
     }
-    out.completed = jobs.len() - out.resumed - out.failures.len();
+    out.completed = jobs.len() - out.resumed - out.failures.len() - out.skipped;
     out
 }
 
@@ -511,7 +687,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn progress_line(finished: usize, total: usize, key: &str, failed: bool, started: &Instant) {
+/// Stderr progress line. Sharded runs prefix `[shard K/N]` so the
+/// interleaved output of concurrent shard processes stays attributable
+/// (and so a `--spawn` parent can fold them into one aggregate ETA line).
+fn progress_line(
+    shard: Shard,
+    finished: usize,
+    total: usize,
+    key: &str,
+    failed: bool,
+    started: &Instant,
+) {
     let elapsed = started.elapsed().as_secs_f64();
     let eta = if finished > 0 && finished < total {
         format!(", ~{:.0}s left", elapsed / finished as f64 * (total - finished) as f64)
@@ -519,12 +705,71 @@ fn progress_line(finished: usize, total: usize, key: &str, failed: bool, started
         String::new()
     };
     let status = if failed { "FAILED" } else { "done" };
-    eprintln!("  [matrix] {finished}/{total} {status} {key} ({elapsed:.1}s elapsed{eta})");
+    let tag = if shard.is_sharded() {
+        format!("shard {}/{}", shard.index, shard.count)
+    } else {
+        "matrix".to_string()
+    };
+    eprintln!("  [{tag}] {finished}/{total} {status} {key} ({elapsed:.1}s elapsed{eta})");
+}
+
+// ---------------------------------------------------------------------
+// Repro files — a deterministic failure, serialized for replay.
+// ---------------------------------------------------------------------
+
+/// A filesystem-safe name for a cell key: key characters outside
+/// `[A-Za-z0-9._-]` (the `|` separators, spaces, `+`) become `_`.
+#[must_use]
+pub fn repro_file_name(key: &str) -> String {
+    let mut name: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') { c } else { '_' })
+        .collect();
+    name.push_str(".json");
+    name
+}
+
+/// Writes `repro/<key>.json` for a cell that failed both attempts: the
+/// stable key, the suite/workload/condition coordinates, the generation
+/// parameters (seed, scale-derived sizes), the panic message, and a
+/// ready-to-paste `run_matrix` replay command (`--only` filters the
+/// expanded matrix down to exactly this cell; `REPRO_SCALE`/`REPRO_REPS`
+/// must match the failing sweep for the expansion to contain it).
+fn write_repro_file(dir: &Path, job: &JobSpec, failure: &JobFailure, progress: bool) {
+    let replay = format!(
+        "cargo run --release -p rev-bench --bin run_matrix -- --suites {} --only '{}'",
+        job.suite.label(),
+        failure.key,
+    );
+    let doc = Json::obj([
+        ("key", Json::Str(failure.key.clone())),
+        ("suite", Json::from(job.suite.label())),
+        ("workload", Json::Str(job.workload.clone())),
+        ("condition", Json::from(job.condition.label())),
+        ("seed", Json::from(job.seed())),
+        ("payload", job.payload_json()),
+        ("attempts", Json::from(u64::from(failure.attempts))),
+        ("message", Json::Str(failure.message.clone())),
+        ("replay", Json::Str(replay)),
+    ]);
+    // Repro files are best-effort debugging aids: failing to write one
+    // must not abort the sweep that is busy isolating the real failure.
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join(repro_file_name(&failure.key)), doc.render() + "\n"))
+    {
+        eprintln!("  [repro] WARNING: cannot write repro file for {}: {e}", failure.key);
+    } else if progress {
+        eprintln!(
+            "  [repro] wrote {} (replay with --only)",
+            dir.join(repro_file_name(&failure.key)).display()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
 // Checkpointing — one JSON object per line, rendered and parsed by the
-// deterministic in-tree `morello_sim::Json`.
+// deterministic in-tree `morello_sim::Json`. Unsharded runs use a single
+// append-only file; sharded runs use a directory of per-shard files.
 // ---------------------------------------------------------------------
 
 /// Parses one checkpoint line into its cell key and stats. `None` for a
@@ -537,9 +782,21 @@ fn parse_checkpoint_line(line: &str) -> Option<(String, RunStats)> {
     Some((key.to_string(), stats))
 }
 
-fn load_checkpoint(path: &std::path::Path) -> BTreeMap<String, RunStats> {
-    let mut map = BTreeMap::new();
-    let Ok(file) = std::fs::File::open(path) else { return map };
+/// The `*.jsonl` files under a checkpoint directory, sorted by name for
+/// a deterministic load order.
+fn checkpoint_dir_files(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl") && p.is_file())
+        .collect();
+    files.sort();
+    files
+}
+
+fn load_checkpoint_file(path: &Path, map: &mut BTreeMap<String, RunStats>) {
+    let Ok(file) = std::fs::File::open(path) else { return };
     for line in std::io::BufReader::new(file).lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -549,65 +806,173 @@ fn load_checkpoint(path: &std::path::Path) -> BTreeMap<String, RunStats> {
             map.insert(key, stats);
         }
     }
+}
+
+/// Loads every completed cell recorded under `path` — a single checkpoint
+/// file, or a directory of per-shard `*.jsonl` files. Within a file the
+/// last write per key wins; across files the values are interchangeable
+/// (a cell's stats are deterministic), so file order only needs to be
+/// stable, not meaningful.
+fn load_checkpoint(path: &Path) -> BTreeMap<String, RunStats> {
+    let mut map = BTreeMap::new();
+    if path.is_dir() {
+        for file in checkpoint_dir_files(path) {
+            load_checkpoint_file(&file, &mut map);
+        }
+    } else {
+        load_checkpoint_file(path, &mut map);
+    }
     map
 }
 
 /// Rewrites an append-only checkpoint so it holds exactly one line per
 /// cell key — the last write wins, matching [`load_checkpoint`]'s replay
-/// semantics — and drops superseded or unparsable lines. Long interrupted
-/// sweeps re-append every re-run cell, so the file otherwise grows
-/// without bound; compaction returns it to O(cells).
+/// semantics — and drops superseded or unparsable lines (including shard
+/// metadata headers). Long interrupted sweeps re-append every re-run
+/// cell, so the checkpoint otherwise grows without bound; compaction
+/// returns it to O(cells).
+///
+/// A single-file checkpoint is rewritten in place. A checkpoint
+/// *directory* is merged: every per-shard `*.jsonl` file folds into one
+/// `merged.jsonl` and the shard files are removed, so the directory
+/// compacts to exactly the same bytes a compacted single-file checkpoint
+/// of the same cells would hold (sorted key order, cell lines only) —
+/// the on-disk half of the byte-identity contract.
 ///
 /// The rewrite goes through a sibling temp file and a rename, so an
-/// interrupted compaction leaves the original checkpoint untouched.
+/// interrupted compaction leaves the original checkpoint loadable.
 /// Lines are rewritten in sorted key order (deterministic, and exactly
-/// the order resume reads them back). A missing file compacts to nothing.
+/// the order resume reads them back). A missing path compacts to nothing.
 ///
 /// Returns `(kept, dropped)` line counts.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures from reading or rewriting the file.
-pub fn compact_checkpoint(path: &std::path::Path) -> std::io::Result<(usize, usize)> {
-    let contents = match std::fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
-        Err(e) => return Err(e),
+/// Propagates I/O failures from reading or rewriting the checkpoint.
+pub fn compact_checkpoint(path: &Path) -> std::io::Result<(usize, usize)> {
+    let (sources, target) = if path.is_dir() {
+        let files = checkpoint_dir_files(path);
+        if files.is_empty() {
+            return Ok((0, 0));
+        }
+        (files, path.join("merged.jsonl"))
+    } else {
+        match std::fs::metadata(path) {
+            Ok(_) => (vec![path.to_path_buf()], path.to_path_buf()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+            Err(e) => return Err(e),
+        }
     };
     let mut total = 0usize;
     let mut map: BTreeMap<String, String> = BTreeMap::new();
-    for line in contents.lines() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        total += 1;
-        if let Some((key, _)) = parse_checkpoint_line(line) {
-            map.insert(key, line.to_string());
+    for source in &sources {
+        for line in std::fs::read_to_string(source)?.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            total += 1;
+            if let Some((key, _)) = parse_checkpoint_line(line) {
+                map.insert(key, line.to_string());
+            }
         }
     }
-    let tmp = path.with_extension("compact.tmp");
+    let tmp = target.with_extension("compact.tmp");
     {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        let mut out = BufWriter::new(std::fs::File::create(&tmp)?);
         for line in map.values() {
             out.write_all(line.as_bytes())?;
             out.write_all(b"\n")?;
         }
         out.flush()?;
     }
-    std::fs::rename(&tmp, path)?;
+    std::fs::rename(&tmp, &target)?;
+    for source in &sources {
+        if *source != target {
+            std::fs::remove_file(source)?;
+        }
+    }
     Ok((map.len(), total - map.len()))
 }
 
-fn append_checkpoint(writer: &Mutex<std::fs::File>, key: &str, stats: &RunStats) {
-    let line = Json::Obj(vec![
-        ("key".into(), key.into()),
-        ("stats".into(), stats.to_json_value()),
-    ])
-    .render();
-    let mut file = writer.lock().expect("checkpoint writer");
-    // Failures here abort the run: continuing would silently produce an
-    // unresumable sweep.
-    file.write_all(line.as_bytes()).expect("append checkpoint line");
-    file.write_all(b"\n").expect("append checkpoint newline");
-    file.flush().expect("flush checkpoint");
+/// How many appended cells may sit in the in-memory buffer before a
+/// flush. Per-line flushing syscall-bounds sweeps of small cells; a
+/// small batch keeps the at-risk window to a handful of re-runnable
+/// cells while cutting the syscall rate by the same factor.
+const CHECKPOINT_FLUSH_BATCH: usize = 8;
+
+/// Serializes completed cells to the checkpoint through a buffered
+/// appender: lines accumulate in a [`BufWriter`] and reach the kernel
+/// once per [`CHECKPOINT_FLUSH_BATCH`] appends (plus a final flush in
+/// [`CheckpointWriter::finish`] and on drop). A crash between flushes
+/// loses at most the buffered tail — possibly mid-line, which resume
+/// already tolerates (a torn or missing line just re-runs that cell).
+struct CheckpointWriter {
+    out: Mutex<(BufWriter<std::fs::File>, usize)>,
+}
+
+impl CheckpointWriter {
+    /// Opens the append target for this shard: `path` itself for an
+    /// unsharded single-file checkpoint, `path/shard-K-of-N.jsonl` when
+    /// `path` is (or must become) a directory. A freshly created
+    /// per-shard file is headed by a `shard_meta` line recording the
+    /// topology that wrote it — provenance for debugging, skipped by the
+    /// loader like any non-cell line.
+    fn open(path: &Path, shard: Shard) -> CheckpointWriter {
+        let dir_mode = shard.is_sharded() || path.is_dir();
+        let file_path = if dir_mode {
+            std::fs::create_dir_all(path).unwrap_or_else(|e| {
+                panic!("cannot create checkpoint directory {}: {e}", path.display())
+            });
+            path.join(format!("shard-{}-of-{}.jsonl", shard.index, shard.count))
+        } else {
+            path.to_path_buf()
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&file_path)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint {}: {e}", file_path.display()));
+        let fresh = file.metadata().map(|m| m.len() == 0).unwrap_or(false);
+        let mut out = BufWriter::with_capacity(128 * 1024, file);
+        if dir_mode && fresh {
+            let meta = Json::obj([(
+                "shard_meta",
+                Json::obj([
+                    ("format", Json::from(1u64)),
+                    ("shard", Json::from(shard.index)),
+                    ("shards", Json::from(shard.count)),
+                ]),
+            )]);
+            // Failures here (and below) abort the run: continuing would
+            // silently produce an unresumable sweep.
+            out.write_all(meta.render().as_bytes()).expect("write shard metadata");
+            out.write_all(b"\n").expect("write shard metadata newline");
+            out.flush().expect("flush shard metadata");
+        }
+        CheckpointWriter { out: Mutex::new((out, 0)) }
+    }
+
+    fn append(&self, key: &str, stats: &RunStats) {
+        let line = Json::obj([
+            ("key", Json::from(key)),
+            ("stats", stats.to_json_value()),
+        ])
+        .render();
+        let mut guard = self.out.lock().expect("checkpoint writer");
+        let (out, since_flush) = &mut *guard;
+        out.write_all(line.as_bytes()).expect("append checkpoint line");
+        out.write_all(b"\n").expect("append checkpoint newline");
+        *since_flush += 1;
+        if *since_flush >= CHECKPOINT_FLUSH_BATCH {
+            out.flush().expect("flush checkpoint batch");
+            *since_flush = 0;
+        }
+    }
+
+    /// Final flush once the pool has drained; after this, every settled
+    /// cell is durable.
+    fn finish(self) {
+        let (mut out, _) = self.out.into_inner().expect("checkpoint writer");
+        out.flush().expect("flush checkpoint");
+    }
 }

@@ -54,6 +54,14 @@ impl From<&str> for Json {
 }
 
 impl Json {
+    /// Builds an object from `(key, value)` pairs — shorthand for the
+    /// checkpoint and metadata lines the bench orchestrator writes, which
+    /// would otherwise repeat `("k".into(), v)` for every field.
+    #[must_use]
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
     /// Renders compact deterministic JSON text.
     #[must_use]
     pub fn render(&self) -> String {
@@ -111,6 +119,15 @@ impl Json {
     pub fn as_num(&self) -> Option<i128> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -390,10 +407,19 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = Json::parse(r#"{"k":7,"s":"hi"}"#).unwrap();
+        let v = Json::parse(r#"{"k":7,"s":"hi","b":true}"#).unwrap();
         assert_eq!(v.get("k").unwrap().as_num(), Some(7));
         assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
         assert!(v.get("missing").is_none());
         assert!(v.as_num().is_none());
+        assert!(v.as_bool().is_none());
+    }
+
+    #[test]
+    fn obj_shorthand_preserves_order() {
+        let v = Json::obj([("z", Json::from(1u64)), ("a", Json::from("x"))]);
+        assert_eq!(v.render(), r#"{"z":1,"a":"x"}"#);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
     }
 }

@@ -56,14 +56,57 @@ cmp -s "$matrix_dir/serial.md" "$matrix_dir/parallel.md" \
 grep -q "All matrix cells completed" "$matrix_dir/serial.md" \
     || { echo "matrix smoke: missing all-clear failure section" >&2; exit 1; }
 # 2. Fault isolation: an injected panic must surface as a JobFailure row
-#    while every other cell still reports (run_matrix exits 0 sans --strict).
+#    while every other cell still reports (run_matrix exits 0 sans --strict),
+#    and the poisoned cell must leave a replayable repro file behind.
 REPRO_JOBS=4 REPRO_INJECT_PANIC='pgbench|pgbench|Cornucopia' \
     cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
-    --smoke --suites pgbench,pgbench-rates,grpc --out "$matrix_dir/faulty.md" 2>/dev/null
+    --smoke --suites pgbench,pgbench-rates,grpc --out "$matrix_dir/faulty.md" \
+    --repro-dir "$matrix_dir/repro" 2>/dev/null
 grep -q "injected panic" "$matrix_dir/faulty.md" \
     || { echo "matrix smoke: injected panic not recorded as JobFailure" >&2; exit 1; }
 grep -q "unscheduled" "$matrix_dir/faulty.md" \
     || { echo "matrix smoke: healthy cells missing from faulty run" >&2; exit 1; }
+repro_file="$(ls "$matrix_dir"/repro/pgbench_pgbench_Cornucopia*.json 2>/dev/null | head -n1)"
+[ -n "$repro_file" ] \
+    || { echo "matrix smoke: failed cell left no repro file" >&2; exit 1; }
+grep -q '"replay"' "$repro_file" \
+    || { echo "matrix smoke: repro file has no replay command" >&2; exit 1; }
+# 3. Repro replay: re-run just the poisoned cell (sans injection) via the
+#    --only filter the repro file's replay command uses.
+cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench --only 'pgbench|pgbench|Cornucopia' --strict \
+    --out "$matrix_dir/replay.md" --repro-dir "$matrix_dir/repro" 2>/dev/null \
+    || { echo "matrix smoke: repro replay of the poisoned cell failed" >&2; exit 1; }
 rm -rf "$matrix_dir"
+
+echo "== shard smoke (multi-process byte-identity) =="
+shard_dir="$(mktemp -d)"
+# Serial oracle for both sharded paths below.
+REPRO_JOBS=1 cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --out "$shard_dir/serial.md" \
+    --repro-dir "$shard_dir/repro" 2>/dev/null
+# 1. --spawn 2: the parent forks two shard processes over one checkpoint
+#    directory, merges, and must render the exact serial report.
+cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --spawn 2 \
+    --out "$shard_dir/spawn.md" --repro-dir "$shard_dir/repro" 2>/dev/null
+cmp -s "$shard_dir/serial.md" "$shard_dir/spawn.md" \
+    || { echo "shard smoke: --spawn 2 report differs from serial" >&2; exit 1; }
+# 2. Hand-driven shards: 0/2 and 1/2 into one shared checkpoint directory
+#    (as separate cluster nodes would), then an unsharded merge run that
+#    resumes every cell and must also reproduce the serial report.
+ck="$shard_dir/ckpt"
+cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --shard 0/2 --checkpoint "$ck" \
+    --out "$shard_dir/s0.md" --repro-dir "$shard_dir/repro" 2>/dev/null
+cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --shard 1/2 --checkpoint "$ck" \
+    --out "$shard_dir/s1.md" --repro-dir "$shard_dir/repro" 2>/dev/null
+cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench,pgbench-rates,grpc --checkpoint "$ck" \
+    --out "$shard_dir/merged.md" --repro-dir "$shard_dir/repro" 2>/dev/null
+cmp -s "$shard_dir/serial.md" "$shard_dir/merged.md" \
+    || { echo "shard smoke: hand-sharded merge report differs from serial" >&2; exit 1; }
+rm -rf "$shard_dir"
 
 echo "ci: all gates passed"
