@@ -29,13 +29,13 @@ fn run_with<F: FnOnce(SimConfigBuilder) -> SimConfigBuilder>(
 /// pages, so its pause grows with density while the load barrier's does
 /// not (§3.1-3.2).
 #[must_use]
-pub fn barriers(scale: Scale) -> String {
+pub fn barriers(scale: Scale, workers: usize) -> String {
     let cells = [
         ("low pointer density (hmmer nph3)", SpecProgram::HmmerNph3),
         ("medium (astar lakes)", SpecProgram::AstarLakes),
         ("high (xalancbmk)", SpecProgram::Xalancbmk),
     ];
-    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+    let rows = crate::orchestrator::parallel_cells(cells.len(), workers, |i| {
         let (label, program) = cells[i];
         let corn = spec_single(program, Condition::cornucopia(), scale, 77);
         let rel = spec_single(program, Condition::reloaded(), scale, 77);
@@ -62,12 +62,12 @@ pub fn barriers(scale: Scale) -> String {
 
 /// Per-PTE generation bits vs rewriting every PTE each epoch (§4.1).
 #[must_use]
-pub fn pte_mode(scale: Scale) -> String {
+pub fn pte_mode(scale: Scale, workers: usize) -> String {
     let cells = [
         ("generation bits (paper design)", PteUpdateMode::Generation),
         ("rewrite PTEs each epoch (strawman)", PteUpdateMode::RewriteEachEpoch),
     ];
-    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+    let rows = crate::orchestrator::parallel_cells(cells.len(), workers, |i| {
         let (label, mode) = cells[i];
         let stats =
             run_with(SpecProgram::Omnetpp, Condition::reloaded(), scale, |b| b.pte_mode(mode));
@@ -90,14 +90,14 @@ pub fn pte_mode(scale: Scale) -> String {
 
 /// Quarantine policy sweep (§7.2): fraction of heap and floor.
 #[must_use]
-pub fn quarantine_policy(scale: Scale) -> String {
+pub fn quarantine_policy(scale: Scale, workers: usize) -> String {
     let cells = [
         ("1/7 of heap, 128 KiB floor", 7u64, 128u64 << 10),
         ("1/3 of heap, 128 KiB floor (paper)", 3, 128 << 10),
         ("1/1 of heap, 128 KiB floor", 1, 128 << 10),
         ("1/3 of heap, 1 MiB floor", 3, 1 << 20),
     ];
-    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+    let rows = crate::orchestrator::parallel_cells(cells.len(), workers, |i| {
         let (label, divisor, floor) = cells[i];
         let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
             b.quarantine_divisor(divisor).min_quarantine(floor)
@@ -121,12 +121,12 @@ pub fn quarantine_policy(scale: Scale) -> String {
 
 /// CHERIoT-style in-pipeline load filter vs trapping load barrier (§6.3).
 #[must_use]
-pub fn cheriot(scale: Scale) -> String {
+pub fn cheriot(scale: Scale, workers: usize) -> String {
     let cells = [
         ("Reloaded (trap + self-heal)", Condition::reloaded()),
         ("CHERIoT-style filter (probe every load)", Condition::Safe(cornucopia::Strategy::CheriotFilter)),
     ];
-    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+    let rows = crate::orchestrator::parallel_cells(cells.len(), workers, |i| {
         let (label, cond) = cells[i];
         let stats = spec_single(SpecProgram::Omnetpp, cond, scale, 77);
         vec![
@@ -150,10 +150,10 @@ pub fn cheriot(scale: Scale) -> String {
 /// Revoker core placement (§5.3/§7.7): spare core vs competing with the
 /// application.
 #[must_use]
-pub fn revoker_priority(scale: Scale) -> String {
+pub fn revoker_priority(scale: Scale, workers: usize) -> String {
     let cells =
         [("revoker on spare core (SPEC setup)", true), ("revoker competes for app cores (gRPC setup)", false)];
-    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+    let rows = crate::orchestrator::parallel_cells(cells.len(), workers, |i| {
         let (label, spare) = cells[i];
         let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
             b.spare_revoker_core(spare)
@@ -170,25 +170,14 @@ pub fn revoker_priority(scale: Scale) -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn barrier_ablation_smoke() {
-        let report = barriers(Scale { fraction: 0.01, reps: 1 });
-        assert!(report.contains("xalancbmk"));
-        assert!(report.contains("pause ratio"));
-    }
-}
 
 /// Multi-threaded background revocation (§7.1): more revoker threads
 /// shorten the concurrent phase (and with it the window in which
 /// Cornucopia accumulates re-dirtied pages / Reloaded takes faults).
 #[must_use]
-pub fn revoker_threads(scale: Scale) -> String {
+pub fn revoker_threads(scale: Scale, workers: usize) -> String {
     let cells = [1usize, 2];
-    let rows = crate::orchestrator::parallel_cells(cells.len(), |i| {
+    let rows = crate::orchestrator::parallel_cells(cells.len(), workers, |i| {
         let threads = cells[i];
         let stats = run_with(SpecProgram::Xalancbmk, Condition::reloaded(), scale, |b| {
             b.revoker_threads(threads)
@@ -379,4 +368,16 @@ pub fn coloring() -> String {
          CHERIoT).\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_ablation_smoke() {
+        let report = barriers(Scale { fraction: 0.01, reps: 1 }, 1);
+        assert!(report.contains("xalancbmk"));
+        assert!(report.contains("pause ratio"));
+    }
 }

@@ -1,6 +1,6 @@
 //! Ablation study (see DESIGN.md). Honours REPRO_SCALE.
-use rev_bench::harness::Scale;
+use rev_bench::cli;
 
 fn main() {
-    println!("{}", rev_bench::ablations::quarantine_policy(Scale::from_env()));
+    println!("{}", rev_bench::ablations::quarantine_policy(cli::env_scale(), cli::env_workers()));
 }

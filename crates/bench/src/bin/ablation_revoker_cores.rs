@@ -1,6 +1,6 @@
 //! Ablation study (§7.1 parallel multi-core concurrent sweep).
-use rev_bench::harness::Scale;
+use rev_bench::cli;
 
 fn main() {
-    println!("{}", rev_bench::ablations::revoker_core_scaling(Scale::from_env()));
+    println!("{}", rev_bench::ablations::revoker_core_scaling(cli::env_scale()));
 }

@@ -1,6 +1,6 @@
 //! Ablation study (§7.1 multi-threaded background revocation).
-use rev_bench::harness::Scale;
+use rev_bench::cli;
 
 fn main() {
-    println!("{}", rev_bench::ablations::revoker_threads(Scale::from_env()));
+    println!("{}", rev_bench::ablations::revoker_threads(cli::env_scale(), cli::env_workers()));
 }

@@ -1,8 +1,10 @@
 //! Regenerates Figure (3). Honours REPRO_SCALE / REPRO_REPS.
-use rev_bench::harness::{spec_suite, Scale, CONDITIONS};
+use rev_bench::cli;
+use rev_bench::harness::{spec_suite, CONDITIONS};
 
 fn main() {
-    let scale = Scale::from_env();
-    let suite = spec_suite(&CONDITIONS, scale);
+    let scale = cli::env_scale();
+    let opts = cli::env_run_options();
+    let suite = spec_suite(&CONDITIONS, scale, &opts);
     println!("{}", rev_bench::figures::fig3_peak_rss(&suite));
 }

@@ -1,8 +1,10 @@
 //! Regenerates Figure (6). Honours REPRO_SCALE / REPRO_REPS.
-use rev_bench::harness::{pgbench_suite, Scale, CONDITIONS};
+use rev_bench::cli;
+use rev_bench::harness::{pgbench_suite, CONDITIONS};
 
 fn main() {
-    let scale = Scale::from_env();
-    let suite = pgbench_suite(&CONDITIONS, scale);
+    let scale = cli::env_scale();
+    let opts = cli::env_run_options();
+    let suite = pgbench_suite(&CONDITIONS, scale, &opts);
     println!("{}", rev_bench::figures::fig6_pgbench_bus(&suite));
 }

@@ -1,9 +1,11 @@
 //! Regenerates Figure 8 (gRPC QPS latency percentiles). Honours
 //! REPRO_SCALE / REPRO_REPS. CHERIvoke is excluded, as in the paper.
-use rev_bench::harness::{grpc_suite, Scale};
+use rev_bench::cli;
+use rev_bench::harness::grpc_suite;
 
 fn main() {
-    let scale = Scale::from_env();
-    let suite = grpc_suite(scale);
+    let scale = cli::env_scale();
+    let opts = cli::env_run_options();
+    let suite = grpc_suite(scale, &opts);
     println!("{}", rev_bench::figures::fig8_grpc_latency(&suite));
 }

@@ -1,11 +1,13 @@
 //! Regenerates Figure 9 (revocation phase times). Honours REPRO_SCALE /
 //! REPRO_REPS.
-use rev_bench::harness::{grpc_suite, pgbench_suite, spec_suite, Scale, CONDITIONS};
+use rev_bench::cli;
+use rev_bench::harness::{grpc_suite, pgbench_suite, spec_suite, CONDITIONS};
 
 fn main() {
-    let scale = Scale::from_env();
-    let spec = spec_suite(&CONDITIONS, scale);
-    let pg = pgbench_suite(&CONDITIONS, scale);
-    let grpc = grpc_suite(scale);
+    let scale = cli::env_scale();
+    let opts = cli::env_run_options();
+    let spec = spec_suite(&CONDITIONS, scale, &opts);
+    let pg = pgbench_suite(&CONDITIONS, scale, &opts);
+    let grpc = grpc_suite(scale, &opts);
     println!("{}", rev_bench::figures::fig9_phase_times(&spec, &pg, &grpc));
 }

@@ -12,61 +12,51 @@
 //! `--checkpoint` covers the entire regeneration: an interrupted run
 //! resumes exactly where it stopped, across suite boundaries. The
 //! checkpoint may also be a directory produced by sharded `run_matrix`
-//! processes (`--shard`/`--spawn`) — cell keys are topology-agnostic, so
-//! a cluster can pre-fill the checkpoint and this binary just merges and
-//! renders. Cells that fail both attempts are isolated as typed failure
-//! records, written to `repro/<key>.json` for replay, and marked in the
-//! shape-check section rather than aborting the run.
+//! processes (`--shard`/`--spawn`/`--dispatch`) — cell keys are
+//! topology-agnostic, so a cluster can pre-fill the checkpoint and this
+//! binary just merges and renders. Cells that fail both attempts are
+//! isolated as typed failure records, written to `repro/<key>.json` for
+//! replay, and marked in the shape-check section rather than aborting
+//! the run. A clean checkpointed run also refreshes the scheduler's
+//! `costs.json` calibration beside the checkpoint on the way out.
 //!
 //! Honours `REPRO_SCALE` (workload fraction, default 1.0), `REPRO_REPS`
 //! (repetitions, default 2), and `REPRO_JOBS` (worker threads, CLI
-//! `--jobs` wins). A full run takes a few minutes in `--release`.
+//! `--jobs` wins) — all parsed once, at this CLI edge ([`cli`]). A full
+//! run takes a few minutes in `--release`.
+//!
+//! [`cli`]: rev_bench::cli
 
-use rev_bench::harness::Scale;
-use rev_bench::orchestrator::{self, RunOptions};
+use rev_bench::cli::{self, CommonArgs};
+use rev_bench::orchestrator;
+use rev_bench::plan::MatrixPlan;
+use rev_bench::sched::CostModel;
 use rev_bench::{ablations, figures};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
-
-struct Cli {
-    out: String,
-    checkpoint: Option<PathBuf>,
-    compact: bool,
-    jobs: Option<usize>,
-}
 
 fn usage() -> ! {
     eprintln!("usage: reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N]");
     std::process::exit(2)
 }
 
-fn parse_cli() -> Cli {
-    let mut cli = Cli {
-        out: "EXPERIMENTS.md".to_string(),
-        checkpoint: None,
-        compact: false,
-        jobs: None,
-    };
-    let mut positional = 0usize;
+fn parse_cli() -> CommonArgs {
+    let mut common = CommonArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match common.take(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
         match arg.as_str() {
-            "--checkpoint" => {
-                cli.checkpoint = Some(args.next().unwrap_or_else(|| usage()).into());
-            }
-            "--compact" => cli.compact = true,
-            "--jobs" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                }));
-            }
             "--help" | "-h" => usage(),
-            other if !other.starts_with('-') && positional == 0 => {
-                cli.out = other.to_string();
-                positional += 1;
+            other if !other.starts_with('-') && common.out.is_none() => {
+                common.out = Some(other.to_string());
             }
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -74,20 +64,21 @@ fn parse_cli() -> Cli {
             }
         }
     }
-    cli
+    common
 }
 
 fn main() {
-    let cli = parse_cli();
-    if cli.compact && cli.checkpoint.is_none() {
-        eprintln!("error: --compact requires --checkpoint PATH");
+    let common = parse_cli();
+    if let Err(e) = common.validate() {
+        eprintln!("error: {e}");
         usage();
     }
-    let scale = Scale::from_env();
+    let out = common.out.clone().unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+    let scale = cli::env_scale();
     let t0 = Instant::now();
 
-    if cli.compact {
-        let path = cli.checkpoint.as_deref().expect("checked above");
+    if common.compact {
+        let path = common.checkpoint.as_deref().expect("validated above");
         match orchestrator::compact_checkpoint(path) {
             Ok((kept, dropped)) => eprintln!(
                 "reproduce_all: compacted checkpoint {} ({kept} kept, {dropped} dropped)",
@@ -102,20 +93,20 @@ fn main() {
 
     // One global job list: a single checkpoint spans every suite, and the
     // pool never drains between suites.
-    let jobs = orchestrator::expand_all(scale);
-    let mut opts = RunOptions::from_env();
-    if let Some(jobs_override) = cli.jobs {
+    let jobs = MatrixPlan::all(scale).build().expect("the full matrix is never empty");
+    let mut opts = cli::env_run_options().repro_dir(PathBuf::from("repro"));
+    if let Some(jobs_override) = common.jobs {
         opts.workers = jobs_override;
     }
-    opts.checkpoint = cli.checkpoint.clone();
-    opts.repro_dir = Some(PathBuf::from("repro"));
+    opts.checkpoint = common.checkpoint.clone();
     eprintln!(
         "reproduce_all: {} job(s), {} worker(s), scale={:.3} reps={}{}",
         jobs.len(),
         opts.workers.clamp(1, jobs.len().max(1)),
         scale.fraction,
         scale.reps,
-        cli.checkpoint
+        common
+            .checkpoint
             .as_deref()
             .map(|p| format!(", checkpoint {}", p.display()))
             .unwrap_or_default(),
@@ -129,6 +120,24 @@ fn main() {
         outcome.failures.len(),
         t0.elapsed()
     );
+
+    // A clean checkpointed run doubles as a calibration corpus for the
+    // cost-weighted shard scheduler (see run_matrix --partition).
+    if let Some(path) = common.checkpoint.as_deref() {
+        if outcome.failures.is_empty() {
+            if let Some(model) = CostModel::calibrate_from_checkpoint(path) {
+                match model.save(path) {
+                    Ok(written) => eprintln!(
+                        "reproduce_all: refreshed cost calibration ({} weight(s)) -> {}",
+                        model.len(),
+                        written.display()
+                    ),
+                    Err(e) => eprintln!("reproduce_all: WARNING: cannot write costs.json: {e}"),
+                }
+            }
+        }
+    }
+
     let empty = rev_bench::harness::Suite::default();
     let suite_of = |kind: &str| outcome.suites.get(kind).unwrap_or(&empty);
     let spec = suite_of("spec");
@@ -165,15 +174,16 @@ fn main() {
         doc.push('\n');
     }
 
+    let workers = opts.workers;
     doc.push_str("## Ablations (DESIGN.md §design choices)\n\n");
     eprintln!("== ablations ==");
     for section in [
-        ablations::barriers(scale),
-        ablations::pte_mode(scale),
-        ablations::quarantine_policy(scale),
-        ablations::cheriot(scale),
-        ablations::revoker_priority(scale),
-        ablations::revoker_threads(scale),
+        ablations::barriers(scale, workers),
+        ablations::pte_mode(scale, workers),
+        ablations::quarantine_policy(scale, workers),
+        ablations::cheriot(scale, workers),
+        ablations::revoker_priority(scale, workers),
+        ablations::revoker_threads(scale, workers),
         ablations::revoker_core_scaling(scale),
         ablations::coloring(),
     ] {
@@ -187,10 +197,10 @@ fn main() {
     doc.push_str(&format!("\n_Total harness wall time: {:.1?}._\n", t0.elapsed()));
 
     print!("{doc}");
-    let mut f = std::fs::File::create(&cli.out)
-        .unwrap_or_else(|e| panic!("create {}: {e}", cli.out));
+    let mut f = std::fs::File::create(&out)
+        .unwrap_or_else(|e| panic!("create {out}: {e}"));
     f.write_all(doc.as_bytes()).expect("write report");
-    eprintln!("reproduce_all: wrote {} in {:.1?}", cli.out, t0.elapsed());
+    eprintln!("reproduce_all: wrote {out} in {:.1?}", t0.elapsed());
 
     for failure in &outcome.failures {
         eprintln!(

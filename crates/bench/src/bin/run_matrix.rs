@@ -2,127 +2,164 @@
 //! orchestrator and writes one Markdown report.
 //!
 //! Unlike the per-figure binaries, this one expands every requested suite
-//! into a single job list and drains it on one worker pool, so a wide
-//! machine keeps every core busy across suite boundaries. Progress/ETA
-//! lines go to stderr only: the report file is byte-identical for any
-//! worker count, shard topology, or process count.
+//! into a single job list ([`MatrixPlan`]) and drains it on one worker
+//! pool, so a wide machine keeps every core busy across suite
+//! boundaries. Progress/ETA lines go to stderr only: the report file is
+//! byte-identical for any worker count, shard topology, partition, or
+//! process count.
 //!
 //! ```text
 //! run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]
-//!            [--shard K/N] [--spawn N] [--only SUBSTR] [--repro-dir DIR]
+//!            [--shard K/N] [--spawn N] [--dispatch TEMPLATE]
+//!            [--partition lpt|modulo] [--calibrate] [--estimate-shards N]
+//!            [--only SUBSTR] [--repro-dir DIR]
 //!            [--smoke] [--strict] [--suites spec,pgbench,pgbench-rates,grpc]
 //! ```
 //!
 //! Honours `REPRO_SCALE`, `REPRO_REPS`, `REPRO_JOBS` (CLI `--jobs`
-//! wins), and the fault-injection hook `REPRO_INJECT_PANIC`. With
-//! `--checkpoint`, completed cells are appended as they finish and
-//! replayed on the next invocation, so an interrupted sweep resumes
-//! instead of restarting. `--compact` rewrites the checkpoint in place
-//! before the run — last write per cell wins, torn tails from a crash
-//! are dropped — so long resume chains stop growing the file.
+//! wins), and the fault-injection hook `REPRO_INJECT_PANIC` — all parsed
+//! once, at this CLI edge. With `--checkpoint`, completed cells are
+//! appended as they finish and replayed on the next invocation, so an
+//! interrupted sweep resumes instead of restarting. `--compact` rewrites
+//! the checkpoint in place before the run.
 //!
 //! # Scale-out
 //!
-//! `--shard K/N` runs one shard of the matrix (`job_id % N == K`) in
-//! this process, appending to a shared checkpoint *directory*; run the
-//! other shards on other processes or machines against the same
-//! directory, then merge with a final unsharded invocation (which
-//! resumes every cell and writes the report). A shard invocation that
-//! happens to settle every cell — e.g. the last of a hand-run sequence —
-//! writes the merged report itself. `--spawn N` is the single-machine
-//! convenience: it forks N child processes of this binary (one per
-//! shard), aggregates their progress into one ETA line, and performs the
-//! merge when they finish. Either way the report is byte-identical to a
-//! serial run.
+//! `--shard K/N` runs one shard of the matrix in this process, appending
+//! to a shared checkpoint *directory*; run the other shards on other
+//! processes or machines against the same directory, then merge with a
+//! final unsharded invocation (which resumes every cell and writes the
+//! report). Which cells a shard owns comes from `--partition`:
+//!
+//! - `lpt` (default): greedy LPT bin-packing over per-workload costs —
+//!   a persisted `costs.json` beside the checkpoint if present, else the
+//!   built-in static table. Deterministic, so independently launched
+//!   shards agree without coordination.
+//! - `modulo`: the stride `job_id % N`.
+//!
+//! `--calibrate` (with `--checkpoint`) derives `costs.json` from the
+//! checkpoint's completed cells before the run; a complete checkpointed
+//! run refreshes it automatically on the way out. `--estimate-shards N`
+//! prints the estimated per-shard costs of both partitions at N shards
+//! and exits — the number ci.sh and capacity planning read.
+//!
+//! `--spawn N` forks N shard processes (one per shard), aggregates their
+//! progress into one ETA line, and merges when they finish. `--dispatch
+//! TEMPLATE` routes each launch through a `sh -c` template instead of a
+//! local fork (`{cmd}`, `{index}`, `{count}`, `{shard}`, `{checkpoint}`
+//! placeholders), e.g. `--dispatch 'ssh worker{index} {cmd}'` for a
+//! cluster with a shared filesystem. Either way the report is
+//! byte-identical to a serial run.
 //!
 //! Cells that fail both attempts are recorded under `--repro-dir`
 //! (default `repro/`) as `<key>.json` files whose `replay` field is a
 //! ready-to-run `run_matrix --suites ... --only <key>` command.
 
-use rev_bench::harness::{Scale, Suite, CONDITIONS, RATE_SCHEDULE};
-use rev_bench::orchestrator::{
-    self, expand_grpc, expand_pgbench, expand_pgbench_rates, expand_spec, JobSpec, RunOptions,
-    Shard,
-};
+use rev_bench::cli::{self, CommonArgs};
+use rev_bench::dispatch::{CommandTemplate, Dispatcher, LocalSpawn, ShardLaunch};
+use rev_bench::harness::{Scale, Suite};
+use rev_bench::orchestrator::{self, JobSpec, Shard};
+use rev_bench::plan::MatrixPlan;
+use rev_bench::sched::{CostModel, Partition};
 use rev_bench::{ablations, figures};
-use std::io::{BufRead as _, IsTerminal as _, Write as _};
+use std::io::{IsTerminal as _, Write as _};
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// Which partition `--partition` asked for; LPT resolves its cost model
+/// against the checkpoint later.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PartitionChoice {
+    Modulo,
+    Lpt,
+}
+
 struct Cli {
-    out: String,
-    checkpoint: Option<PathBuf>,
-    compact: bool,
-    jobs: Option<usize>,
+    common: CommonArgs,
     shard: Shard,
     spawn: Option<usize>,
+    dispatch: Option<String>,
+    partition: PartitionChoice,
+    calibrate: bool,
+    estimate_shards: Option<usize>,
     only: Option<String>,
     repro_dir: PathBuf,
     smoke: bool,
     strict: bool,
-    suites: Vec<String>,
+    suites: String,
     ablations: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]\n\
-         \x20                 [--shard K/N] [--spawn N] [--only SUBSTR] [--repro-dir DIR]\n\
-         \x20                 [--smoke] [--strict] [--suites spec,pgbench,pgbench-rates,grpc]\n\
-         \x20                 [--ablations]"
+         \x20                 [--shard K/N] [--spawn N] [--dispatch TEMPLATE]\n\
+         \x20                 [--partition lpt|modulo] [--calibrate] [--estimate-shards N]\n\
+         \x20                 [--only SUBSTR] [--repro-dir DIR] [--smoke] [--strict]\n\
+         \x20                 [--suites spec,pgbench,pgbench-rates,grpc] [--ablations]"
     );
     std::process::exit(2)
 }
 
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}
+
+fn parse_count(flag: &str, value: &str) -> usize {
+    value
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+        .unwrap_or_else(|| fail(format!("{flag} {value:?}: expected a count ≥ 1")))
+}
+
 fn parse_cli() -> Cli {
     let mut cli = Cli {
-        out: "MATRIX.md".to_string(),
-        checkpoint: None,
-        compact: false,
-        jobs: None,
+        common: CommonArgs::default(),
         shard: Shard::default(),
         spawn: None,
+        dispatch: None,
+        partition: PartitionChoice::Lpt,
+        calibrate: false,
+        estimate_shards: None,
         only: None,
         repro_dir: PathBuf::from("repro"),
         smoke: false,
         strict: false,
-        suites: vec![
-            "spec".to_string(),
-            "pgbench".to_string(),
-            "pgbench-rates".to_string(),
-            "grpc".to_string(),
-        ],
+        suites: "spec,pgbench,pgbench-rates,grpc".to_string(),
         ablations: false,
     };
     let mut args = std::env::args().skip(1);
-    let fail = |e: String| -> ! {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    };
     while let Some(arg) = args.next() {
+        match cli.common.take(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => fail(e),
+        }
         match arg.as_str() {
-            "--out" => cli.out = args.next().unwrap_or_else(|| usage()),
-            "--checkpoint" => {
-                cli.checkpoint = Some(args.next().unwrap_or_else(|| usage()).into());
-            }
-            "--compact" => cli.compact = true,
-            "--jobs" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                cli.jobs = Some(orchestrator::parse_jobs(&v).unwrap_or_else(|e| fail(e)));
-            }
             "--shard" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.shard = Shard::parse(&v).unwrap_or_else(|e| fail(e));
             }
             "--spawn" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                let n = v
-                    .trim()
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|n| *n >= 1)
-                    .unwrap_or_else(|| fail(format!("--spawn {v:?}: expected a count ≥ 1")));
-                cli.spawn = Some(n);
+                cli.spawn = Some(parse_count("--spawn", &v));
+            }
+            "--dispatch" => cli.dispatch = Some(args.next().unwrap_or_else(|| usage())),
+            "--partition" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.partition = match v.trim() {
+                    "modulo" => PartitionChoice::Modulo,
+                    "lpt" => PartitionChoice::Lpt,
+                    other => fail(format!("--partition {other:?}: expected lpt or modulo")),
+                };
+            }
+            "--calibrate" => cli.calibrate = true,
+            "--estimate-shards" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.estimate_shards = Some(parse_count("--estimate-shards", &v));
             }
             "--only" => cli.only = Some(args.next().unwrap_or_else(|| usage())),
             "--repro-dir" => {
@@ -130,10 +167,7 @@ fn parse_cli() -> Cli {
             }
             "--smoke" => cli.smoke = true,
             "--strict" => cli.strict = true,
-            "--suites" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                cli.suites = v.split(',').map(|s| s.trim().to_string()).collect();
-            }
+            "--suites" => cli.suites = args.next().unwrap_or_else(|| usage()),
             "--ablations" => cli.ablations = true,
             "--help" | "-h" => usage(),
             other => {
@@ -145,160 +179,171 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn expand_suites(cli: &Cli, scale: Scale) -> Vec<JobSpec> {
-    let mut jobs: Vec<JobSpec> = Vec::new();
-    for suite in &cli.suites {
-        match suite.as_str() {
-            "spec" => jobs.extend(expand_spec(&CONDITIONS, scale)),
-            "pgbench" => jobs.extend(expand_pgbench(&CONDITIONS, scale)),
-            "pgbench-rates" => jobs.extend(expand_pgbench_rates(&RATE_SCHEDULE, scale)),
-            "grpc" => jobs.extend(expand_grpc(scale)),
-            other => {
-                eprintln!("error: unknown suite {other:?} (spec, pgbench, pgbench-rates, grpc)");
-                std::process::exit(2);
-            }
-        }
+/// The partition this invocation schedules with.
+fn resolve_partition(cli: &Cli) -> Partition {
+    match cli.partition {
+        PartitionChoice::Modulo => Partition::Modulo,
+        PartitionChoice::Lpt => Partition::resolve_lpt(cli.common.checkpoint.as_deref()),
     }
-    if let Some(needle) = &cli.only {
-        jobs.retain(|j| j.key().contains(needle.as_str()));
-        if jobs.is_empty() {
-            eprintln!("error: --only {needle:?} matches no cell in the selected suites");
-            std::process::exit(2);
-        }
-    }
-    jobs
 }
 
-/// Forks one `run_matrix --shard K/N` child per shard against the shared
-/// checkpoint directory and folds their stderr into a single aggregated
-/// ETA line (per-cell `[shard K/N]` lines are consumed; everything else
-/// is passed through with the shard prefix). Returns true when every
-/// child exited cleanly; the caller's merge run re-executes whatever a
-/// crashed child left behind either way.
+/// Prints the modulo-vs-LPT estimate at `n` shards. Both partitions are
+/// priced with the same model so the comparison is apples-to-apples.
+fn print_estimate(jobs: &[JobSpec], n: usize, partition: &Partition) {
+    let static_model = CostModel::static_table();
+    let model = partition.model().unwrap_or(&static_model);
+    let modulo = Partition::Modulo.estimate(jobs, n, model);
+    let lpt = Partition::CostLpt(model.clone()).estimate(jobs, n, model);
+    eprintln!(
+        "run_matrix: partition estimate at {n} shard(s) over {} job(s) (costs: {})",
+        jobs.len(),
+        model.source()
+    );
+    for (label, est) in [("modulo", &modulo), ("lpt", &lpt)] {
+        eprintln!(
+            "  {label:>6}: max shard {} Mcycles, mean {:.0}, max/mean {:.3}",
+            est.max(),
+            est.mean(),
+            est.max_over_mean()
+        );
+    }
+    let ratio = if modulo.max() == 0 { 1.0 } else { lpt.max() as f64 / modulo.max() as f64 };
+    eprintln!("  lpt/modulo max-shard cost ratio: {ratio:.3}");
+}
+
+/// Launches one shard process per shard through the configured
+/// dispatcher against the shared checkpoint directory, folding per-cell
+/// `[shard K/N]` stderr lines into a single aggregated ETA (everything
+/// else passes through with the shard prefix). Returns true when every
+/// shard exited cleanly; the caller's merge run re-executes whatever a
+/// failed shard left behind either way.
 fn spawn_shards(cli: &Cli, checkpoint: &std::path::Path, n: usize, workers: usize, total: usize) -> bool {
     let exe = std::env::current_exe().expect("current_exe for --spawn");
     let child_jobs = (workers / n).max(1);
-    let started = Instant::now();
-    let counter = std::sync::atomic::AtomicUsize::new(0);
-    let single_line = std::io::stderr().is_terminal();
+    let partition_label = match cli.partition {
+        PartitionChoice::Modulo => "modulo",
+        PartitionChoice::Lpt => "lpt",
+    };
+    let dispatcher: Box<dyn Dispatcher> = match &cli.dispatch {
+        Some(template) => Box::new(CommandTemplate::new(template.clone()).unwrap_or_else(|e| fail(e))),
+        None => Box::new(LocalSpawn),
+    };
+
+    let mut launches = Vec::new();
+    for k in 0..n {
+        let mut args = vec![
+            "--shard".to_string(),
+            format!("{k}/{n}"),
+            "--checkpoint".to_string(),
+            checkpoint.display().to_string(),
+            "--out".to_string(),
+            checkpoint.join(format!("shard-{k}.md")).display().to_string(),
+            "--jobs".to_string(),
+            child_jobs.to_string(),
+            "--partition".to_string(),
+            partition_label.to_string(),
+            "--suites".to_string(),
+            cli.suites.clone(),
+            "--repro-dir".to_string(),
+            cli.repro_dir.display().to_string(),
+        ];
+        if cli.smoke {
+            args.push("--smoke".to_string());
+        }
+        if let Some(needle) = &cli.only {
+            args.push("--only".to_string());
+            args.push(needle.clone());
+        }
+        launches.push(ShardLaunch {
+            shard: Shard { index: k, count: n },
+            program: exe.clone(),
+            args,
+            checkpoint: checkpoint.to_path_buf(),
+        });
+    }
+
     eprintln!(
-        "run_matrix: spawning {n} shard process(es) ({child_jobs} worker(s) each) on {}",
+        "run_matrix: dispatching {n} shard process(es) ({child_jobs} worker(s) each, \
+         partition {partition_label}) via {} on {}",
+        dispatcher.describe(),
         checkpoint.display()
     );
 
-    let mut children = Vec::new();
-    for k in 0..n {
-        let mut cmd = std::process::Command::new(&exe);
-        cmd.arg("--shard")
-            .arg(format!("{k}/{n}"))
-            .arg("--checkpoint")
-            .arg(checkpoint)
-            .arg("--out")
-            .arg(checkpoint.join(format!("shard-{k}.md")))
-            .arg("--jobs")
-            .arg(child_jobs.to_string())
-            .arg("--suites")
-            .arg(cli.suites.join(","))
-            .arg("--repro-dir")
-            .arg(&cli.repro_dir)
-            .stderr(std::process::Stdio::piped());
-        if cli.smoke {
-            cmd.arg("--smoke");
-        }
-        if let Some(needle) = &cli.only {
-            cmd.arg("--only").arg(needle);
-        }
-        match cmd.spawn() {
-            Ok(child) => children.push((k, child)),
-            Err(e) => {
-                eprintln!("run_matrix: WARNING: cannot spawn shard {k}/{n}: {e}");
+    let started = Instant::now();
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let single_line = std::io::stderr().is_terminal();
+    let sink = |k: usize, line: &str| {
+        if line.trim_start().starts_with("[shard ") || line.starts_with("  [shard ") {
+            // One per-cell progress line from any shard == one more
+            // finished cell; replace the interleaved stream with a
+            // single aggregate counter.
+            let finished = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let elapsed = started.elapsed().as_secs_f64();
+            let eta = if finished < total {
+                format!(", ~{:.0}s left", elapsed / finished as f64 * (total - finished) as f64)
+            } else {
+                String::new()
+            };
+            let msg = format!("  [spawn] {finished}/{total} cells ({elapsed:.1}s elapsed{eta})");
+            if single_line {
+                eprint!("\r{msg}");
+                let _ = std::io::stderr().flush();
+            } else {
+                eprintln!("{msg}");
             }
+        } else if !line.is_empty() {
+            if single_line && counter.load(std::sync::atomic::Ordering::Relaxed) > 0 {
+                eprintln!();
+            }
+            eprintln!("  [shard {k}/{n}] {line}");
         }
-    }
-
-    let mut all_ok = !children.is_empty();
-    std::thread::scope(|scope| {
-        let counter = &counter;
-        let mut handles = Vec::new();
-        for (k, child) in &mut children {
-            let k = *k;
-            let stderr = child.stderr.take().expect("piped child stderr");
-            handles.push(scope.spawn(move || {
-                for line in std::io::BufReader::new(stderr).lines() {
-                    let Ok(line) = line else { break };
-                    if line.trim_start().starts_with("[shard ") || line.starts_with("  [shard ") {
-                        // One per-cell progress line from any shard ==
-                        // one more finished cell; replace the interleaved
-                        // stream with a single aggregate counter.
-                        let finished = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                        let elapsed = started.elapsed().as_secs_f64();
-                        let eta = if finished < total {
-                            format!(", ~{:.0}s left", elapsed / finished as f64 * (total - finished) as f64)
-                        } else {
-                            String::new()
-                        };
-                        let msg =
-                            format!("  [spawn] {finished}/{total} cells ({elapsed:.1}s elapsed{eta})");
-                        if single_line {
-                            eprint!("\r{msg}");
-                            let _ = std::io::stderr().flush();
-                        } else {
-                            eprintln!("{msg}");
-                        }
-                    } else if !line.is_empty() {
-                        if single_line && counter.load(std::sync::atomic::Ordering::Relaxed) > 0 {
-                            eprintln!();
-                        }
-                        eprintln!("  [shard {k}/{n}] {line}");
-                    }
-                }
-            }));
-        }
-        for h in handles {
-            let _ = h.join();
-        }
-    });
+    };
+    let results = rev_bench::dispatch::run_shards(dispatcher.as_ref(), &launches, &sink);
     if single_line && counter.load(std::sync::atomic::Ordering::Relaxed) > 0 {
         eprintln!();
     }
-    for (k, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!(
-                    "run_matrix: WARNING: shard {k}/{n} exited with {status}; \
-                     its cells will re-run in the merge"
-                );
-                all_ok = false;
-            }
-            Err(e) => {
-                eprintln!("run_matrix: WARNING: waiting for shard {k}/{n}: {e}");
-                all_ok = false;
-            }
+
+    let mut all_ok = true;
+    for r in &results {
+        if let Some(e) = &r.error {
+            eprintln!(
+                "run_matrix: WARNING: shard {}/{} {e}; its cells will re-run in the merge",
+                r.shard.index, r.shard.count
+            );
         }
+        all_ok &= r.ok;
+    }
+    for k in rev_bench::dispatch::missing_shard_files(checkpoint, n) {
+        eprintln!(
+            "run_matrix: WARNING: no shard-{k}-of-{n}.jsonl under {} — shard {k} \
+             checkpointed nothing; the merge run executes its cells locally",
+            checkpoint.display()
+        );
+        all_ok = false;
     }
     all_ok
 }
 
 fn main() {
     let cli = parse_cli();
-    if cli.compact && cli.checkpoint.is_none() {
-        eprintln!("error: --compact requires --checkpoint PATH");
-        usage();
-    }
-    if cli.shard.is_sharded() && cli.checkpoint.is_none() {
-        eprintln!("error: --shard requires --checkpoint PATH (shards merge through it)");
-        usage();
+    cli.common.validate().unwrap_or_else(|e| fail(e));
+    if cli.shard.is_sharded() && cli.common.checkpoint.is_none() {
+        fail("--shard requires --checkpoint PATH (shards merge through it)");
     }
     if cli.spawn.is_some() && cli.shard.is_sharded() {
-        eprintln!("error: --spawn and --shard are mutually exclusive (--spawn forks the shards)");
-        usage();
+        fail("--spawn and --shard are mutually exclusive (--spawn forks the shards)");
     }
-    let scale = if cli.smoke { Scale::smoke() } else { Scale::from_env() };
+    if cli.dispatch.is_some() && cli.spawn.is_none() {
+        fail("--dispatch requires --spawn N (it decides how the N shards launch)");
+    }
+    if cli.calibrate && cli.common.checkpoint.is_none() {
+        fail("--calibrate requires --checkpoint PATH (costs come from its completed cells)");
+    }
+    let scale = if cli.smoke { Scale::smoke() } else { cli::env_scale() };
     let t0 = Instant::now();
 
-    if cli.compact {
-        let path = cli.checkpoint.as_deref().expect("checked above");
+    if cli.common.compact {
+        let path = cli.common.checkpoint.as_deref().expect("validated above");
         match orchestrator::compact_checkpoint(path) {
             Ok((kept, dropped)) => eprintln!(
                 "run_matrix: compacted checkpoint {} ({kept} cell(s) kept, {dropped} \
@@ -312,37 +357,74 @@ fn main() {
         }
     }
 
-    let jobs = expand_suites(&cli, scale);
+    // Explicit calibration happens before partition resolution, so this
+    // very run schedules with the fresh weights.
+    if cli.calibrate {
+        let path = cli.common.checkpoint.as_deref().expect("validated above");
+        match CostModel::calibrate_from_checkpoint(path) {
+            Some(model) => match model.save(path) {
+                Ok(written) => eprintln!(
+                    "run_matrix: calibrated {} (suite, workload) cost weight(s) from {} -> {}",
+                    model.len(),
+                    path.display(),
+                    written.display()
+                ),
+                Err(e) => fail(format!("writing costs.json: {e}")),
+            },
+            None => eprintln!(
+                "run_matrix: WARNING: {} holds no completed cells to calibrate from; \
+                 scheduling falls back to the static cost table",
+                path.display()
+            ),
+        }
+    }
 
-    let mut opts = RunOptions::from_env();
-    if let Some(jobs_override) = cli.jobs {
+    let mut plan = MatrixPlan::new(scale)
+        .parse_suites(&cli.suites)
+        .unwrap_or_else(|e| fail(e));
+    if let Some(needle) = &cli.only {
+        plan = plan.only(needle.clone());
+    }
+    let jobs = plan.build().unwrap_or_else(|e| fail(e));
+
+    let partition = resolve_partition(&cli);
+    if let Some(n) = cli.estimate_shards {
+        print_estimate(&jobs, n, &partition);
+        return;
+    }
+
+    let mut opts = cli::env_run_options()
+        .shard(cli.shard)
+        .partition(partition)
+        .repro_dir(cli.repro_dir.clone());
+    if let Some(jobs_override) = cli.common.jobs {
         opts.workers = jobs_override;
     }
-    opts.checkpoint = cli.checkpoint.clone();
-    opts.shard = cli.shard;
-    opts.repro_dir = Some(cli.repro_dir.clone());
+    opts.checkpoint = cli.common.checkpoint.clone();
 
-    // --spawn: fork the shards against a shared checkpoint directory,
+    // --spawn: dispatch the shards against a shared checkpoint directory,
     // then fall through to a normal unsharded run over the same
     // directory — it resumes everything the children completed, executes
     // any stragglers locally, and renders the merged report.
     let mut spawn_tmp: Option<PathBuf> = None;
     if let Some(n) = cli.spawn {
-        let dir = cli.checkpoint.clone().unwrap_or_else(|| {
+        let dir = cli.common.checkpoint.clone().unwrap_or_else(|| {
             let dir = std::env::temp_dir()
                 .join(format!("run-matrix-spawn-{}", std::process::id()));
             spawn_tmp = Some(dir.clone());
             dir
         });
         if dir.is_file() {
-            eprintln!(
-                "error: --spawn needs a checkpoint *directory*, but {} is a file",
+            fail(format!(
+                "--spawn needs a checkpoint *directory*, but {} is a file",
                 dir.display()
-            );
-            std::process::exit(2);
+            ));
         }
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| panic!("cannot create checkpoint directory {}: {e}", dir.display()));
+        if n > 1 {
+            print_estimate(&jobs, n, &opts.partition);
+        }
         spawn_shards(&cli, &dir, n, opts.workers, jobs.len());
         opts.checkpoint = Some(dir);
     }
@@ -352,8 +434,14 @@ fn main() {
         "run_matrix: {} job(s){}, {} worker(s), scale={:.3} reps={}{}",
         jobs.len(),
         if sharded {
-            format!(" (shard {}/{} owns {})", cli.shard.index, cli.shard.count,
-                (0..jobs.len()).filter(|&i| cli.shard.owns(i)).count())
+            let owned = opts.partition.assignment(&jobs, cli.shard.count)[cli.shard.index].len();
+            format!(
+                " (shard {}/{} owns {} under {})",
+                cli.shard.index,
+                cli.shard.count,
+                owned,
+                opts.partition.label()
+            )
         } else {
             String::new()
         },
@@ -400,6 +488,25 @@ fn main() {
         return;
     }
 
+    // A complete checkpointed matrix is exactly a calibration corpus:
+    // refresh costs.json so the next sharded run over this checkpoint
+    // schedules with measured weights instead of the static table.
+    // (Written only here — after the merge, never from racing shards.)
+    if let Some(path) = opts.checkpoint.as_deref() {
+        if outcome.failures.is_empty() && spawn_tmp.is_none() {
+            if let Some(model) = CostModel::calibrate_from_checkpoint(path) {
+                match model.save(path) {
+                    Ok(written) => eprintln!(
+                        "run_matrix: refreshed cost calibration ({} weight(s)) -> {}",
+                        model.len(),
+                        written.display()
+                    ),
+                    Err(e) => eprintln!("run_matrix: WARNING: cannot write costs.json: {e}"),
+                }
+            }
+        }
+    }
+
     let empty = Suite::default();
     let suite_of = |kind: &str| outcome.suites.get(kind).unwrap_or(&empty);
     let spec = suite_of("spec");
@@ -417,7 +524,7 @@ fn main() {
         scale.fraction, scale.reps
     ));
 
-    let has = |kind: &str| cli.suites.iter().any(|s| s == kind);
+    let has = |kind: &str| cli.suites.split(',').any(|s| s.trim() == kind);
     if has("spec") {
         for section in [
             figures::fig1_spec_wall(spec),
@@ -457,14 +564,15 @@ fn main() {
     }
 
     if cli.ablations {
+        let workers = opts.workers;
         doc.push_str("## Ablations\n\n");
         for section in [
-            ablations::barriers(scale),
-            ablations::pte_mode(scale),
-            ablations::quarantine_policy(scale),
-            ablations::cheriot(scale),
-            ablations::revoker_priority(scale),
-            ablations::revoker_threads(scale),
+            ablations::barriers(scale, workers),
+            ablations::pte_mode(scale, workers),
+            ablations::quarantine_policy(scale, workers),
+            ablations::cheriot(scale, workers),
+            ablations::revoker_priority(scale, workers),
+            ablations::revoker_threads(scale, workers),
             ablations::revoker_core_scaling(scale),
             ablations::coloring(),
         ] {
@@ -488,10 +596,11 @@ fn main() {
     }
     doc.push_str(&figures::failure_report(&outcome.failures));
 
-    let mut f = std::fs::File::create(&cli.out)
-        .unwrap_or_else(|e| panic!("create {}: {e}", cli.out));
+    let out = cli.common.out.clone().unwrap_or_else(|| "MATRIX.md".to_string());
+    let mut f = std::fs::File::create(&out)
+        .unwrap_or_else(|e| panic!("create {out}: {e}"));
     f.write_all(doc.as_bytes()).expect("write report");
-    eprintln!("run_matrix: wrote {} in {:.1?}", cli.out, t0.elapsed());
+    eprintln!("run_matrix: wrote {out} in {:.1?}", t0.elapsed());
 
     if let Some(dir) = spawn_tmp {
         // The checkpoint was a private scratch directory for this spawn

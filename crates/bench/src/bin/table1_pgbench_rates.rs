@@ -1,9 +1,11 @@
 //! Regenerates Table 1 (pgbench latency percentiles under fixed arrival
 //! rates, Reloaded). Honours REPRO_SCALE.
-use rev_bench::harness::{pgbench_rate_suite, Scale};
+use rev_bench::cli;
+use rev_bench::harness::pgbench_rate_suite;
 
 fn main() {
-    let scale = Scale::from_env();
-    let suite = pgbench_rate_suite(&[Some(800.0), Some(1200.0), Some(2000.0), None], scale);
+    let scale = cli::env_scale();
+    let opts = cli::env_run_options();
+    let suite = pgbench_rate_suite(&rev_bench::harness::RATE_SCHEDULE, scale, &opts);
     println!("{}", rev_bench::figures::table1_rates(&suite));
 }

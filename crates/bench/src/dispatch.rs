@@ -1,0 +1,214 @@
+//! Pluggable shard dispatch: how `--spawn N` actually launches the N
+//! shard processes.
+//!
+//! A [`Dispatcher`] turns a [`ShardLaunch`] (the shard's identity plus
+//! the exact `run_matrix` argv that executes it) into a spawnable
+//! command. Two backends:
+//!
+//! - [`LocalSpawn`] forks the binary directly — today's single-machine
+//!   `--spawn N`.
+//! - [`CommandTemplate`] wraps the command in a user-supplied shell
+//!   template (run via `sh -c`), so shards can launch through ssh, a
+//!   container runtime, or a batch scheduler. Placeholders:
+//!
+//!   | Placeholder | Expands to |
+//!   |---|---|
+//!   | `{cmd}` | the full shell-quoted shard command |
+//!   | `{index}` / `{count}` / `{shard}` | `K`, `N`, `K/N` |
+//!   | `{checkpoint}` | the shared checkpoint directory |
+//!
+//!   e.g. `--dispatch 'ssh worker{index} {cmd}'` — which assumes the
+//!   binary and checkpoint directory are visible at the same paths on
+//!   the remote host (shared filesystem, or rsync the
+//!   `shard-K-of-N.jsonl` files back before the merge run).
+//!
+//! [`run_shards`] drives any backend: it spawns every shard, pipes each
+//! child's stderr line-by-line into a caller-supplied sink (the `--spawn`
+//! parent folds per-cell progress lines into one aggregate ETA there),
+//! waits for all of them, and reports which shards exited cleanly. The
+//! merge run self-heals whatever a failed shard left behind, so dispatch
+//! failures degrade to wasted time, never wrong reports;
+//! [`missing_shard_files`] names the shards whose checkpoint files never
+//! landed so the operator knows what the merge is about to re-execute.
+
+use crate::orchestrator::Shard;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Everything needed to launch one shard of a matrix run.
+#[derive(Debug, Clone)]
+pub struct ShardLaunch {
+    /// The shard this launch executes.
+    pub shard: Shard,
+    /// The shard binary (normally `current_exe`).
+    pub program: PathBuf,
+    /// Full argv tail, including `--shard K/N` and `--checkpoint`.
+    pub args: Vec<String>,
+    /// The shared checkpoint directory the shard appends into.
+    pub checkpoint: PathBuf,
+}
+
+/// A strategy for turning a [`ShardLaunch`] into a spawnable command.
+pub trait Dispatcher {
+    /// Human-readable description for the spawn banner.
+    fn describe(&self) -> String;
+
+    /// Builds the command that executes `launch`. The driver pipes its
+    /// stderr; implementations must not redirect it themselves.
+    fn command(&self, launch: &ShardLaunch) -> Command;
+}
+
+/// Forks the shard binary directly on this machine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSpawn;
+
+impl Dispatcher for LocalSpawn {
+    fn describe(&self) -> String {
+        "local fork".to_string()
+    }
+
+    fn command(&self, launch: &ShardLaunch) -> Command {
+        let mut cmd = Command::new(&launch.program);
+        cmd.args(&launch.args);
+        cmd
+    }
+}
+
+/// Launches each shard through a user-supplied `sh -c` template.
+#[derive(Debug, Clone)]
+pub struct CommandTemplate {
+    template: String,
+}
+
+impl CommandTemplate {
+    /// A dispatcher for `template` (see module docs for placeholders).
+    ///
+    /// # Errors
+    ///
+    /// The template must reference `{cmd}` — without it no shard would
+    /// ever run.
+    pub fn new(template: impl Into<String>) -> Result<CommandTemplate, String> {
+        let template = template.into();
+        if !template.contains("{cmd}") {
+            return Err(format!(
+                "--dispatch {template:?}: template must contain {{cmd}} (the shard command)"
+            ));
+        }
+        Ok(CommandTemplate { template })
+    }
+
+    /// The fully expanded shell line for `launch`.
+    #[must_use]
+    pub fn expand(&self, launch: &ShardLaunch) -> String {
+        let mut cmd = shell_quote(&launch.program.to_string_lossy());
+        for arg in &launch.args {
+            cmd.push(' ');
+            cmd.push_str(&shell_quote(arg));
+        }
+        self.template
+            .replace("{cmd}", &cmd)
+            .replace("{index}", &launch.shard.index.to_string())
+            .replace("{count}", &launch.shard.count.to_string())
+            .replace("{shard}", &format!("{}/{}", launch.shard.index, launch.shard.count))
+            .replace("{checkpoint}", &launch.checkpoint.to_string_lossy())
+    }
+}
+
+impl Dispatcher for CommandTemplate {
+    fn describe(&self) -> String {
+        format!("command template {:?}", self.template)
+    }
+
+    fn command(&self, launch: &ShardLaunch) -> Command {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg(self.expand(launch));
+        cmd
+    }
+}
+
+/// Single-quotes `arg` for `sh`, escaping embedded single quotes.
+#[must_use]
+pub fn shell_quote(arg: &str) -> String {
+    if !arg.is_empty()
+        && arg
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_' | '/' | ':' | ','))
+    {
+        return arg.to_string();
+    }
+    format!("'{}'", arg.replace('\'', "'\\''"))
+}
+
+/// One shard's dispatch outcome.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// The shard that was launched.
+    pub shard: Shard,
+    /// True when the child spawned and exited with status 0.
+    pub ok: bool,
+    /// What went wrong, for the warning line.
+    pub error: Option<String>,
+}
+
+/// Launches every shard through `dispatcher`, streaming each child's
+/// stderr lines into `sink(shard_index, line)` from one reader thread
+/// per child, and waits for all of them. Returns one [`ShardResult`] per
+/// launch. A shard that cannot spawn or exits non-zero is reported, not
+/// fatal: the caller's merge run re-executes whatever it left behind.
+pub fn run_shards(
+    dispatcher: &dyn Dispatcher,
+    launches: &[ShardLaunch],
+    sink: &(dyn Fn(usize, &str) + Sync),
+) -> Vec<ShardResult> {
+    use std::io::BufRead as _;
+
+    let mut children = Vec::new();
+    let mut results: Vec<ShardResult> = launches
+        .iter()
+        .map(|l| ShardResult { shard: l.shard, ok: false, error: None })
+        .collect();
+    for (slot, launch) in launches.iter().enumerate() {
+        let mut cmd = dispatcher.command(launch);
+        cmd.stderr(Stdio::piped());
+        match cmd.spawn() {
+            Ok(child) => children.push((slot, child)),
+            Err(e) => results[slot].error = Some(format!("cannot spawn: {e}")),
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (slot, child) in &mut children {
+            let index = launches[*slot].shard.index;
+            let stderr = child.stderr.take().expect("piped child stderr");
+            handles.push(scope.spawn(move || {
+                for line in std::io::BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    sink(index, &line);
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+
+    for (slot, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => results[slot].ok = true,
+            Ok(status) => results[slot].error = Some(format!("exited with {status}")),
+            Err(e) => results[slot].error = Some(format!("wait failed: {e}")),
+        }
+    }
+    results
+}
+
+/// The shards (of `count`) whose `shard-K-of-N.jsonl` file is absent
+/// from `checkpoint` — i.e. shards that never checkpointed a single
+/// cell. The merge run will execute their cells locally.
+#[must_use]
+pub fn missing_shard_files(checkpoint: &Path, count: usize) -> Vec<usize> {
+    (0..count)
+        .filter(|k| !checkpoint.join(format!("shard-{k}-of-{count}.jsonl")).is_file())
+        .collect()
+}

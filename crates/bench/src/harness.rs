@@ -1,6 +1,8 @@
 //! Suite running: executes each workload under every condition, with
 //! repetitions, and indexes the results for the figure generators.
 
+use crate::orchestrator::RunOptions;
+use crate::plan::{MatrixPlan, SuiteKind};
 use morello_sim::{Condition, Op, RunStats, System};
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -71,16 +73,10 @@ impl Scale {
     }
 
     /// Reads `REPRO_SCALE` / `REPRO_REPS` from the environment.
-    /// Unparsable values are a hard error (exit 2): a mistyped scale must
-    /// not silently run a multi-hour full-scale sweep.
     #[must_use]
+    #[deprecated(note = "env parsing moved to the CLI edge: use cli::env_scale()")]
     pub fn from_env() -> Self {
-        let fraction = std::env::var("REPRO_SCALE").ok();
-        let reps = std::env::var("REPRO_REPS").ok();
-        Scale::parse(fraction.as_deref(), reps.as_deref()).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        })
+        crate::cli::env_scale()
     }
 
     /// A fast configuration for tests.
@@ -192,11 +188,16 @@ fn progress(msg: &str) {
 }
 
 /// Runs all SPEC surrogates under `conditions` on the orchestrator's
-/// worker pool (`REPRO_JOBS`; serial when 1). Byte-identical to
+/// worker pool (serial when `opts.workers <= 1`). Byte-identical to
 /// [`spec_suite_serial`] by construction.
 #[must_use]
-pub fn spec_suite(conditions: &[Condition], scale: Scale) -> Suite {
-    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_spec(conditions, scale))
+pub fn spec_suite(conditions: &[Condition], scale: Scale, opts: &RunOptions) -> Suite {
+    let jobs = MatrixPlan::new(scale)
+        .suite(SuiteKind::Spec)
+        .conditions(conditions)
+        .build()
+        .expect("single-suite plan always expands");
+    crate::orchestrator::run_suite(&jobs, opts)
 }
 
 /// The original single-threaded SPEC loop, kept as the byte-identity
@@ -241,8 +242,13 @@ pub fn spec_single(program: SpecProgram, condition: Condition, scale: Scale, see
 /// Runs the pgbench surrogate under `conditions` on the orchestrator's
 /// worker pool.
 #[must_use]
-pub fn pgbench_suite(conditions: &[Condition], scale: Scale) -> Suite {
-    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_pgbench(conditions, scale))
+pub fn pgbench_suite(conditions: &[Condition], scale: Scale, opts: &RunOptions) -> Suite {
+    let jobs = MatrixPlan::new(scale)
+        .suite(SuiteKind::Pgbench)
+        .conditions(conditions)
+        .build()
+        .expect("single-suite plan always expands");
+    crate::orchestrator::run_suite(&jobs, opts)
 }
 
 /// Single-threaded pgbench loop (byte-identity oracle).
@@ -268,10 +274,13 @@ pub fn pgbench_suite_serial(conditions: &[Condition], scale: Scale) -> Suite {
 /// Runs the rate-scheduled pgbench variants (Table 1) under Reloaded on
 /// the orchestrator's worker pool.
 #[must_use]
-pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale) -> Suite {
-    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_pgbench_rates(
-        rates, scale,
-    ))
+pub fn pgbench_rate_suite(rates: &[Option<f64>], scale: Scale, opts: &RunOptions) -> Suite {
+    let jobs = MatrixPlan::new(scale)
+        .suite(SuiteKind::PgbenchRates)
+        .rates(rates)
+        .build()
+        .expect("single-suite plan always expands");
+    crate::orchestrator::run_suite(&jobs, opts)
 }
 
 /// Single-threaded pgbench-rate loop (byte-identity oracle).
@@ -304,8 +313,12 @@ pub fn pgbench_rate_suite_serial(rates: &[Option<f64>], scale: Scale) -> Suite {
 /// Runs the gRPC QPS surrogate under [`GRPC_CONDITIONS`] on the
 /// orchestrator's worker pool.
 #[must_use]
-pub fn grpc_suite(scale: Scale) -> Suite {
-    crate::orchestrator::run_suite_from_env(&crate::orchestrator::expand_grpc(scale))
+pub fn grpc_suite(scale: Scale, opts: &RunOptions) -> Suite {
+    let jobs = MatrixPlan::new(scale)
+        .suite(SuiteKind::Grpc)
+        .build()
+        .expect("single-suite plan always expands");
+    crate::orchestrator::run_suite(&jobs, opts)
 }
 
 /// Single-threaded gRPC loop (byte-identity oracle).
@@ -335,10 +348,8 @@ mod tests {
     #[test]
     fn suite_indexing_and_means() {
         let mut s = Suite::default();
-        let mut a = RunStats::default();
-        a.wall_cycles = 100;
-        let mut b = RunStats::default();
-        b.wall_cycles = 200;
+        let a = RunStats { wall_cycles: 100, ..RunStats::default() };
+        let b = RunStats { wall_cycles: 200, ..RunStats::default() };
         s.insert("w", Condition::Baseline, a);
         s.insert("w", Condition::reloaded(), b);
         assert_eq!(s.stats("w", "baseline").len(), 1);

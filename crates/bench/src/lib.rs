@@ -30,17 +30,28 @@
 //! pool (see [`orchestrator`]); `REPRO_JOBS` picks the worker count and
 //! `REPRO_JOBS=1` recovers the serial path. Output is byte-identical
 //! either way — including across process counts: shards of the matrix
-//! (`job_id % N`) append to per-shard files in a shared checkpoint
-//! directory and any later run merges them in deterministic job order,
-//! so an N-shard cluster run renders the same bytes as a laptop run.
-//! Cells that fail both attempts leave replayable `repro/<key>.json`
-//! files behind.
+//! append to per-shard files in a shared checkpoint directory and any
+//! later run merges them in deterministic job order, so an N-shard
+//! cluster run renders the same bytes as a laptop run. Which cells a
+//! shard executes comes from a pluggable partition ([`sched`]): the
+//! stride `job_id % N`, or cost-weighted LPT bin-packing over
+//! calibrated per-workload costs, dispatched locally or through a
+//! command template ([`dispatch`]). Cells that fail both attempts leave
+//! replayable `repro/<key>.json` files behind.
+//!
+//! Layering: [`plan`] expands the matrix, [`sched`] partitions it,
+//! [`orchestrator`] executes it, [`dispatch`] launches shard processes,
+//! and [`cli`] is the only module that reads the environment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
+pub mod dispatch;
 pub mod figures;
 pub mod fmt;
 pub mod harness;
 pub mod orchestrator;
+pub mod plan;
+pub mod sched;

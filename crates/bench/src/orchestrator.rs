@@ -2,13 +2,12 @@
 //!
 //! The evaluation is a condition × workload × seed matrix whose cells are
 //! completely independent: each one generates its own op stream from a
-//! seed and runs its own deterministic [`System`]. This module expands
-//! the matrix into [`JobSpec`]s, executes them on a work-stealing
-//! `std::thread` pool (worker count from `REPRO_JOBS`, default: available
-//! parallelism), and merges the results back into [`Suite`] indexes **in
-//! job order**, so the merged output is byte-identical to the serial
-//! loops in [`crate::harness`] no matter how many workers ran or in what
-//! order cells finished.
+//! seed and runs its own deterministic `System`. This module takes the
+//! [`JobSpec`] list a [`crate::plan::MatrixPlan`] expanded, executes it
+//! on a work-stealing `std::thread` pool, and merges the results back
+//! into [`Suite`] indexes **in job order**, so the merged output is
+//! byte-identical to the serial loops in [`crate::harness`] no matter
+//! how many workers ran or in what order cells finished.
 //!
 //! Fault isolation: every job runs under `catch_unwind` with one retry; a
 //! job that panics twice degrades into a typed [`JobFailure`] record in
@@ -22,30 +21,33 @@
 //!
 //! The worker pool is in-process threads; to scale past one process, a
 //! run can take a [`Shard`] identity `K/N`: it executes only the jobs
-//! with `job_id % N == K` and skips the rest, while **resume** stays
-//! global — any cell already in the checkpoint is replayed no matter
-//! which shard wrote it. Sharded runs require the checkpoint to be a
-//! *directory*: each shard appends to its own `shard-K-of-N.jsonl` file
-//! (headed by a shard-metadata line), so shards never contend on a file,
-//! and loading reads every `*.jsonl` in the directory. Because cell keys
-//! are topology-independent (`suite|workload|condition|seed`) and the
-//! final reduction is in job order, a checkpoint written by N shards
-//! replays under M shards or serially, and the merged output is
-//! byte-identical to the serial loops. The conventional merge step is
-//! simply an unsharded run over the same checkpoint directory: every
-//! completed cell resumes, stragglers (including cells whose shard
-//! failed) execute locally, and the job-order reduction produces the
-//! report.
+//! its [`crate::sched::Partition`] assigns to shard `K` and skips the
+//! rest, while **resume** stays global — any cell already in the
+//! checkpoint is replayed no matter which shard wrote it. The default
+//! partition is the original `job_id % N` stride; cost-weighted runs
+//! pass [`crate::sched::Partition::CostLpt`], which bin-packs jobs onto
+//! shards by calibrated per-workload cost (see [`crate::sched`]).
+//! Sharded runs require the checkpoint to be a *directory*: each shard
+//! appends to its own `shard-K-of-N.jsonl` file (headed by a
+//! shard-metadata line recording the partition and the assigned job
+//! set), so shards never contend on a file, and loading reads every
+//! `*.jsonl` in the directory. Because cell keys are
+//! topology-independent (`suite|workload|condition|seed`) and the final
+//! reduction is in job order, a checkpoint written by N shards — under
+//! either partition — replays under M shards or serially, and the
+//! merged output is byte-identical to the serial loops. The
+//! conventional merge step is simply an unsharded run over the same
+//! checkpoint directory: every completed cell resumes, stragglers
+//! (including cells whose shard failed) execute locally, and the
+//! job-order reduction produces the report.
 //!
-//! Environment knobs:
-//!
-//! | Variable | Meaning |
-//! |---|---|
-//! | `REPRO_JOBS` | Worker threads per process (`1` = serial; default: available parallelism) |
-//! | `REPRO_INJECT_PANIC` | Fault-injection hook: jobs whose key contains this substring panic (CI uses it to prove isolation) |
+//! Configuration is fully typed through [`RunOptions`]; the binaries
+//! translate `REPRO_JOBS` / `REPRO_INJECT_PANIC` into it at the CLI
+//! edge via [`crate::cli`].
 
-use crate::harness::{Scale, Suite, CONDITIONS, GRPC_CONDITIONS, RATE_SCHEDULE};
-use morello_sim::{Condition, Json, RunStats, System};
+use crate::harness::{Scale, Suite};
+use crate::sched::Partition;
+use morello_sim::{Condition, Json, RunStats};
 use std::collections::BTreeMap;
 use std::io::{BufRead as _, BufWriter, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -53,41 +55,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use workloads::{
-    grpc_stream, pgbench_stream, spec_stream, spec_stream_scaled, GrpcParams, PgbenchParams,
-    SpecProgram, SPEC_PROGRAMS,
-};
 
-/// Which suite a job belongs to (the key of
-/// [`MatrixOutcome::suites`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum SuiteKind {
-    /// SPEC CPU2006 surrogates (Figures 1–4, 9; Table 2).
-    Spec,
-    /// pgbench, unscheduled (Figures 5–7, 9; Table 2).
-    Pgbench,
-    /// pgbench at fixed arrival rates (Table 1).
-    PgbenchRates,
-    /// gRPC QPS (Figure 8, 9; Table 2).
-    Grpc,
-}
-
-impl SuiteKind {
-    /// Stable label (checkpoint keys, progress lines, suite map keys).
-    #[must_use]
-    pub fn label(&self) -> &'static str {
-        match self {
-            SuiteKind::Spec => "spec",
-            SuiteKind::Pgbench => "pgbench",
-            SuiteKind::PgbenchRates => "pgbench-rates",
-            SuiteKind::Grpc => "grpc",
-        }
-    }
-}
+pub use crate::plan::{JobSpec, SuiteKind};
 
 /// A process's identity in a sharded run: this process executes exactly
-/// the jobs with `job_id % count == index`. The default `0/1` owns every
-/// job (unsharded).
+/// the jobs the run's [`Partition`] assigns to `index`. The default
+/// `0/1` owns every job (unsharded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shard {
     /// This process's shard index, `0 <= index < count`.
@@ -129,7 +102,9 @@ impl Shard {
         Ok(Shard { index, count })
     }
 
-    /// Whether this shard executes the job at `job_id`.
+    /// Whether this shard owns `job_id` under the stride partition
+    /// ([`Partition::Modulo`]'s primitive; cost-weighted runs use the
+    /// partition's explicit assignment instead).
     #[must_use]
     pub fn owns(&self, job_id: usize) -> bool {
         job_id % self.count == self.index
@@ -142,230 +117,60 @@ impl Shard {
     }
 }
 
-/// How a job regenerates its workload. Jobs carry generation parameters,
-/// not op streams: each worker generates its own ops, so expansion is
-/// cheap and nothing is shared across threads.
-#[derive(Debug, Clone)]
-enum Payload {
-    Spec { program: SpecProgram, seed: u64, fraction: f64 },
-    Pgbench { transactions: u64, rate: Option<f64>, seed: u64 },
-    Grpc { messages: u64, seed: u64 },
-}
-
-/// One independent cell of the evaluation matrix.
-#[derive(Debug, Clone)]
-pub struct JobSpec {
-    suite: SuiteKind,
-    workload: String,
-    condition: Condition,
-    payload: Payload,
-}
-
-impl JobSpec {
-    /// The suite this job merges into.
-    #[must_use]
-    pub fn suite(&self) -> SuiteKind {
-        self.suite
-    }
-
-    /// The workload seed the cell regenerates from.
-    #[must_use]
-    pub fn seed(&self) -> u64 {
-        match &self.payload {
-            Payload::Spec { seed, .. }
-            | Payload::Pgbench { seed, .. }
-            | Payload::Grpc { seed, .. } => *seed,
-        }
-    }
-
-    /// Unique, stable identity: checkpoint key, progress label, and the
-    /// target of `REPRO_INJECT_PANIC` substring matching. Deliberately
-    /// independent of job *order*, so checkpoints written by any shard
-    /// topology or suite selection replay under any other.
-    #[must_use]
-    pub fn key(&self) -> String {
-        let seed = self.seed();
-        format!("{}|{}|{}|s{seed}", self.suite.label(), self.workload, self.condition.label())
-    }
-
-    /// Structured generation parameters for `repro/<key>.json` files:
-    /// everything needed to re-run exactly this cell. Fractions and rates
-    /// are rendered as strings because the checkpoint JSON dialect is
-    /// integer-only.
-    #[must_use]
-    fn payload_json(&self) -> Json {
-        match &self.payload {
-            Payload::Spec { program, seed, fraction } => Json::obj([
-                ("kind", Json::from("spec")),
-                ("program", Json::from(program.name())),
-                ("seed", Json::from(*seed)),
-                ("fraction", Json::Str(format!("{fraction}"))),
-            ]),
-            Payload::Pgbench { transactions, rate, seed } => Json::obj([
-                ("kind", Json::from("pgbench")),
-                ("transactions", Json::from(*transactions)),
-                (
-                    "rate",
-                    rate.map_or(Json::Null, |r| Json::Str(format!("{r}"))),
-                ),
-                ("seed", Json::from(*seed)),
-            ]),
-            Payload::Grpc { messages, seed } => Json::obj([
-                ("kind", Json::from("grpc")),
-                ("messages", Json::from(*messages)),
-                ("seed", Json::from(*seed)),
-            ]),
-        }
-    }
-
-    /// Runs the cell to completion. Panics on simulator error (exactly as
-    /// the serial harness does) — the orchestrator catches it.
-    ///
-    /// Workloads stream straight from their seeds through
-    /// [`System::run_stream`]: no cell ever materializes its op vector,
-    /// so a worker's resident footprint is one batch buffer plus
-    /// generator state. The streams are op-for-op identical to the
-    /// materializing generators (property-tested), so the merged suites
-    /// stay byte-identical to the serial harness loops.
-    fn execute(&self) -> RunStats {
-        match &self.payload {
-            Payload::Spec { program, seed, fraction } => {
-                if *fraction < 1.0 {
-                    let w = spec_stream_scaled(*program, *seed, *fraction);
-                    let (mut source, config) = (w.source, w.config);
-                    System::new(config.with_condition(self.condition))
-                        .run_stream(&mut source)
-                        .expect("spec surrogate must run clean")
-                        .into_stats()
-                } else {
-                    let w = spec_stream(*program, *seed);
-                    let (mut source, config) = (w.source, w.config);
-                    System::new(config.with_condition(self.condition))
-                        .run_stream(&mut source)
-                        .expect("spec surrogate must run clean")
-                        .into_stats()
-                }
-            }
-            Payload::Pgbench { transactions, rate, seed } => {
-                let w = pgbench_stream(PgbenchParams {
-                    transactions: *transactions,
-                    rate: *rate,
-                    seed: *seed,
-                });
-                let (mut source, config) = (w.source, w.config);
-                System::new(config.with_condition(self.condition))
-                    .run_stream(&mut source)
-                    .expect("pgbench surrogate must run clean")
-                    .into_stats()
-            }
-            Payload::Grpc { messages, seed } => {
-                let w = grpc_stream(GrpcParams { messages: *messages, seed: *seed });
-                let (mut source, config) = (w.source, w.config);
-                System::new(config.with_condition(self.condition))
-                    .run_stream(&mut source)
-                    .expect("grpc surrogate must run clean")
-                    .into_stats()
-            }
-        }
-    }
-}
-
 // ---------------------------------------------------------------------
-// Matrix expansion — loop nesting mirrors the serial suite runners in
-// `harness.rs` exactly, so merging results in job order reproduces the
-// serial `Suite` (including per-key repetition order) byte for byte.
+// Deprecated expansion wrappers — superseded by `plan::MatrixPlan`.
+// Kept for one release so external harnesses migrate gracefully; every
+// in-tree call site is on the builder.
 // ---------------------------------------------------------------------
 
-/// Expands the SPEC suite: rep (outer) → program → condition (inner),
-/// seeds `1000 + rep`, as [`crate::harness::spec_suite_serial`] runs them.
+/// Expands the SPEC suite.
 #[must_use]
+#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::Spec).conditions(..)")]
 pub fn expand_spec(conditions: &[Condition], scale: Scale) -> Vec<JobSpec> {
-    let mut jobs = Vec::new();
-    for rep in 0..scale.reps {
-        for program in SPEC_PROGRAMS {
-            for &cond in conditions {
-                jobs.push(JobSpec {
-                    suite: SuiteKind::Spec,
-                    workload: program.name().to_string(),
-                    condition: cond,
-                    payload: Payload::Spec {
-                        program,
-                        seed: 1000 + rep,
-                        fraction: scale.fraction,
-                    },
-                });
-            }
-        }
-    }
-    jobs
+    crate::plan::MatrixPlan::new(scale)
+        .suite(SuiteKind::Spec)
+        .conditions(conditions)
+        .build()
+        .expect("single-suite plan always expands")
 }
 
-/// Expands the pgbench suite (seeds `2000 + rep`).
+/// Expands the pgbench suite.
 #[must_use]
+#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::Pgbench).conditions(..)")]
 pub fn expand_pgbench(conditions: &[Condition], scale: Scale) -> Vec<JobSpec> {
-    let tx = crate::harness::pgbench_transactions(scale);
-    let mut jobs = Vec::new();
-    for rep in 0..scale.reps {
-        for &cond in conditions {
-            jobs.push(JobSpec {
-                suite: SuiteKind::Pgbench,
-                workload: "pgbench".to_string(),
-                condition: cond,
-                payload: Payload::Pgbench { transactions: tx, rate: None, seed: 2000 + rep },
-            });
-        }
-    }
-    jobs
+    crate::plan::MatrixPlan::new(scale)
+        .suite(SuiteKind::Pgbench)
+        .conditions(conditions)
+        .build()
+        .expect("single-suite plan always expands")
 }
 
-/// Expands the rate-scheduled pgbench variants (Table 1; Reloaded only,
-/// seed 3000).
+/// Expands the rate-scheduled pgbench variants (Table 1).
 #[must_use]
+#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::PgbenchRates).rates(..)")]
 pub fn expand_pgbench_rates(rates: &[Option<f64>], scale: Scale) -> Vec<JobSpec> {
-    let tx = crate::harness::pgbench_transactions(scale);
-    rates
-        .iter()
-        .map(|&rate| JobSpec {
-            suite: SuiteKind::PgbenchRates,
-            workload: crate::harness::rate_label(rate),
-            condition: Condition::reloaded(),
-            payload: Payload::Pgbench { transactions: tx, rate, seed: 3000 },
-        })
-        .collect()
+    crate::plan::MatrixPlan::new(scale)
+        .suite(SuiteKind::PgbenchRates)
+        .rates(rates)
+        .build()
+        .expect("single-suite plan always expands")
 }
 
-/// Expands the gRPC QPS suite (seeds `4000 + rep`; CHERIvoke excluded as
-/// in the paper).
+/// Expands the gRPC QPS suite.
 #[must_use]
+#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::Grpc)")]
 pub fn expand_grpc(scale: Scale) -> Vec<JobSpec> {
-    let msgs = crate::harness::grpc_messages(scale);
-    let mut jobs = Vec::new();
-    for rep in 0..scale.reps {
-        for cond in GRPC_CONDITIONS {
-            jobs.push(JobSpec {
-                suite: SuiteKind::Grpc,
-                workload: "gRPC QPS".to_string(),
-                condition: cond,
-                payload: Payload::Grpc { messages: msgs, seed: 4000 + rep },
-            });
-        }
-    }
-    jobs
+    crate::plan::MatrixPlan::new(scale)
+        .suite(SuiteKind::Grpc)
+        .build()
+        .expect("single-suite plan always expands")
 }
 
-/// Expands the entire evaluation — all four suites at the paper's
-/// conditions and Table 1 rate schedule — into one global job list, in
-/// the fixed order `spec, pgbench, pgbench-rates, grpc` (the order
-/// `reproduce_all` and `run_matrix`'s default suite selection use). One
-/// list means one checkpoint covers the whole EXPERIMENTS.md
-/// regeneration and cross-suite cells interleave on the same pool.
+/// Expands the entire evaluation into one global job list.
 #[must_use]
+#[deprecated(note = "use plan::MatrixPlan::all(scale)")]
 pub fn expand_all(scale: Scale) -> Vec<JobSpec> {
-    let mut jobs = expand_spec(&CONDITIONS, scale);
-    jobs.extend(expand_pgbench(&CONDITIONS, scale));
-    jobs.extend(expand_pgbench_rates(&RATE_SCHEDULE, scale));
-    jobs.extend(expand_grpc(scale));
-    jobs
+    crate::plan::MatrixPlan::all(scale).build().expect("the full plan always expands")
 }
 
 // ---------------------------------------------------------------------
@@ -386,7 +191,11 @@ pub struct JobFailure {
     pub message: String,
 }
 
-/// Orchestrator knobs.
+/// Orchestrator knobs. All typed — nothing in here reads the
+/// environment; binaries translate env vars into these fields at the
+/// CLI edge via [`crate::cli`]. Construct with the builder methods
+/// (`RunOptions::new().workers(4).checkpoint("ck")...`) or a struct
+/// literal; the fields stay public.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Worker threads; `0` or `1` runs the jobs inline (serial).
@@ -405,6 +214,10 @@ pub struct RunOptions {
     /// This process's shard identity; the default `0/1` executes every
     /// pending job.
     pub shard: Shard,
+    /// How jobs map onto shards (default: the stride partition).
+    /// Irrelevant when unsharded — every partition assigns all jobs to
+    /// shard 0 of 1.
+    pub partition: Partition,
     /// When set, each job that fails both attempts writes a
     /// `<dir>/<sanitized key>.json` repro file recording its seed,
     /// condition, workload, generation parameters, and a replay command.
@@ -412,20 +225,67 @@ pub struct RunOptions {
 }
 
 impl RunOptions {
-    /// Reads `REPRO_JOBS` / `REPRO_INJECT_PANIC`. Progress is on.
-    ///
-    /// Unparsable `REPRO_JOBS` is a hard error (exit 2): silently falling
-    /// back to a default would mask a mistyped sweep configuration.
+    /// All defaults: serial, no checkpoint, no progress, unsharded,
+    /// stride partition.
     #[must_use]
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the checkpoint path (file or directory).
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Enables or disables stderr progress lines.
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Sets the fault-injection substring (test hook).
+    #[must_use]
+    pub fn inject_panic(mut self, needle: Option<String>) -> Self {
+        self.inject_panic = needle;
+        self
+    }
+
+    /// Sets this process's shard identity.
+    #[must_use]
+    pub fn shard(mut self, shard: Shard) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Sets the job→shard partition.
+    #[must_use]
+    pub fn partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the repro-file directory for cells that fail both attempts.
+    #[must_use]
+    pub fn repro_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.repro_dir = Some(dir.into());
+        self
+    }
+
+    /// Reads `REPRO_JOBS` / `REPRO_INJECT_PANIC`. Progress is on.
+    #[must_use]
+    #[deprecated(note = "env parsing moved to the CLI edge: use cli::env_run_options()")]
     pub fn from_env() -> Self {
-        RunOptions {
-            workers: jobs_from_env(),
-            checkpoint: None,
-            progress: true,
-            inject_panic: std::env::var("REPRO_INJECT_PANIC").ok().filter(|v| !v.is_empty()),
-            shard: Shard::default(),
-            repro_dir: None,
-        }
+        crate::cli::env_run_options()
     }
 }
 
@@ -445,14 +305,9 @@ pub fn parse_jobs(value: &str) -> Result<usize, String> {
 /// Worker count from `REPRO_JOBS`, defaulting to the host's available
 /// parallelism. Exits with a diagnostic on unparsable values.
 #[must_use]
+#[deprecated(note = "env parsing moved to the CLI edge: use cli::env_workers()")]
 pub fn jobs_from_env() -> usize {
-    match std::env::var("REPRO_JOBS") {
-        Ok(v) => parse_jobs(&v).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }),
-        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-    }
+    crate::cli::env_workers()
 }
 
 /// The merged result of one orchestrated matrix run.
@@ -507,14 +362,22 @@ type Slot = Option<Result<RunStats, JobFailure>>;
 /// after all jobs settle, in job order, so both paths produce identical
 /// [`Suite`]s.
 ///
-/// With a sharded [`RunOptions::shard`], only the pending jobs this shard
-/// owns execute; cells owned by other shards (and absent from the
-/// checkpoint) are counted in [`MatrixOutcome::skipped`] and excluded
-/// from the merged suites — re-run unsharded over the same checkpoint to
-/// merge a complete matrix.
+/// With a sharded [`RunOptions::shard`], only the pending jobs the
+/// partition assigns to this shard execute; cells owned by other shards
+/// (and absent from the checkpoint) are counted in
+/// [`MatrixOutcome::skipped`] and excluded from the merged suites —
+/// re-run unsharded over the same checkpoint to merge a complete matrix.
+/// The partition only decides *who executes what*; resume and the merge
+/// are keyed by topology-agnostic cell keys, so checkpoints written
+/// under any partition or shard count replay under any other.
 #[must_use]
 pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
     let shard = opts.shard;
+    let assigned = opts.partition.assignment(jobs, shard.count);
+    let mut owned = vec![false; jobs.len()];
+    for &id in &assigned[shard.index] {
+        owned[id] = true;
+    }
     let resumed_stats = opts.checkpoint.as_deref().map(load_checkpoint).unwrap_or_default();
     let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
     let mut pending: Vec<usize> = Vec::new();
@@ -525,14 +388,15 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
             resumed += 1;
         } else {
             slots.push(None);
-            if shard.owns(i) {
+            if owned[i] {
                 pending.push(i);
             }
         }
     }
 
-    let checkpoint_writer =
-        opts.checkpoint.as_deref().map(|path| CheckpointWriter::open(path, shard));
+    let checkpoint_writer = opts.checkpoint.as_deref().map(|path| {
+        CheckpointWriter::open(path, shard, opts.partition.label(), &assigned[shard.index])
+    });
 
     // ETA denominator: the cells *this process* will settle (its own
     // pending jobs plus everything resumed), not the global matrix.
@@ -583,9 +447,9 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
         match slot {
             Some(Ok(stats)) => {
                 out.suites
-                    .entry(job.suite.label())
+                    .entry(job.suite().label())
                     .or_default()
-                    .insert(&job.workload, job.condition, stats);
+                    .insert(job.workload(), job.condition(), stats);
             }
             Some(Err(failure)) => {
                 if let Some(dir) = opts.repro_dir.as_deref() {
@@ -602,30 +466,36 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
     out
 }
 
-/// Runs a single-suite job list with environment-configured options and
-/// degrades failures to stderr warnings — the drop-in parallel body for
-/// the `harness.rs` suite runners.
+/// Runs a single-suite job list under `opts` and degrades failures to
+/// stderr warnings — the parallel body of the `harness.rs` suite
+/// runners.
 #[must_use]
-pub fn run_suite_from_env(jobs: &[JobSpec]) -> Suite {
-    let opts = RunOptions::from_env();
-    let (suite, failures) = run(jobs, &opts).into_suite();
+pub fn run_suite(jobs: &[JobSpec], opts: &RunOptions) -> Suite {
+    let (suite, failures) = run(jobs, opts).into_suite();
     for f in &failures {
         eprintln!("  [run] WARNING: job {} ({}) failed after {} attempts: {}", f.job_id, f.key, f.attempts, f.message);
     }
     suite
 }
 
-/// Executes independent ablation cells `0..n` on the environment's worker
-/// pool, returning results in cell order. Unlike [`run`], a panicking
+/// Runs a single-suite job list with environment-configured options.
+#[must_use]
+#[deprecated(note = "use run_suite(jobs, &opts) with cli::env_run_options() at the CLI edge")]
+pub fn run_suite_from_env(jobs: &[JobSpec]) -> Suite {
+    run_suite(jobs, &crate::cli::env_run_options())
+}
+
+/// Executes independent ablation cells `0..n` on a pool of `workers`
+/// threads, returning results in cell order. Unlike [`run`], a panicking
 /// cell propagates (ablations keep the serial harness's abort-on-error
 /// contract); the parallelism is purely a wall-clock optimization.
 #[must_use]
-pub fn parallel_cells<T, F>(n: usize, f: F) -> Vec<T>
+pub fn parallel_cells<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = jobs_from_env().clamp(1, n.max(1));
+    let workers = workers.clamp(1, n.max(1));
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -738,14 +608,14 @@ pub fn repro_file_name(key: &str) -> String {
 fn write_repro_file(dir: &Path, job: &JobSpec, failure: &JobFailure, progress: bool) {
     let replay = format!(
         "cargo run --release -p rev-bench --bin run_matrix -- --suites {} --only '{}'",
-        job.suite.label(),
+        job.suite().label(),
         failure.key,
     );
     let doc = Json::obj([
         ("key", Json::Str(failure.key.clone())),
-        ("suite", Json::from(job.suite.label())),
-        ("workload", Json::Str(job.workload.clone())),
-        ("condition", Json::from(job.condition.label())),
+        ("suite", Json::from(job.suite().label())),
+        ("workload", Json::Str(job.workload().to_string())),
+        ("condition", Json::from(job.condition().label())),
         ("seed", Json::from(job.seed())),
         ("payload", job.payload_json()),
         ("attempts", Json::from(u64::from(failure.attempts))),
@@ -813,7 +683,7 @@ fn load_checkpoint_file(path: &Path, map: &mut BTreeMap<String, RunStats>) {
 /// last write per key wins; across files the values are interchangeable
 /// (a cell's stats are deterministic), so file order only needs to be
 /// stable, not meaningful.
-fn load_checkpoint(path: &Path) -> BTreeMap<String, RunStats> {
+pub(crate) fn load_checkpoint(path: &Path) -> BTreeMap<String, RunStats> {
     let mut map = BTreeMap::new();
     if path.is_dir() {
         for file in checkpoint_dir_files(path) {
@@ -915,9 +785,13 @@ impl CheckpointWriter {
     /// unsharded single-file checkpoint, `path/shard-K-of-N.jsonl` when
     /// `path` is (or must become) a directory. A freshly created
     /// per-shard file is headed by a `shard_meta` line recording the
-    /// topology that wrote it — provenance for debugging, skipped by the
-    /// loader like any non-cell line.
-    fn open(path: &Path, shard: Shard) -> CheckpointWriter {
+    /// topology, the partition, and (in sharded runs) the explicit job
+    /// ids the partition assigned to this shard — provenance for
+    /// debugging, skipped by the loader like any non-cell line. Resume
+    /// never reads the assignment back: cell keys are
+    /// topology-agnostic, which is what lets an N-shard LPT checkpoint
+    /// replay under M modulo shards or serially.
+    fn open(path: &Path, shard: Shard, partition: &str, assigned: &[usize]) -> CheckpointWriter {
         let dir_mode = shard.is_sharded() || path.is_dir();
         let file_path = if dir_mode {
             std::fs::create_dir_all(path).unwrap_or_else(|e| {
@@ -935,14 +809,21 @@ impl CheckpointWriter {
         let fresh = file.metadata().map(|m| m.len() == 0).unwrap_or(false);
         let mut out = BufWriter::with_capacity(128 * 1024, file);
         if dir_mode && fresh {
-            let meta = Json::obj([(
-                "shard_meta",
-                Json::obj([
-                    ("format", Json::from(1u64)),
-                    ("shard", Json::from(shard.index)),
-                    ("shards", Json::from(shard.count)),
-                ]),
-            )]);
+            let mut fields = vec![
+                ("format", Json::from(2u64)),
+                ("shard", Json::from(shard.index)),
+                ("shards", Json::from(shard.count)),
+                ("partition", Json::from(partition)),
+            ];
+            if shard.is_sharded() {
+                fields.push((
+                    "assigned",
+                    Json::Arr(assigned.iter().map(|&id| Json::from(id)).collect()),
+                ));
+            }
+            let meta = Json::obj([("shard_meta", Json::Obj(
+                fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            ))]);
             // Failures here (and below) abort the run: continuing would
             // silently produce an unresumable sweep.
             out.write_all(meta.render().as_bytes()).expect("write shard metadata");

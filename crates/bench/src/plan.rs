@@ -1,0 +1,431 @@
+//! Matrix planning: one builder from suite selection to job list.
+//!
+//! [`MatrixPlan`] is the single entry point that used to be five
+//! `expand_*` free functions: it collects the requested suites (in
+//! order), the [`Scale`], optional condition/rate overrides, and an
+//! optional `--only` substring filter, and produces the ordered
+//! [`JobSpec`] list the orchestrator executes. Expansion order is part of
+//! the byte-identity contract — the loop nesting mirrors the serial
+//! suite runners in [`crate::harness`] exactly, so merging results in
+//! job order reproduces the serial `Suite` (including per-key repetition
+//! order) byte for byte.
+//!
+//! ```no_run
+//! use rev_bench::harness::Scale;
+//! use rev_bench::plan::MatrixPlan;
+//! let jobs = MatrixPlan::all(Scale::smoke()).build().unwrap();
+//! let one_suite = MatrixPlan::new(Scale::smoke())
+//!     .parse_suites("pgbench,grpc").unwrap()
+//!     .only("Reloaded")
+//!     .build().unwrap();
+//! # drop((jobs, one_suite));
+//! ```
+
+use crate::harness::{Scale, CONDITIONS, GRPC_CONDITIONS, RATE_SCHEDULE};
+use morello_sim::{Condition, Json, RunStats, System};
+use workloads::{
+    grpc_stream, pgbench_stream, spec_stream, spec_stream_scaled, GrpcParams, PgbenchParams,
+    SpecProgram, SPEC_PROGRAMS,
+};
+
+/// Which suite a job belongs to (the key of
+/// [`crate::orchestrator::MatrixOutcome::suites`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SuiteKind {
+    /// SPEC CPU2006 surrogates (Figures 1–4, 9; Table 2).
+    Spec,
+    /// pgbench, unscheduled (Figures 5–7, 9; Table 2).
+    Pgbench,
+    /// pgbench at fixed arrival rates (Table 1).
+    PgbenchRates,
+    /// gRPC QPS (Figure 8, 9; Table 2).
+    Grpc,
+}
+
+impl SuiteKind {
+    /// Every suite, in the canonical `reproduce_all` order.
+    pub const ALL: [SuiteKind; 4] =
+        [SuiteKind::Spec, SuiteKind::Pgbench, SuiteKind::PgbenchRates, SuiteKind::Grpc];
+
+    /// Stable label (checkpoint keys, progress lines, suite map keys).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteKind::Spec => "spec",
+            SuiteKind::Pgbench => "pgbench",
+            SuiteKind::PgbenchRates => "pgbench-rates",
+            SuiteKind::Grpc => "grpc",
+        }
+    }
+
+    /// Parses a suite label (the `--suites` vocabulary).
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown label and the accepted set.
+    pub fn parse(label: &str) -> Result<SuiteKind, String> {
+        match label.trim() {
+            "spec" => Ok(SuiteKind::Spec),
+            "pgbench" => Ok(SuiteKind::Pgbench),
+            "pgbench-rates" => Ok(SuiteKind::PgbenchRates),
+            "grpc" => Ok(SuiteKind::Grpc),
+            other => {
+                Err(format!("unknown suite {other:?} (spec, pgbench, pgbench-rates, grpc)"))
+            }
+        }
+    }
+}
+
+/// How a job regenerates its workload. Jobs carry generation parameters,
+/// not op streams: each worker generates its own ops, so expansion is
+/// cheap and nothing is shared across threads.
+#[derive(Debug, Clone)]
+enum Payload {
+    Spec { program: SpecProgram, seed: u64, fraction: f64 },
+    Pgbench { transactions: u64, rate: Option<f64>, seed: u64 },
+    Grpc { messages: u64, seed: u64 },
+}
+
+/// One independent cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    suite: SuiteKind,
+    workload: String,
+    condition: Condition,
+    payload: Payload,
+}
+
+impl JobSpec {
+    /// The suite this job merges into.
+    #[must_use]
+    pub fn suite(&self) -> SuiteKind {
+        self.suite
+    }
+
+    /// The workload name (the suite's row label).
+    #[must_use]
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The condition this cell runs under.
+    #[must_use]
+    pub fn condition(&self) -> Condition {
+        self.condition
+    }
+
+    /// The workload seed the cell regenerates from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        match &self.payload {
+            Payload::Spec { seed, .. }
+            | Payload::Pgbench { seed, .. }
+            | Payload::Grpc { seed, .. } => *seed,
+        }
+    }
+
+    /// Unique, stable identity: checkpoint key, progress label, and the
+    /// target of `REPRO_INJECT_PANIC` substring matching. Deliberately
+    /// independent of job *order*, so checkpoints written by any shard
+    /// topology, partition, or suite selection replay under any other.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let seed = self.seed();
+        format!("{}|{}|{}|s{seed}", self.suite.label(), self.workload, self.condition.label())
+    }
+
+    /// Structured generation parameters for `repro/<key>.json` files:
+    /// everything needed to re-run exactly this cell. Fractions and rates
+    /// are rendered as strings because the checkpoint JSON dialect is
+    /// integer-only.
+    #[must_use]
+    pub(crate) fn payload_json(&self) -> Json {
+        match &self.payload {
+            Payload::Spec { program, seed, fraction } => Json::obj([
+                ("kind", Json::from("spec")),
+                ("program", Json::from(program.name())),
+                ("seed", Json::from(*seed)),
+                ("fraction", Json::Str(format!("{fraction}"))),
+            ]),
+            Payload::Pgbench { transactions, rate, seed } => Json::obj([
+                ("kind", Json::from("pgbench")),
+                ("transactions", Json::from(*transactions)),
+                (
+                    "rate",
+                    rate.map_or(Json::Null, |r| Json::Str(format!("{r}"))),
+                ),
+                ("seed", Json::from(*seed)),
+            ]),
+            Payload::Grpc { messages, seed } => Json::obj([
+                ("kind", Json::from("grpc")),
+                ("messages", Json::from(*messages)),
+                ("seed", Json::from(*seed)),
+            ]),
+        }
+    }
+
+    /// Runs the cell to completion. Panics on simulator error (exactly as
+    /// the serial harness does) — the orchestrator catches it.
+    ///
+    /// Workloads stream straight from their seeds through
+    /// [`System::run_stream`]: no cell ever materializes its op vector,
+    /// so a worker's resident footprint is one batch buffer plus
+    /// generator state. The streams are op-for-op identical to the
+    /// materializing generators (property-tested), so the merged suites
+    /// stay byte-identical to the serial harness loops.
+    pub(crate) fn execute(&self) -> RunStats {
+        match &self.payload {
+            Payload::Spec { program, seed, fraction } => {
+                if *fraction < 1.0 {
+                    let w = spec_stream_scaled(*program, *seed, *fraction);
+                    let (mut source, config) = (w.source, w.config);
+                    System::new(config.with_condition(self.condition))
+                        .run_stream(&mut source)
+                        .expect("spec surrogate must run clean")
+                        .into_stats()
+                } else {
+                    let w = spec_stream(*program, *seed);
+                    let (mut source, config) = (w.source, w.config);
+                    System::new(config.with_condition(self.condition))
+                        .run_stream(&mut source)
+                        .expect("spec surrogate must run clean")
+                        .into_stats()
+                }
+            }
+            Payload::Pgbench { transactions, rate, seed } => {
+                let w = pgbench_stream(PgbenchParams {
+                    transactions: *transactions,
+                    rate: *rate,
+                    seed: *seed,
+                });
+                let (mut source, config) = (w.source, w.config);
+                System::new(config.with_condition(self.condition))
+                    .run_stream(&mut source)
+                    .expect("pgbench surrogate must run clean")
+                    .into_stats()
+            }
+            Payload::Grpc { messages, seed } => {
+                let w = grpc_stream(GrpcParams { messages: *messages, seed: *seed });
+                let (mut source, config) = (w.source, w.config);
+                System::new(config.with_condition(self.condition))
+                    .run_stream(&mut source)
+                    .expect("grpc surrogate must run clean")
+                    .into_stats()
+            }
+        }
+    }
+}
+
+/// A planning error, surfaced before any cell runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan selects no suite at all.
+    NoSuites,
+    /// A `--suites` label is not in the vocabulary.
+    UnknownSuite(String),
+    /// The `--only` filter matches no expanded cell.
+    EmptyFilter(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoSuites => write!(f, "the plan selects no suites"),
+            PlanError::UnknownSuite(e) => write!(f, "{e}"),
+            PlanError::EmptyFilter(needle) => {
+                write!(f, "--only {needle:?} matches no cell in the selected suites")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Builder for the evaluation matrix: which suites, at what scale, under
+/// which conditions, filtered to which cells.
+///
+/// Suites expand in the order they were added; [`MatrixPlan::all`] uses
+/// the canonical `spec, pgbench, pgbench-rates, grpc` order that
+/// `reproduce_all` and `run_matrix`'s default selection share, so one
+/// checkpoint covers the whole regeneration and cross-suite cells
+/// interleave on the same pool.
+#[derive(Debug, Clone)]
+pub struct MatrixPlan {
+    suites: Vec<SuiteKind>,
+    scale: Scale,
+    conditions: Vec<Condition>,
+    rates: Vec<Option<f64>>,
+    only: Option<String>,
+}
+
+impl MatrixPlan {
+    /// An empty plan at `scale`: add suites with [`MatrixPlan::suite`] /
+    /// [`MatrixPlan::parse_suites`].
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        MatrixPlan {
+            suites: Vec::new(),
+            scale,
+            conditions: CONDITIONS.to_vec(),
+            rates: RATE_SCHEDULE.to_vec(),
+            only: None,
+        }
+    }
+
+    /// The full evaluation: all four suites in canonical order.
+    #[must_use]
+    pub fn all(scale: Scale) -> Self {
+        MatrixPlan::new(scale).suites(&SuiteKind::ALL)
+    }
+
+    /// Appends one suite to the expansion order.
+    #[must_use]
+    pub fn suite(mut self, kind: SuiteKind) -> Self {
+        self.suites.push(kind);
+        self
+    }
+
+    /// Appends several suites in the given order.
+    #[must_use]
+    pub fn suites(mut self, kinds: &[SuiteKind]) -> Self {
+        self.suites.extend_from_slice(kinds);
+        self
+    }
+
+    /// Appends suites from a comma-separated `--suites` value.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownSuite`] for labels outside the vocabulary.
+    pub fn parse_suites(mut self, list: &str) -> Result<Self, PlanError> {
+        for label in list.split(',') {
+            self.suites.push(SuiteKind::parse(label).map_err(PlanError::UnknownSuite)?);
+        }
+        Ok(self)
+    }
+
+    /// Overrides the condition set for the spec and pgbench suites
+    /// (default: the paper's [`CONDITIONS`]). The gRPC suite always uses
+    /// [`GRPC_CONDITIONS`] and the rate suite always runs Reloaded, as in
+    /// the paper.
+    #[must_use]
+    pub fn conditions(mut self, conditions: &[Condition]) -> Self {
+        self.conditions = conditions.to_vec();
+        self
+    }
+
+    /// Overrides the arrival-rate schedule for the pgbench-rates suite
+    /// (default: Table 1's [`RATE_SCHEDULE`]).
+    #[must_use]
+    pub fn rates(mut self, rates: &[Option<f64>]) -> Self {
+        self.rates = rates.to_vec();
+        self
+    }
+
+    /// Keeps only cells whose [`JobSpec::key`] contains `needle` (the
+    /// `--only` filter; repro files' replay commands use it to re-run a
+    /// single cell).
+    #[must_use]
+    pub fn only(mut self, needle: impl Into<String>) -> Self {
+        self.only = Some(needle.into());
+        self
+    }
+
+    /// The scale this plan expands at.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Expands the plan into the ordered job list.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::NoSuites`] for an empty plan and
+    /// [`PlanError::EmptyFilter`] when `only` matches nothing — both are
+    /// configuration mistakes better surfaced than silently run as an
+    /// empty matrix.
+    pub fn build(&self) -> Result<Vec<JobSpec>, PlanError> {
+        if self.suites.is_empty() {
+            return Err(PlanError::NoSuites);
+        }
+        let mut jobs = Vec::new();
+        for suite in &self.suites {
+            match suite {
+                SuiteKind::Spec => self.expand_spec(&mut jobs),
+                SuiteKind::Pgbench => self.expand_pgbench(&mut jobs),
+                SuiteKind::PgbenchRates => self.expand_rates(&mut jobs),
+                SuiteKind::Grpc => self.expand_grpc(&mut jobs),
+            }
+        }
+        if let Some(needle) = &self.only {
+            jobs.retain(|j| j.key().contains(needle.as_str()));
+            if jobs.is_empty() {
+                return Err(PlanError::EmptyFilter(needle.clone()));
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// SPEC: rep (outer) → program → condition (inner), seeds
+    /// `1000 + rep`, as [`crate::harness::spec_suite_serial`] runs them.
+    fn expand_spec(&self, jobs: &mut Vec<JobSpec>) {
+        for rep in 0..self.scale.reps {
+            for program in SPEC_PROGRAMS {
+                for &cond in &self.conditions {
+                    jobs.push(JobSpec {
+                        suite: SuiteKind::Spec,
+                        workload: program.name().to_string(),
+                        condition: cond,
+                        payload: Payload::Spec {
+                            program,
+                            seed: 1000 + rep,
+                            fraction: self.scale.fraction,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// pgbench (seeds `2000 + rep`).
+    fn expand_pgbench(&self, jobs: &mut Vec<JobSpec>) {
+        let tx = crate::harness::pgbench_transactions(self.scale);
+        for rep in 0..self.scale.reps {
+            for &cond in &self.conditions {
+                jobs.push(JobSpec {
+                    suite: SuiteKind::Pgbench,
+                    workload: "pgbench".to_string(),
+                    condition: cond,
+                    payload: Payload::Pgbench { transactions: tx, rate: None, seed: 2000 + rep },
+                });
+            }
+        }
+    }
+
+    /// Rate-scheduled pgbench (Table 1; Reloaded only, seed 3000).
+    fn expand_rates(&self, jobs: &mut Vec<JobSpec>) {
+        let tx = crate::harness::pgbench_transactions(self.scale);
+        jobs.extend(self.rates.iter().map(|&rate| JobSpec {
+            suite: SuiteKind::PgbenchRates,
+            workload: crate::harness::rate_label(rate),
+            condition: Condition::reloaded(),
+            payload: Payload::Pgbench { transactions: tx, rate, seed: 3000 },
+        }));
+    }
+
+    /// gRPC QPS (seeds `4000 + rep`; CHERIvoke excluded as in the paper).
+    fn expand_grpc(&self, jobs: &mut Vec<JobSpec>) {
+        let msgs = crate::harness::grpc_messages(self.scale);
+        for rep in 0..self.scale.reps {
+            for cond in GRPC_CONDITIONS {
+                jobs.push(JobSpec {
+                    suite: SuiteKind::Grpc,
+                    workload: "gRPC QPS".to_string(),
+                    condition: cond,
+                    payload: Payload::Grpc { messages: msgs, seed: 4000 + rep },
+                });
+            }
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! the serial harness, fault isolation, and checkpoint resume.
 
 use rev_bench::harness::{pgbench_suite_serial, spec_suite_serial, Scale, CONDITIONS};
-use rev_bench::orchestrator::{self, expand_pgbench, expand_spec, RunOptions};
+use rev_bench::orchestrator::{self, JobSpec, RunOptions};
+use rev_bench::plan::{MatrixPlan, SuiteKind};
 use morello_sim::Condition;
 
 /// A cheap matrix: 5 pgbench cells at the 200-transaction floor.
@@ -14,10 +15,15 @@ fn quiet(workers: usize) -> RunOptions {
     RunOptions { workers, ..RunOptions::default() }
 }
 
+/// The 5-cell pgbench matrix under the paper's conditions.
+fn pg_jobs(scale: Scale) -> Vec<JobSpec> {
+    MatrixPlan::new(scale).suite(SuiteKind::Pgbench).build().unwrap()
+}
+
 #[test]
 fn parallel_run_is_identical_to_serial_loops() {
     let scale = tiny_scale();
-    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let jobs = pg_jobs(scale);
     assert_eq!(jobs.len(), CONDITIONS.len());
 
     let serial = pgbench_suite_serial(&CONDITIONS, scale);
@@ -35,7 +41,11 @@ fn spec_expansion_matches_serial_repetition_order() {
     // checked: Suite stores a Vec per (workload, condition).
     let scale = Scale { fraction: 0.005, reps: 2 };
     let conditions = [Condition::Baseline, Condition::reloaded()];
-    let jobs = expand_spec(&conditions, scale);
+    let jobs = MatrixPlan::new(scale)
+        .suite(SuiteKind::Spec)
+        .conditions(&conditions)
+        .build()
+        .unwrap();
     let serial = spec_suite_serial(&conditions, scale);
     let outcome = orchestrator::run(&jobs, &quiet(4));
     assert!(outcome.failures.is_empty());
@@ -45,7 +55,7 @@ fn spec_expansion_matches_serial_repetition_order() {
 #[test]
 fn injected_panic_degrades_to_a_failure_record_without_poisoning_the_sweep() {
     let scale = tiny_scale();
-    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let jobs = pg_jobs(scale);
     let victim = jobs[2].key();
     let opts = RunOptions { inject_panic: Some(victim.clone()), ..quiet(4) };
 
@@ -73,7 +83,7 @@ fn injected_panic_degrades_to_a_failure_record_without_poisoning_the_sweep() {
 #[test]
 fn checkpoint_resume_skips_completed_cells() {
     let scale = tiny_scale();
-    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let jobs = pg_jobs(scale);
     let path = std::env::temp_dir()
         .join(format!("orchestrator-resume-{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
@@ -129,16 +139,16 @@ fn jobs_env_parser_rejects_garbage() {
 
 #[test]
 fn parallel_cells_preserves_order() {
-    let out = orchestrator::parallel_cells(7, |i| i * i);
+    let out = orchestrator::parallel_cells(7, 4, |i| i * i);
     assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36]);
-    let empty = orchestrator::parallel_cells(0, |i| i);
+    let empty = orchestrator::parallel_cells(0, 4, |i| i);
     assert!(empty.is_empty());
 }
 
 #[test]
 fn checkpoint_compaction_drops_stale_lines_and_preserves_resume() {
     let scale = tiny_scale();
-    let jobs = expand_pgbench(&CONDITIONS, scale);
+    let jobs = pg_jobs(scale);
     let path = std::env::temp_dir()
         .join(format!("orchestrator-compact-{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
@@ -187,4 +197,21 @@ fn compacting_a_missing_checkpoint_is_a_no_op() {
     let _ = std::fs::remove_file(&path);
     assert_eq!(orchestrator::compact_checkpoint(&path).unwrap(), (0, 0));
     assert!(!path.exists(), "compaction must not create the file");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_expand_wrappers_match_matrix_plan() {
+    // One release of back-compat: the old free functions must expand to
+    // exactly the same job lists as the MatrixPlan builder they wrap.
+    let scale = tiny_scale();
+    let keys = |jobs: &[JobSpec]| jobs.iter().map(JobSpec::key).collect::<Vec<_>>();
+    assert_eq!(
+        keys(&orchestrator::expand_pgbench(&CONDITIONS, scale)),
+        keys(&pg_jobs(scale))
+    );
+    assert_eq!(
+        keys(&orchestrator::expand_all(scale)),
+        keys(&MatrixPlan::all(scale).build().unwrap())
+    );
 }

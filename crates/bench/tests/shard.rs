@@ -5,9 +5,8 @@
 
 use morello_sim::Json;
 use rev_bench::harness::{pgbench_rate_suite_serial, pgbench_suite_serial, Scale, CONDITIONS, RATE_SCHEDULE};
-use rev_bench::orchestrator::{
-    self, expand_pgbench, expand_pgbench_rates, repro_file_name, JobSpec, RunOptions, Shard,
-};
+use rev_bench::orchestrator::{self, repro_file_name, JobSpec, RunOptions, Shard};
+use rev_bench::plan::{MatrixPlan, SuiteKind};
 use std::path::{Path, PathBuf};
 
 /// A cheap cross-suite matrix: 5 pgbench cells + 4 rate cells at the
@@ -18,9 +17,10 @@ fn tiny_scale() -> Scale {
 }
 
 fn jobs() -> Vec<JobSpec> {
-    let mut jobs = expand_pgbench(&CONDITIONS, tiny_scale());
-    jobs.extend(expand_pgbench_rates(&RATE_SCHEDULE, tiny_scale()));
-    jobs
+    MatrixPlan::new(tiny_scale())
+        .suites(&[SuiteKind::Pgbench, SuiteKind::PgbenchRates])
+        .build()
+        .unwrap()
 }
 
 fn quiet(workers: usize) -> RunOptions {
