@@ -1,0 +1,123 @@
+//! Property sweep: every streamed workload generator produces programs
+//! the analyzer finds well-formed (generators are correct by
+//! construction), across random seeds and sizes.
+//!
+//! Well-formed means zero malformed-program diagnostics — stale chases,
+//! dangling links, and leaks are *expected* workload behaviour (they are
+//! what the revoker exists for), not defects.
+
+use analyze::{Analyzer, AnalyzerConfig, Report};
+use morello_sim::{OpSource, OP_BATCH};
+use simtest::sim_assert_eq;
+use workloads::{
+    file_copy_stream, grpc_stream, pgbench_stream, spec_stream, FileCopyParams, GrpcParams,
+    ImportOptions, ImportSource, PgbenchParams, StreamedWorkload, SPEC_PROGRAMS,
+};
+
+/// Analyzes at most `max_ops` ops of `source` — a prefix of a well-formed
+/// program is well-formed (every malformation depends only on the ops
+/// before it), and the big SPEC churn streams are too long to drain in a
+/// property sweep.
+fn analyze_prefix<S: OpSource>(mut source: S, cfg: AnalyzerConfig, max_ops: usize) -> Report {
+    let mut a = Analyzer::new(cfg);
+    let mut buf = Vec::with_capacity(OP_BATCH);
+    let mut seen = 0;
+    while seen < max_ops {
+        buf.clear();
+        if source.refill(&mut buf) == 0 {
+            break;
+        }
+        for &op in buf.iter().take(max_ops - seen) {
+            a.push(op);
+        }
+        seen += buf.len().min(max_ops - seen);
+    }
+    a.finish()
+}
+
+fn assert_well_formed<S: OpSource>(w: StreamedWorkload<S>) -> simtest::CaseResult {
+    let cfg = AnalyzerConfig::from_sim(&w.config);
+    let report = analyze_prefix(w.source, cfg, 200_000);
+    sim_assert_eq!(report.malformed_count(), 0, "{} is malformed", w.name);
+    sim_assert_eq!(report.malformed, false);
+    Ok(())
+}
+
+/// A deterministic synthetic malloc log: a pointer-bump allocator with a
+/// random free pattern, occasionally reallocating.
+fn synth_log(seed: u64, events: u64) -> String {
+    let mut rng = simtest::rng::Rng::seed_from_u64(seed);
+    let mut log = String::from("# synthetic shim output\n");
+    let mut next = 0x4000_0000u64;
+    let mut live: Vec<(u64, u64)> = Vec::new(); // (ptr, size)
+    for _ in 0..events {
+        let roll = rng.gen_range(0u32..10);
+        if roll < 5 || live.is_empty() {
+            let size = rng.gen_range(1u64..8192);
+            let ptr = next;
+            next += 16 * size.div_ceil(16).max(1);
+            if roll.is_multiple_of(2) {
+                log.push_str(&format!("malloc({size}) = {ptr:#x}\n"));
+            } else {
+                let n = rng.gen_range(1u64..16);
+                log.push_str(&format!("calloc({n}, {}) = {ptr:#x}\n", size.div_ceil(n)));
+            }
+            live.push((ptr, size));
+        } else if roll < 8 {
+            let idx = rng.gen_range(0usize..live.len());
+            let (ptr, _) = live.swap_remove(idx);
+            log.push_str(&format!("free({ptr:#x})\n"));
+        } else {
+            let idx = rng.gen_range(0usize..live.len());
+            let (old, _) = live.swap_remove(idx);
+            let size = rng.gen_range(1u64..8192);
+            let ptr = next;
+            next += 16 * size.div_ceil(16).max(1);
+            log.push_str(&format!("realloc({old:#x}, {size}) = {ptr:#x}\n"));
+            live.push((ptr, size));
+        }
+    }
+    log
+}
+
+simtest::props! {
+    #![config(simtest::Config { cases: 12, ..Default::default() })]
+
+    /// SPEC churn streams (all eleven profiles) are well-formed.
+    fn spec_streams_are_well_formed(seed in 0u64..1_000_000, idx in 0usize..11) {
+        let program = SPEC_PROGRAMS[idx % SPEC_PROGRAMS.len()];
+        assert_well_formed(spec_stream(program, seed))?;
+    }
+
+    /// pgbench transaction streams are well-formed at any size/rate.
+    fn pgbench_streams_are_well_formed(
+        seed in 0u64..1_000_000,
+        transactions in 1u64..300,
+        rate_millis in 0u64..3,
+    ) {
+        let rate = match rate_millis {
+            0 => None,
+            r => Some(r as f64 * 800.0),
+        };
+        assert_well_formed(pgbench_stream(PgbenchParams { transactions, rate, seed }))?;
+    }
+
+    /// gRPC QPS streams are well-formed at any message count.
+    fn grpc_streams_are_well_formed(seed in 0u64..1_000_000, messages in 1u64..500) {
+        assert_well_formed(grpc_stream(GrpcParams { messages, seed }))?;
+    }
+
+    /// File-copy streams are well-formed at any file count.
+    fn filecopy_streams_are_well_formed(seed in 0u64..1_000_000, files in 1u64..250) {
+        assert_well_formed(file_copy_stream(FileCopyParams { files, seed }))?;
+    }
+
+    /// Imported malloc logs stream well-formed programs: the importer's
+    /// slot recycling never aliases, frees always balance.
+    fn import_streams_are_well_formed(seed in 0u64..1_000_000, events in 1u64..400) {
+        let log = synth_log(seed, events);
+        let source = ImportSource::new(&log, ImportOptions::default());
+        let report = analyze_prefix(source, AnalyzerConfig::default(), 200_000);
+        sim_assert_eq!(report.malformed_count(), 0);
+    }
+}

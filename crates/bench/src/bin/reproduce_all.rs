@@ -3,7 +3,7 @@
 //! root (or the path given as the first argument).
 //!
 //! ```text
-//! reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N]
+//! reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N] [--preflight]
 //! ```
 //!
 //! The whole matrix — all four suites — expands into **one global job
@@ -17,8 +17,12 @@
 //! binary just merges and renders. Cells that fail both attempts are
 //! isolated as typed failure records, written to `repro/<key>.json` for
 //! replay, and marked in the shape-check section rather than aborting
-//! the run. A clean checkpointed run also refreshes the scheduler's
-//! `costs.json` calibration beside the checkpoint on the way out.
+//! the run. With `--preflight`, the static temporal-safety analyzer
+//! (`crates/analyze`) additionally vets each cell's streamed program
+//! before it reaches the simulator: malformed programs become
+//! zero-attempt failure records instead of panics. A clean checkpointed
+//! run also refreshes the scheduler's `costs.json` calibration beside
+//! the checkpoint on the way out.
 //!
 //! Honours `REPRO_SCALE` (workload fraction, default 1.0), `REPRO_REPS`
 //! (repetitions, default 2), and `REPRO_JOBS` (worker threads, CLI
@@ -37,7 +41,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N]");
+    eprintln!(
+        "usage: reproduce_all [OUT] [--checkpoint PATH] [--compact] [--jobs N] [--preflight]"
+    );
     std::process::exit(2)
 }
 
@@ -94,7 +100,9 @@ fn main() {
     // One global job list: a single checkpoint spans every suite, and the
     // pool never drains between suites.
     let jobs = MatrixPlan::all(scale).build().expect("the full matrix is never empty");
-    let mut opts = cli::env_run_options().repro_dir(PathBuf::from("repro"));
+    let mut opts = cli::env_run_options()
+        .repro_dir(PathBuf::from("repro"))
+        .preflight(common.preflight);
     if let Some(jobs_override) = common.jobs {
         opts.workers = jobs_override;
     }

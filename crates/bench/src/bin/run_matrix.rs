@@ -10,18 +10,26 @@
 //!
 //! ```text
 //! run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]
-//!            [--shard K/N] [--spawn N] [--dispatch TEMPLATE]
-//!            [--partition lpt|modulo] [--calibrate] [--estimate-shards N]
-//!            [--only SUBSTR] [--repro-dir DIR]
+//!            [--preflight] [--shard K/N] [--spawn N] [--dispatch TEMPLATE]
+//!            [--collect TEMPLATE] [--partition lpt|modulo] [--calibrate]
+//!            [--estimate-shards N] [--only SUBSTR] [--repro-dir DIR]
 //!            [--smoke] [--strict] [--suites spec,pgbench,pgbench-rates,grpc]
 //! ```
 //!
 //! Honours `REPRO_SCALE`, `REPRO_REPS`, `REPRO_JOBS` (CLI `--jobs`
-//! wins), and the fault-injection hook `REPRO_INJECT_PANIC` — all parsed
-//! once, at this CLI edge. With `--checkpoint`, completed cells are
-//! appended as they finish and replayed on the next invocation, so an
-//! interrupted sweep resumes instead of restarting. `--compact` rewrites
-//! the checkpoint in place before the run.
+//! wins), and the fault-injection hooks `REPRO_INJECT_PANIC` /
+//! `REPRO_INJECT_MALFORMED` — all parsed once, at this CLI edge. With
+//! `--checkpoint`, completed cells are appended as they finish and
+//! replayed on the next invocation, so an interrupted sweep resumes
+//! instead of restarting. `--compact` rewrites the checkpoint in place
+//! before the run.
+//!
+//! `--preflight` runs the static temporal-safety analyzer
+//! (`crates/analyze`) over each cell's streamed program before
+//! dispatching it to the simulator: a malformed program (double free,
+//! use-after-free, …) becomes a typed failure record and a
+//! `repro/<key>.json` file with zero attempts — never simulated, never
+//! retried.
 //!
 //! # Scale-out
 //!
@@ -48,7 +56,11 @@
 //! TEMPLATE` routes each launch through a `sh -c` template instead of a
 //! local fork (`{cmd}`, `{index}`, `{count}`, `{shard}`, `{checkpoint}`
 //! placeholders), e.g. `--dispatch 'ssh worker{index} {cmd}'` for a
-//! cluster with a shared filesystem. Either way the report is
+//! cluster with a shared filesystem. Without one, `--collect TEMPLATE`
+//! (same placeholders minus `{cmd}`) runs once per shard after the
+//! children exit to pull each `shard-K-of-N.jsonl` back into the local
+//! checkpoint directory, and a shard file still missing afterwards is a
+//! hard error naming the un-collected shards. Either way the report is
 //! byte-identical to a serial run.
 //!
 //! Cells that fail both attempts are recorded under `--repro-dir`
@@ -56,7 +68,7 @@
 //! ready-to-run `run_matrix --suites ... --only <key>` command.
 
 use rev_bench::cli::{self, CommonArgs};
-use rev_bench::dispatch::{CommandTemplate, Dispatcher, LocalSpawn, ShardLaunch};
+use rev_bench::dispatch::{CollectTemplate, CommandTemplate, Dispatcher, LocalSpawn, ShardLaunch};
 use rev_bench::harness::{Scale, Suite};
 use rev_bench::orchestrator::{self, JobSpec, Shard};
 use rev_bench::plan::MatrixPlan;
@@ -79,6 +91,7 @@ struct Cli {
     shard: Shard,
     spawn: Option<usize>,
     dispatch: Option<String>,
+    collect: Option<String>,
     partition: PartitionChoice,
     calibrate: bool,
     estimate_shards: Option<usize>,
@@ -93,9 +106,10 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: run_matrix [--out PATH] [--checkpoint PATH] [--compact] [--jobs N]\n\
-         \x20                 [--shard K/N] [--spawn N] [--dispatch TEMPLATE]\n\
-         \x20                 [--partition lpt|modulo] [--calibrate] [--estimate-shards N]\n\
-         \x20                 [--only SUBSTR] [--repro-dir DIR] [--smoke] [--strict]\n\
+         \x20                 [--preflight] [--shard K/N] [--spawn N] [--dispatch TEMPLATE]\n\
+         \x20                 [--collect TEMPLATE] [--partition lpt|modulo] [--calibrate]\n\
+         \x20                 [--estimate-shards N] [--only SUBSTR] [--repro-dir DIR]\n\
+         \x20                 [--smoke] [--strict]\n\
          \x20                 [--suites spec,pgbench,pgbench-rates,grpc] [--ablations]"
     );
     std::process::exit(2)
@@ -121,6 +135,7 @@ fn parse_cli() -> Cli {
         shard: Shard::default(),
         spawn: None,
         dispatch: None,
+        collect: None,
         partition: PartitionChoice::Lpt,
         calibrate: false,
         estimate_shards: None,
@@ -148,6 +163,7 @@ fn parse_cli() -> Cli {
                 cli.spawn = Some(parse_count("--spawn", &v));
             }
             "--dispatch" => cli.dispatch = Some(args.next().unwrap_or_else(|| usage())),
+            "--collect" => cli.collect = Some(args.next().unwrap_or_else(|| usage())),
             "--partition" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.partition = match v.trim() {
@@ -250,6 +266,9 @@ fn spawn_shards(cli: &Cli, checkpoint: &std::path::Path, n: usize, workers: usiz
         if cli.smoke {
             args.push("--smoke".to_string());
         }
+        if cli.common.preflight {
+            args.push("--preflight".to_string());
+        }
         if let Some(needle) = &cli.only {
             args.push("--only".to_string());
             args.push(needle.clone());
@@ -313,6 +332,41 @@ fn spawn_shards(cli: &Cli, checkpoint: &std::path::Path, n: usize, workers: usiz
         }
         all_ok &= r.ok;
     }
+
+    // Without a shared filesystem the shard files live on the workers:
+    // pull them back before judging what landed. A file still missing
+    // after collection is a hard error — silently re-executing every
+    // remote cell locally would defeat the dispatch.
+    if let Some(template) = &cli.collect {
+        let collector = CollectTemplate::new(template.clone()).unwrap_or_else(|e| fail(e));
+        eprintln!(
+            "run_matrix: collecting {n} shard checkpoint file(s) via {}",
+            collector.describe()
+        );
+        let plain_sink = |k: usize, line: &str| {
+            if !line.is_empty() {
+                eprintln!("  [collect {k}/{n}] {line}");
+            }
+        };
+        for r in rev_bench::dispatch::collect_shards(&collector, checkpoint, n, &plain_sink) {
+            if let Some(e) = &r.error {
+                eprintln!("run_matrix: WARNING: collecting shard {}/{n}: {e}", r.shard.index);
+            }
+        }
+        let missing = rev_bench::dispatch::missing_shard_files(checkpoint, n);
+        if !missing.is_empty() {
+            let names: Vec<String> =
+                missing.iter().map(|k| format!("shard-{k}-of-{n}.jsonl")).collect();
+            fail(format!(
+                "--collect left {} shard file(s) missing under {}: {}",
+                names.len(),
+                checkpoint.display(),
+                names.join(", ")
+            ));
+        }
+        return all_ok;
+    }
+
     for k in rev_bench::dispatch::missing_shard_files(checkpoint, n) {
         eprintln!(
             "run_matrix: WARNING: no shard-{k}-of-{n}.jsonl under {} — shard {k} \
@@ -335,6 +389,13 @@ fn main() {
     }
     if cli.dispatch.is_some() && cli.spawn.is_none() {
         fail("--dispatch requires --spawn N (it decides how the N shards launch)");
+    }
+    if cli.collect.is_some() && cli.spawn.is_none() {
+        fail("--collect requires --spawn N (it pulls the N shard files back before the merge)");
+    }
+    if let Some(template) = &cli.collect {
+        // Validate eagerly: a typo must fail before hours of shard work.
+        let _ = CollectTemplate::new(template.clone()).unwrap_or_else(|e| fail(e));
     }
     if cli.calibrate && cli.common.checkpoint.is_none() {
         fail("--calibrate requires --checkpoint PATH (costs come from its completed cells)");
@@ -396,7 +457,8 @@ fn main() {
     let mut opts = cli::env_run_options()
         .shard(cli.shard)
         .partition(partition)
-        .repro_dir(cli.repro_dir.clone());
+        .repro_dir(cli.repro_dir.clone())
+        .preflight(cli.common.preflight);
     if let Some(jobs_override) = cli.common.jobs {
         opts.workers = jobs_override;
     }

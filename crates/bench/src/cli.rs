@@ -13,13 +13,14 @@
 //! | `REPRO_SCALE` / `REPRO_REPS` | [`env_scale`] | Workload fraction / repetitions |
 //! | `REPRO_JOBS` | [`env_workers`] | Worker threads (default: available parallelism) |
 //! | `REPRO_INJECT_PANIC` | [`env_inject_panic`] | Fault-injection substring (CI) |
+//! | `REPRO_INJECT_MALFORMED` | [`env_inject_malformed`] | Pre-flight corruption substring (CI) |
 //!
 //! Every parser hard-errors (exit 2) on unparsable values: a mistyped
 //! sweep configuration must not silently run a multi-hour default.
 //!
 //! [`CommonArgs`] is the arg-loop fragment both binaries share
-//! (`--out`, `--checkpoint`, `--compact`, `--jobs`), so their defaults
-//! and error messages cannot drift apart again.
+//! (`--out`, `--checkpoint`, `--compact`, `--jobs`, `--preflight`), so
+//! their defaults and error messages cannot drift apart again.
 
 use crate::harness::Scale;
 use crate::orchestrator::{parse_jobs, RunOptions};
@@ -58,6 +59,14 @@ pub fn env_inject_panic() -> Option<String> {
     std::env::var("REPRO_INJECT_PANIC").ok().filter(|v| !v.is_empty())
 }
 
+/// The `REPRO_INJECT_MALFORMED` pre-flight corruption substring, if set
+/// and non-empty: matching jobs get a double-free appended to their
+/// *analyzed* program so CI can watch `--preflight` quarantine them.
+#[must_use]
+pub fn env_inject_malformed() -> Option<String> {
+    std::env::var("REPRO_INJECT_MALFORMED").ok().filter(|v| !v.is_empty())
+}
+
 /// The standard [`RunOptions`] for an interactive binary: environment
 /// worker count, environment fault injection, progress lines on.
 /// Everything else stays at its typed default — callers layer CLI
@@ -67,6 +76,7 @@ pub fn env_run_options() -> RunOptions {
     RunOptions::new()
         .workers(env_workers())
         .inject_panic(env_inject_panic())
+        .inject_malformed(env_inject_malformed())
         .progress(true)
 }
 
@@ -81,6 +91,9 @@ pub struct CommonArgs {
     pub compact: bool,
     /// `--jobs N`: CLI worker-count override (wins over `REPRO_JOBS`).
     pub jobs: Option<usize>,
+    /// `--preflight`: statically analyze each job's program before
+    /// dispatch; malformed programs become typed failures, not panics.
+    pub preflight: bool,
 }
 
 impl CommonArgs {
@@ -104,6 +117,7 @@ impl CommonArgs {
             "--checkpoint" => self.checkpoint = Some(value(rest)?.into()),
             "--compact" => self.compact = true,
             "--jobs" => self.jobs = Some(parse_jobs(&value(rest)?)?),
+            "--preflight" => self.preflight = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -138,11 +152,13 @@ mod tests {
         assert!(common.take(&rest.next().unwrap(), &mut rest).unwrap());
         assert!(common.take(&rest.next().unwrap(), &mut rest).unwrap());
         assert!(common.take("--compact", &mut rest).unwrap());
+        assert!(common.take("--preflight", &mut rest).unwrap());
         assert!(!common.take("--strict", &mut rest).unwrap());
         assert_eq!(common.out.as_deref(), Some("x.md"));
         assert_eq!(common.checkpoint.as_deref(), Some(std::path::Path::new("ck")));
         assert_eq!(common.jobs, Some(3));
         assert!(common.compact);
+        assert!(common.preflight);
         assert!(common.validate().is_ok());
     }
 

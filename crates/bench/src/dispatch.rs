@@ -19,8 +19,11 @@
 //!
 //!   e.g. `--dispatch 'ssh worker{index} {cmd}'` — which assumes the
 //!   binary and checkpoint directory are visible at the same paths on
-//!   the remote host (shared filesystem, or rsync the
-//!   `shard-K-of-N.jsonl` files back before the merge run).
+//!   the remote host. Without a shared filesystem, pair it with a
+//!   [`CollectTemplate`] (`--collect`) that pulls each shard's
+//!   `shard-K-of-N.jsonl` back into the local checkpoint directory
+//!   before the merge run, e.g.
+//!   `--collect 'scp worker{index}:{checkpoint}/shard-{index}-of-{count}.jsonl {checkpoint}/'`.
 //!
 //! [`run_shards`] drives any backend: it spawns every shard, pipes each
 //! child's stderr line-by-line into a caller-supplied sink (the `--spawn`
@@ -124,6 +127,105 @@ impl Dispatcher for CommandTemplate {
         cmd.arg("-c").arg(self.expand(launch));
         cmd
     }
+}
+
+/// Pulls per-shard checkpoint files back from remote workers after a
+/// `--dispatch` run without a shared filesystem. The template expands
+/// once per shard with the same placeholder vocabulary as
+/// [`CommandTemplate`] *minus* `{cmd}` (there is no shard command to
+/// embed — the line itself is the transfer, run via `sh -c`):
+///
+/// | Placeholder | Expands to |
+/// |---|---|
+/// | `{index}` / `{count}` / `{shard}` | `K`, `N`, `K/N` |
+/// | `{checkpoint}` | the local checkpoint directory |
+#[derive(Debug, Clone)]
+pub struct CollectTemplate {
+    template: String,
+}
+
+impl CollectTemplate {
+    /// A collector for `template`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `{cmd}` (a `--dispatch` placeholder; collection has no
+    /// shard command) and templates that never mention the shard
+    /// (`{index}` or `{shard}`) — those would run one identical line N
+    /// times and pull at most one file.
+    pub fn new(template: impl Into<String>) -> Result<CollectTemplate, String> {
+        let template = template.into();
+        if template.contains("{cmd}") {
+            return Err(format!(
+                "--collect {template:?}: {{cmd}} is a --dispatch placeholder; a collect \
+                 template is the transfer command itself"
+            ));
+        }
+        if !template.contains("{index}") && !template.contains("{shard}") {
+            return Err(format!(
+                "--collect {template:?}: template must mention {{index}} or {{shard}} so \
+                 each shard's checkpoint file is pulled"
+            ));
+        }
+        Ok(CollectTemplate { template })
+    }
+
+    /// The expanded shell line that pulls shard `K/N`'s checkpoint file
+    /// into `checkpoint`.
+    #[must_use]
+    pub fn expand(&self, shard: Shard, checkpoint: &Path) -> String {
+        self.template
+            .replace("{index}", &shard.index.to_string())
+            .replace("{count}", &shard.count.to_string())
+            .replace("{shard}", &format!("{}/{}", shard.index, shard.count))
+            .replace("{checkpoint}", &checkpoint.to_string_lossy())
+    }
+
+    /// Human-readable description for the collect banner.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!("collect template {:?}", self.template)
+    }
+}
+
+/// Adapter so [`run_shards`] can drive collection: each "launch" is one
+/// expansion of the collect template.
+struct CollectDispatch<'a> {
+    template: &'a CollectTemplate,
+}
+
+impl Dispatcher for CollectDispatch<'_> {
+    fn describe(&self) -> String {
+        self.template.describe()
+    }
+
+    fn command(&self, launch: &ShardLaunch) -> Command {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg(self.template.expand(launch.shard, &launch.checkpoint));
+        cmd
+    }
+}
+
+/// Runs `template` once per shard of `count` (concurrently, via
+/// `sh -c`), streaming stderr into `sink`, and returns one
+/// [`ShardResult`] per shard. Purely mechanical: the caller decides
+/// whether a shard file that is *still* absent afterwards is fatal —
+/// [`missing_shard_files`] names them.
+pub fn collect_shards(
+    template: &CollectTemplate,
+    checkpoint: &Path,
+    count: usize,
+    sink: &(dyn Fn(usize, &str) + Sync),
+) -> Vec<ShardResult> {
+    let launches: Vec<ShardLaunch> = (0..count)
+        .map(|k| ShardLaunch {
+            shard: Shard { index: k, count },
+            program: PathBuf::from("sh"),
+            args: Vec::new(),
+            checkpoint: checkpoint.to_path_buf(),
+        })
+        .collect();
+    run_shards(&CollectDispatch { template }, &launches, sink)
 }
 
 /// Single-quotes `arg` for `sh`, escaping embedded single quotes.

@@ -17,6 +17,13 @@
 //! checkpoint (one `morello_sim::Json` object per line) lets an
 //! interrupted sweep continue without re-running completed cells.
 //!
+//! With [`RunOptions::preflight`], each job's streamed program first
+//! passes through the static temporal-safety analyzer
+//! ([`crate::plan::JobSpec::analyze`]); a malformed program (double
+//! free, use-after-free, …) short-circuits into the same typed
+//! [`JobFailure`] / repro-file path with `attempts == 0` — the
+//! deterministic analyzer verdict makes the retry loop pointless.
+//!
 //! # Multi-process sharding
 //!
 //! The worker pool is in-process threads; to scale past one process, a
@@ -42,12 +49,12 @@
 //! job-order reduction produces the report.
 //!
 //! Configuration is fully typed through [`RunOptions`]; the binaries
-//! translate `REPRO_JOBS` / `REPRO_INJECT_PANIC` into it at the CLI
-//! edge via [`crate::cli`].
+//! translate `REPRO_JOBS` / `REPRO_INJECT_PANIC` /
+//! `REPRO_INJECT_MALFORMED` into it at the CLI edge via [`crate::cli`].
 
-use crate::harness::{Scale, Suite};
+use crate::harness::Suite;
 use crate::sched::Partition;
-use morello_sim::{Condition, Json, RunStats};
+use morello_sim::{Json, RunStats};
 use std::collections::BTreeMap;
 use std::io::{BufRead as _, BufWriter, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,66 +125,12 @@ impl Shard {
 }
 
 // ---------------------------------------------------------------------
-// Deprecated expansion wrappers — superseded by `plan::MatrixPlan`.
-// Kept for one release so external harnesses migrate gracefully; every
-// in-tree call site is on the builder.
-// ---------------------------------------------------------------------
-
-/// Expands the SPEC suite.
-#[must_use]
-#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::Spec).conditions(..)")]
-pub fn expand_spec(conditions: &[Condition], scale: Scale) -> Vec<JobSpec> {
-    crate::plan::MatrixPlan::new(scale)
-        .suite(SuiteKind::Spec)
-        .conditions(conditions)
-        .build()
-        .expect("single-suite plan always expands")
-}
-
-/// Expands the pgbench suite.
-#[must_use]
-#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::Pgbench).conditions(..)")]
-pub fn expand_pgbench(conditions: &[Condition], scale: Scale) -> Vec<JobSpec> {
-    crate::plan::MatrixPlan::new(scale)
-        .suite(SuiteKind::Pgbench)
-        .conditions(conditions)
-        .build()
-        .expect("single-suite plan always expands")
-}
-
-/// Expands the rate-scheduled pgbench variants (Table 1).
-#[must_use]
-#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::PgbenchRates).rates(..)")]
-pub fn expand_pgbench_rates(rates: &[Option<f64>], scale: Scale) -> Vec<JobSpec> {
-    crate::plan::MatrixPlan::new(scale)
-        .suite(SuiteKind::PgbenchRates)
-        .rates(rates)
-        .build()
-        .expect("single-suite plan always expands")
-}
-
-/// Expands the gRPC QPS suite.
-#[must_use]
-#[deprecated(note = "use plan::MatrixPlan::new(scale).suite(SuiteKind::Grpc)")]
-pub fn expand_grpc(scale: Scale) -> Vec<JobSpec> {
-    crate::plan::MatrixPlan::new(scale)
-        .suite(SuiteKind::Grpc)
-        .build()
-        .expect("single-suite plan always expands")
-}
-
-/// Expands the entire evaluation into one global job list.
-#[must_use]
-#[deprecated(note = "use plan::MatrixPlan::all(scale)")]
-pub fn expand_all(scale: Scale) -> Vec<JobSpec> {
-    crate::plan::MatrixPlan::all(scale).build().expect("the full plan always expands")
-}
-
-// ---------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------
 
-/// A job that panicked on both attempts, kept as data instead of
+/// A job that panicked on both attempts — or, under
+/// [`RunOptions::preflight`], one whose streamed program the static
+/// analyzer rejected before any simulation ran — kept as data instead of
 /// aborting the sweep.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
@@ -186,8 +139,11 @@ pub struct JobFailure {
     /// The job's stable key (`suite|workload|condition|seed`).
     pub key: String,
     /// How many attempts were made (the orchestrator retries once).
+    /// Zero for a pre-flight rejection: the simulator never ran and a
+    /// retry would re-derive the same deterministic verdict.
     pub attempts: u32,
-    /// The panic payload, stringified.
+    /// The panic payload, stringified — or a `preflight: ...` summary of
+    /// the analyzer's malformed-program diagnostics.
     pub message: String,
 }
 
@@ -222,6 +178,17 @@ pub struct RunOptions {
     /// `<dir>/<sanitized key>.json` repro file recording its seed,
     /// condition, workload, generation parameters, and a replay command.
     pub repro_dir: Option<PathBuf>,
+    /// Run the static temporal-safety analyzer over each job's streamed
+    /// program *before* dispatching it to the simulator. A program with
+    /// malformed-program diagnostics (double free, use-after-free, …)
+    /// becomes a typed [`JobFailure`] with `attempts == 0` — never
+    /// simulated, never retried — instead of a `catch_unwind` panic.
+    pub preflight: bool,
+    /// Test hook: jobs whose [`JobSpec::key`] contains this substring
+    /// get a double-free appended to their analyzed program, so the
+    /// pre-flight path can be exercised without a genuinely broken
+    /// generator. Only meaningful together with [`RunOptions::preflight`].
+    pub inject_malformed: Option<String>,
 }
 
 impl RunOptions {
@@ -278,6 +245,20 @@ impl RunOptions {
     #[must_use]
     pub fn repro_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.repro_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables or disables the static-analysis pre-flight gate.
+    #[must_use]
+    pub fn preflight(mut self, on: bool) -> Self {
+        self.preflight = on;
+        self
+    }
+
+    /// Sets the malformed-program injection substring (test hook).
+    #[must_use]
+    pub fn inject_malformed(mut self, needle: Option<String>) -> Self {
+        self.inject_malformed = needle;
         self
     }
 
@@ -413,7 +394,7 @@ pub fn run(jobs: &[JobSpec], opts: &RunOptions) -> MatrixOutcome {
         let next = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(&job_id) = pending.get(next) else { break };
         let job = &jobs[job_id];
-        let outcome = attempt_job(job_id, job, opts.inject_panic.as_deref());
+        let outcome = attempt_job(job_id, job, opts);
         if let (Some(writer), Ok(stats)) = (&checkpoint_writer, &outcome) {
             writer.append(&job.key(), stats);
         }
@@ -519,9 +500,49 @@ where
         .collect()
 }
 
-/// One `catch_unwind` attempt plus one retry.
-fn attempt_job(job_id: usize, job: &JobSpec, inject: Option<&str>) -> Result<RunStats, JobFailure> {
+/// Summarizes a pre-flight rejection: the malformed-diagnostic total and
+/// the first offending op, compact enough for a failure record yet
+/// specific enough to find the defect without re-running the analyzer.
+fn preflight_message(report: &analyze::Report) -> String {
+    let first = report
+        .diagnostics
+        .iter()
+        .find(|d| d.kind.severity() == analyze::Severity::Malformed);
+    match first {
+        Some(d) => format!(
+            "preflight: {} malformed-program diagnostic(s); first: {} at op {} (obj {})",
+            report.malformed_count(),
+            d.kind.label(),
+            d.op_index,
+            d.obj,
+        ),
+        None => format!(
+            "preflight: {} malformed-program diagnostic(s)",
+            report.malformed_count()
+        ),
+    }
+}
+
+/// One `catch_unwind` attempt plus one retry — preceded, under
+/// [`RunOptions::preflight`], by a static-analysis gate that turns a
+/// malformed program into an `attempts == 0` failure without ever
+/// entering the simulator or the retry loop (the analyzer is
+/// deterministic; retrying cannot change its verdict).
+fn attempt_job(job_id: usize, job: &JobSpec, opts: &RunOptions) -> Result<RunStats, JobFailure> {
     let key = job.key();
+    if opts.preflight {
+        let corrupt = opts.inject_malformed.as_deref().is_some_and(|needle| key.contains(needle));
+        let report = job.analyze(corrupt);
+        if report.malformed {
+            return Err(JobFailure {
+                job_id,
+                key,
+                attempts: 0,
+                message: preflight_message(&report),
+            });
+        }
+    }
+    let inject = opts.inject_panic.as_deref();
     let run_once = || {
         if inject.is_some_and(|needle| key.contains(needle)) {
             panic!("injected panic (REPRO_INJECT_PANIC matched {key})");

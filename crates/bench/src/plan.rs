@@ -22,7 +22,11 @@
 //! ```
 
 use crate::harness::{Scale, CONDITIONS, GRPC_CONDITIONS, RATE_SCHEDULE};
-use morello_sim::{Condition, Json, RunStats, System};
+use analyze::{Analyzer, AnalyzerConfig, Report};
+use morello_sim::{
+    Condition, Json, Op, OpSource, RunReport, RunStats, SimConfig, System, TelemetryConfig,
+    OP_BATCH,
+};
 use workloads::{
     grpc_stream, pgbench_stream, spec_stream, spec_stream_scaled, GrpcParams, PgbenchParams,
     SpecProgram, SPEC_PROGRAMS,
@@ -164,6 +168,41 @@ impl JobSpec {
         }
     }
 
+    /// Regenerates the cell's op stream from its seed and hands it to
+    /// `f` along with the workload's tuned simulator configuration (the
+    /// cell's condition not yet applied). Shared by [`JobSpec::execute`],
+    /// [`JobSpec::execute_traced`], and [`JobSpec::analyze`], which must
+    /// all observe the same program.
+    fn with_stream<R>(&self, f: impl FnOnce(&mut dyn OpSource, SimConfig) -> R) -> R {
+        match &self.payload {
+            Payload::Spec { program, seed, fraction } => {
+                if *fraction < 1.0 {
+                    let w = spec_stream_scaled(*program, *seed, *fraction);
+                    let (mut source, config) = (w.source, w.config);
+                    f(&mut source, config)
+                } else {
+                    let w = spec_stream(*program, *seed);
+                    let (mut source, config) = (w.source, w.config);
+                    f(&mut source, config)
+                }
+            }
+            Payload::Pgbench { transactions, rate, seed } => {
+                let w = pgbench_stream(PgbenchParams {
+                    transactions: *transactions,
+                    rate: *rate,
+                    seed: *seed,
+                });
+                let (mut source, config) = (w.source, w.config);
+                f(&mut source, config)
+            }
+            Payload::Grpc { messages, seed } => {
+                let w = grpc_stream(GrpcParams { messages: *messages, seed: *seed });
+                let (mut source, config) = (w.source, w.config);
+                f(&mut source, config)
+            }
+        }
+    }
+
     /// Runs the cell to completion. Panics on simulator error (exactly as
     /// the serial harness does) — the orchestrator catches it.
     ///
@@ -174,45 +213,63 @@ impl JobSpec {
     /// materializing generators (property-tested), so the merged suites
     /// stay byte-identical to the serial harness loops.
     pub(crate) fn execute(&self) -> RunStats {
-        match &self.payload {
-            Payload::Spec { program, seed, fraction } => {
-                if *fraction < 1.0 {
-                    let w = spec_stream_scaled(*program, *seed, *fraction);
-                    let (mut source, config) = (w.source, w.config);
-                    System::new(config.with_condition(self.condition))
-                        .run_stream(&mut source)
-                        .expect("spec surrogate must run clean")
-                        .into_stats()
-                } else {
-                    let w = spec_stream(*program, *seed);
-                    let (mut source, config) = (w.source, w.config);
-                    System::new(config.with_condition(self.condition))
-                        .run_stream(&mut source)
-                        .expect("spec surrogate must run clean")
-                        .into_stats()
+        self.with_stream(|mut source, config| {
+            System::new(config.with_condition(self.condition))
+                .run_stream(&mut source)
+                .expect("surrogate must run clean")
+                .into_stats()
+        })
+    }
+
+    /// Runs the cell with the full event journal enabled — the dynamic
+    /// half of the static/dynamic cross-check oracle. The journal
+    /// capacity is raised so long smoke cells never drop a stale-chase
+    /// event from the ring.
+    #[must_use]
+    pub fn execute_traced(&self) -> RunReport {
+        self.with_stream(|mut source, config| {
+            let cfg = config
+                .with_condition(self.condition)
+                .to_builder()
+                .telemetry(TelemetryConfig {
+                    record_events: true,
+                    event_capacity: 1 << 20,
+                    ..TelemetryConfig::default()
+                })
+                .build()
+                .expect("traced config must validate");
+            System::new(cfg).run_stream(&mut source).expect("surrogate must run clean")
+        })
+    }
+
+    /// Statically analyzes the cell's program — the same stream
+    /// [`JobSpec::execute`] runs, without simulating it. The pre-flight
+    /// gate and the `opcheck` binary both go through here.
+    ///
+    /// With `corrupt_double_free`, a deliberately malformed epilogue
+    /// (alloc, free, free again) is appended — the fault-injection hook
+    /// behind `REPRO_INJECT_MALFORMED`.
+    #[must_use]
+    pub fn analyze(&self, corrupt_double_free: bool) -> Report {
+        self.with_stream(|source, config| {
+            let mut a = Analyzer::new(AnalyzerConfig::from_sim(&config));
+            let mut buf = Vec::with_capacity(OP_BATCH);
+            loop {
+                buf.clear();
+                if source.refill(&mut buf) == 0 {
+                    break;
+                }
+                for &op in &buf {
+                    a.push(op);
                 }
             }
-            Payload::Pgbench { transactions, rate, seed } => {
-                let w = pgbench_stream(PgbenchParams {
-                    transactions: *transactions,
-                    rate: *rate,
-                    seed: *seed,
-                });
-                let (mut source, config) = (w.source, w.config);
-                System::new(config.with_condition(self.condition))
-                    .run_stream(&mut source)
-                    .expect("pgbench surrogate must run clean")
-                    .into_stats()
+            if corrupt_double_free {
+                a.push(Op::Alloc { obj: u64::MAX, size: 64 });
+                a.push(Op::Free { obj: u64::MAX });
+                a.push(Op::Free { obj: u64::MAX });
             }
-            Payload::Grpc { messages, seed } => {
-                let w = grpc_stream(GrpcParams { messages: *messages, seed: *seed });
-                let (mut source, config) = (w.source, w.config);
-                System::new(config.with_condition(self.condition))
-                    .run_stream(&mut source)
-                    .expect("grpc surrogate must run clean")
-                    .into_stats()
-            }
-        }
+            a.finish()
+        })
     }
 }
 

@@ -199,19 +199,63 @@ fn compacting_a_missing_checkpoint_is_a_no_op() {
     assert!(!path.exists(), "compaction must not create the file");
 }
 
+
 #[test]
-#[allow(deprecated)]
-fn deprecated_expand_wrappers_match_matrix_plan() {
-    // One release of back-compat: the old free functions must expand to
-    // exactly the same job lists as the MatrixPlan builder they wrap.
+fn preflight_quarantines_a_corrupt_program_without_retry_or_simulation() {
     let scale = tiny_scale();
-    let keys = |jobs: &[JobSpec]| jobs.iter().map(JobSpec::key).collect::<Vec<_>>();
-    assert_eq!(
-        keys(&orchestrator::expand_pgbench(&CONDITIONS, scale)),
-        keys(&pg_jobs(scale))
-    );
-    assert_eq!(
-        keys(&orchestrator::expand_all(scale)),
-        keys(&MatrixPlan::all(scale).build().unwrap())
-    );
+    let jobs = pg_jobs(scale);
+    let victim = jobs[2].key();
+    let repro = std::env::temp_dir()
+        .join(format!("orchestrator-preflight-repro-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&repro);
+
+    let opts = RunOptions {
+        preflight: true,
+        inject_malformed: Some(victim.clone()),
+        repro_dir: Some(repro.clone()),
+        ..quiet(4)
+    };
+    let outcome = orchestrator::run(&jobs, &opts);
+
+    // Exactly the corrupted cell is rejected, as a typed failure record.
+    assert_eq!(outcome.failures.len(), 1);
+    let failure = &outcome.failures[0];
+    assert_eq!(failure.job_id, 2);
+    assert_eq!(failure.key, victim);
+    assert_eq!(failure.attempts, 0, "preflight rejection must never enter the retry loop");
+    assert!(failure.message.starts_with("preflight: "), "{}", failure.message);
+    assert!(failure.message.contains("double_free"), "{}", failure.message);
+
+    // The rejection leaves a replayable repro file recording attempts=0.
+    let file = repro.join(orchestrator::repro_file_name(&victim));
+    let doc = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("repro file {} missing: {e}", file.display()));
+    assert!(doc.contains("\"attempts\":0"), "{doc}");
+    assert!(doc.contains("preflight: "), "{doc}");
+
+    // Every healthy cell still ran and matches its serial twin.
+    assert_eq!(outcome.completed, jobs.len() - 1);
+    let serial = pgbench_suite_serial(&CONDITIONS, scale);
+    let suite = &outcome.suites["pgbench"];
+    for (i, cond) in CONDITIONS.iter().enumerate() {
+        let got = suite.stats("pgbench", cond.label());
+        if i == 2 {
+            assert!(got.is_empty(), "quarantined cell must not contribute stats");
+        } else {
+            assert_eq!(got, serial.stats("pgbench", cond.label()));
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&repro);
+}
+
+#[test]
+fn preflight_passes_well_formed_programs_untouched() {
+    let scale = tiny_scale();
+    let jobs = pg_jobs(scale);
+    let plain = orchestrator::run(&jobs, &quiet(2));
+    let gated = orchestrator::run(&jobs, &RunOptions { preflight: true, ..quiet(2) });
+    assert!(gated.failures.is_empty(), "well-formed programs must pass pre-flight");
+    assert_eq!(gated.completed, jobs.len());
+    assert_eq!(gated.suites.get("pgbench"), plain.suites.get("pgbench"));
 }

@@ -63,6 +63,6 @@ pub use report::{RunReport, REPORT_VERSION};
 pub use stats::{percentile, BoxStats, Dist, LatencySummary, RunStats, CYCLES_PER_MS, CYCLES_PER_SEC};
 pub use system::{SimError, System};
 pub use telemetry::{
-    NullSink, Recorder, Sample, Span, SpanKind, TelemetryData, TelemetryEvent, TelemetrySink,
-    TimedEvent,
+    NullSink, Recorder, Sample, Span, SpanKind, StaleChaseOutcome, TelemetryData, TelemetryEvent,
+    TelemetrySink, TimedEvent,
 };

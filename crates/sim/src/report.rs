@@ -232,6 +232,11 @@ fn event_json(at: u64, event: &TelemetryEvent) -> Json {
             }
             _ => {}
         },
+        TelemetryEvent::StaleChase { from, slot, to, .. } => {
+            pairs.push(("from".into(), (*from).into()));
+            pairs.push(("slot".into(), (*slot).into()));
+            pairs.push(("to".into(), (*to).into()));
+        }
     }
     Json::Obj(pairs)
 }

@@ -5,14 +5,14 @@ use crate::ops::{ObjId, Op, OpSource, OP_BATCH};
 use crate::report::RunReport;
 use crate::stats::RunStats;
 use crate::telemetry::{
-    NullSink, Recorder, Sample, Span, SpanKind, TelemetryEvent, TelemetrySink,
+    NullSink, Recorder, Sample, Span, SpanKind, StaleChaseOutcome, TelemetryEvent, TelemetrySink,
 };
 use cheri_cap::{Capability, CAP_SIZE};
 use cheri_mem::CoreId;
 use cheri_vm::{Machine, ThreadId, VmFault};
 use cheri_alloc::{AllocError, HeapLayout, Mrs, MrsConfig};
 use cornucopia::{Revoker, RevokerConfig, StepOutcome, Strategy};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Simulation failures (workload or configuration bugs; a correct run
@@ -73,6 +73,17 @@ struct EpochTrace {
     core_marks: Vec<u64>,
 }
 
+/// One interior capability slot written by `LinkPtr`, tracked (by slot
+/// address) by the telemetry-gated dangling-pointer instrument.
+#[derive(Debug, Clone, Copy)]
+struct LinkEntry {
+    /// The object the stored pointer referred to.
+    to: ObjId,
+    /// That object's identity generation when the link was written, so a
+    /// later reuse of the same root slot id is recognized as stale.
+    to_gen: u64,
+}
+
 /// The simulated system. Construct with [`System::new`] (or
 /// [`System::with_sink`] for a custom telemetry sink), execute with
 /// [`System::run`], or drive op-by-op with [`System::exec`] and finish
@@ -109,6 +120,17 @@ pub struct System {
     scratch_vm: Vec<cheri_vm::VmEvent>,
     scratch_rev: Vec<cornucopia::RevokerEvent>,
     scratch_alloc: Vec<cheri_alloc::AllocEvent>,
+    // Dangling-pointer instrument (telemetry-gated, zero simulated cost).
+    // Why a side table instead of inspecting heap memory: recycled storage
+    // is never scrubbed, so physical tags alone cannot distinguish "the
+    // program stored this pointer here" from allocator leftovers. The
+    // table mirrors the written links exactly: inserts at `LinkPtr`,
+    // address-range removal wherever the physical slot's tag is destroyed
+    // (data writes) or the region gains a new owner (alloc/mmap reuse).
+    link_table: BTreeMap<u64, LinkEntry>,
+    /// Identity generation per root slot, bumped on `Alloc`/`Mmap`, so a
+    /// freed-then-reused slot id does not masquerade as its old object.
+    obj_gen: HashMap<ObjId, u64>,
 }
 
 impl System {
@@ -221,6 +243,8 @@ impl System {
             scratch_vm: Vec::new(),
             scratch_rev: Vec::new(),
             scratch_alloc: Vec::new(),
+            link_table: BTreeMap::new(),
+            obj_gen: HashMap::new(),
         }
     }
 
@@ -758,6 +782,44 @@ impl System {
         self.root.set_addr(self.root.base() + (obj % self.cfg.max_objects) * CAP_SIZE)
     }
 
+    /// Drops every instrument link entry whose slot address falls in
+    /// `[base, base + len)`. Matches the physical tag-destruction range
+    /// exactly: slots are 16-aligned, and `clear_tag_range` clears every
+    /// granule overlapping the written bytes, so a slot at `base + 16*e`
+    /// loses its tag iff `base + 16*e < base + len`.
+    fn instrument_clear_range(&mut self, base: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let doomed: Vec<u64> =
+            self.link_table.range(base..base.saturating_add(len)).map(|(&a, _)| a).collect();
+        for addr in doomed {
+            self.link_table.remove(&addr);
+        }
+    }
+
+    /// Notes that `obj` just became a fresh object (`Alloc`/`Mmap` of
+    /// `cap`): bumps its identity generation and forgets links stored in
+    /// the reused storage (the allocator never scrubs, but the previous
+    /// owner's links are not the new object's).
+    fn instrument_new_object(&mut self, obj: ObjId, cap: Capability) {
+        *self.obj_gen.entry(obj).or_insert(0) += 1;
+        self.instrument_clear_range(cap.base(), cap.len());
+    }
+
+    /// Classifies and journals a pointer chase that dereferenced a link
+    /// whose target is no longer the object it was stored for.
+    fn instrument_stale_chase(&mut self, from: ObjId, slot: u64, to: ObjId, loaded: Capability) {
+        let outcome = if !loaded.is_tagged() {
+            StaleChaseOutcome::Revoked
+        } else if self.revoker.bitmap().probe(loaded.base()) {
+            StaleChaseOutcome::Quarantined
+        } else {
+            StaleChaseOutcome::Escaped
+        };
+        self.sink.record_event(self.wall, TelemetryEvent::StaleChase { from, slot, to, outcome });
+    }
+
     /// Loads a capability through the load barrier, handling (and
     /// charging) generation faults.
     fn barrier_load(&mut self, auth: &Capability) -> Result<(Capability, u64), SimError> {
@@ -830,6 +892,9 @@ impl System {
         let auth = self.slot_auth(obj);
         let c = self.machine.store_cap(self.cfg.app_core, &auth, allocation.cap)?;
         self.live.insert(obj);
+        if self.telemetry_on {
+            self.instrument_new_object(obj, allocation.cap);
+        }
         self.advance(allocation.cycles + c + 20, true);
         Ok(())
     }
@@ -867,6 +932,10 @@ impl System {
         } else {
             self.machine.read_data(self.cfg.app_core, &cap, len)?
         };
+        if write && self.telemetry_on {
+            // The write destroyed the tags of every granule it overlapped.
+            self.instrument_clear_range(cap.base(), len);
+        }
         self.advance(c1 + c2 + len / 8, true);
         Ok(())
     }
@@ -879,6 +948,10 @@ impl System {
             return Ok(());
         };
         let c3 = self.machine.store_cap(self.cfg.app_core, &auth, tcap)?;
+        if self.telemetry_on {
+            let to_gen = self.obj_gen.get(&to).copied().unwrap_or(0);
+            self.link_table.insert(auth.addr(), LinkEntry { to, to_gen });
+        }
         self.advance(c1 + c2 + c3 + 8, true);
         Ok(())
     }
@@ -889,7 +962,16 @@ impl System {
             self.advance(c1, true);
             return Ok(());
         };
-        let (_, c2) = self.barrier_load(&auth)?;
+        let (loaded, c2) = self.barrier_load(&auth)?;
+        if self.telemetry_on {
+            if let Some(entry) = self.link_table.get(&auth.addr()).copied() {
+                let target_alive = self.live.contains(&entry.to)
+                    && self.obj_gen.get(&entry.to).copied().unwrap_or(0) == entry.to_gen;
+                if !target_alive {
+                    self.instrument_stale_chase(from, slot, entry.to, loaded);
+                }
+            }
+        }
         self.advance(c1 + c2 + 4, true);
         Ok(())
     }
@@ -919,6 +1001,9 @@ impl System {
         let auth = self.slot_auth(obj);
         let c = self.machine.store_cap(self.cfg.app_core, &auth, cap)?;
         self.live.insert(obj);
+        if self.telemetry_on {
+            self.instrument_new_object(obj, cap);
+        }
         self.advance(c + 2_000, true); // mmap syscall
         Ok(())
     }

@@ -21,11 +21,33 @@
 //! ring evictions depend only on the op stream.
 
 use crate::config::TelemetryConfig;
+use crate::ops::ObjId;
 use cheri_alloc::AllocEvent;
 use cheri_vm::VmEvent;
 use cornucopia::RevokerEvent;
 use std::collections::VecDeque;
 use std::fmt;
+
+/// How a dynamically observed stale pointer chase resolved — what the
+/// application actually got back when it loaded a pointer whose target
+/// had been freed (the event a static analyzer predicts; see
+/// [`TelemetryEvent::StaleChase`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleChaseOutcome {
+    /// The loaded capability came back untagged: revocation (or the
+    /// Reloaded load barrier) already killed it. Fail-stop behaviour.
+    Revoked,
+    /// The capability is still tagged but its target memory is painted in
+    /// the revocation bitmap: the storage is quarantined and cannot have
+    /// been reused, so the dangling pointer is still harmless.
+    Quarantined,
+    /// The capability is tagged and its target is neither live nor
+    /// painted: the dangling pointer escaped — storage may already be
+    /// reused. Only strategies without
+    /// [`provides_safety`](cornucopia::Strategy::provides_safety) (and
+    /// the baseline's immediate free) produce this.
+    Escaped,
+}
 
 /// A typed event from any simulated component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +58,20 @@ pub enum TelemetryEvent {
     Revoker(RevokerEvent),
     /// Quarantine policy activity.
     Alloc(AllocEvent),
+    /// A `ChasePtr` loaded a pointer whose target object had been freed
+    /// (and not since legitimately re-linked). Emitted by the system's
+    /// zero-cost dangling-pointer instrument — the dynamic half of the
+    /// static-analysis cross-check oracle.
+    StaleChase {
+        /// Object the pointer was loaded from.
+        from: ObjId,
+        /// The `ChasePtr` slot operand (pre-aliasing).
+        slot: u64,
+        /// The freed object the stored pointer referred to.
+        to: ObjId,
+        /// What the load actually produced.
+        outcome: StaleChaseOutcome,
+    },
 }
 
 impl TelemetryEvent {
@@ -55,6 +91,15 @@ impl TelemetryEvent {
             TelemetryEvent::Alloc(AllocEvent::BatchSealed { .. }) => "batch_sealed",
             TelemetryEvent::Alloc(AllocEvent::BatchReleased { .. }) => "batch_released",
             TelemetryEvent::Alloc(_) => "alloc_other",
+            TelemetryEvent::StaleChase { outcome: StaleChaseOutcome::Revoked, .. } => {
+                "stale_chase_revoked"
+            }
+            TelemetryEvent::StaleChase { outcome: StaleChaseOutcome::Quarantined, .. } => {
+                "stale_chase_quarantined"
+            }
+            TelemetryEvent::StaleChase { outcome: StaleChaseOutcome::Escaped, .. } => {
+                "stale_chase_escaped"
+            }
         }
     }
 }
@@ -403,5 +448,15 @@ mod tests {
             TelemetryEvent::Alloc(AllocEvent::BatchSealed { bytes: 1, epoch: 1 }).label(),
             "batch_sealed"
         );
+        for (outcome, label) in [
+            (StaleChaseOutcome::Revoked, "stale_chase_revoked"),
+            (StaleChaseOutcome::Quarantined, "stale_chase_quarantined"),
+            (StaleChaseOutcome::Escaped, "stale_chase_escaped"),
+        ] {
+            assert_eq!(
+                TelemetryEvent::StaleChase { from: 1, slot: 2, to: 3, outcome }.label(),
+                label
+            );
+        }
     }
 }

@@ -1,0 +1,374 @@
+//! In-tree source lints — the Rust promotion of `tools/check_hermetic.sh`,
+//! run by `tools/ci.sh` and available as `cargo run -p srclint`.
+//!
+//! Hand-rolled token scans (no parser, no external crates) over the
+//! workspace's manifests and `.rs` files, enforcing invariants the
+//! compiler cannot:
+//!
+//! 1. **Hermetic manifests** — every dependency in every `Cargo.toml` is
+//!    a `path = "..."` or `workspace = true` spec. This build never
+//!    reaches a registry.
+//! 2. **Banned registry crates** — `rand`, `proptest`, and `criterion`
+//!    never reappear in a dependency section under any spec shape
+//!    (`git`, renamed `package = "rand"`, …). `crates/simtest` is the
+//!    in-tree replacement.
+//! 3. **Env reads stay at the CLI edge** — `env::var` appears in library
+//!    and binary source only inside `crates/bench/src/cli.rs` (the one
+//!    documented environment boundary) and `crates/simtest/src` (the
+//!    test harness's own knobs). Benches and integration tests are
+//!    exempt: they are harness edges, not product code.
+//! 4. **Deterministic crates never read clocks** — `Instant` /
+//!    `SystemTime` are banned from the simulation stack (`cap`, `mem`,
+//!    `vm`, `core`, `alloc`, `sim`, `workloads`, `analyze`), whose
+//!    outputs must be bit-stable across machines. The harness crates
+//!    (`bench`, `simtest`) measure wall time and are exempt.
+//! 5. **Deleted deprecated APIs stay deleted** — call sites of the
+//!    removed `orchestrator::expand_*` wrappers and of the deprecated
+//!    env shims (`Scale::from_env`, `RunOptions::from_env`,
+//!    `jobs_from_env`, `run_suite_from_env`) may not return; the shims'
+//!    own defining files are the only allowed mentions.
+//!
+//! Comment lines (`//`, `///`, `//!`) are skipped, so prose may discuss
+//! a banned token. This linter's own sources are excluded from the token
+//! scans — they define the ban lists. Exits 1 with one line per
+//! violation; 0 with a summary on success.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose outputs must be deterministic: no wall clocks.
+const DETERMINISTIC_CRATES: &[&str] =
+    &["cap", "mem", "vm", "core", "alloc", "sim", "workloads", "analyze"];
+
+/// Registry crates whose absence keeps the build offline. Matched
+/// against both the dependency key (`rand = "0.8"`) and quoted package
+/// renames (`x = { package = "rand" }`).
+const BANNED_CRATES: &[&str] = &["proptest", "criterion", "rand"];
+
+/// Tokens of deleted or deprecated APIs, banned everywhere.
+const BANNED_EVERYWHERE: &[&str] = &["orchestrator::expand_"];
+
+/// Tokens of deprecated env shims, banned outside their defining files.
+const BANNED_OUTSIDE_SHIMS: &[&str] =
+    &["Scale::from_env", "RunOptions::from_env", "jobs_from_env", "run_suite_from_env"];
+
+/// The files that still *define* the deprecated env shims.
+const SHIM_FILES: &[&str] = &["crates/bench/src/harness.rs", "crates/bench/src/orchestrator.rs"];
+
+/// Files allowed to read the environment from library/binary source.
+const ENV_ALLOWED: &[&str] = &["crates/bench/src/cli.rs", "crates/simtest/src/"];
+
+fn workspace_root() -> PathBuf {
+    // crates/srclint/ -> crates/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("srclint lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Every `Cargo.toml` in the workspace: the root manifest plus one per
+/// crate directory.
+fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut found = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("workspace has crates/") {
+        let manifest = entry.expect("read crates/ entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            found.push(manifest);
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Every `.rs` file under `dir`, recursively.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The workspace-relative path with `/` separators — the form every
+/// allowlist above is written in.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Whether a manifest line inside a dependency section is hermetic:
+/// `path = "..."` or `workspace = true`.
+fn hermetic_spec(spec: &str) -> bool {
+    (spec.contains("path") && spec.contains('"'))
+        || spec.replace(' ', "").contains("workspace=true")
+}
+
+/// Rules 1 + 2: dependency sections hold only path/workspace specs and
+/// never name a banned registry crate.
+fn lint_manifest(root: &Path, manifest: &Path, violations: &mut Vec<String>) {
+    let text = fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let name = rel(root, manifest);
+    let mut in_deps = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, spec)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_alphanumeric() || "_-".contains(c)) {
+            continue;
+        }
+        for banned in BANNED_CRATES {
+            if key == *banned || spec.contains(&format!("\"{banned}\"")) {
+                violations.push(format!(
+                    "{name}:{}: banned registry crate {banned} referenced \
+                     (crates/simtest is the in-tree replacement): {line}",
+                    i + 1
+                ));
+            }
+        }
+        if !hermetic_spec(spec) {
+            violations.push(format!(
+                "{name}:{}: non-path dependency (this build must stay offline): {line}",
+                i + 1
+            ));
+        }
+    }
+}
+
+/// Whether `line` contains `token` bounded by non-identifier characters,
+/// so `Instant` does not fire on `instantiate`.
+fn has_token(line: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at].ends_with(|c: char| c.is_alphanumeric() || c == '_');
+        let after = &line[at + token.len()..];
+        let after_ok = !after.starts_with(|c: char| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len();
+    }
+    false
+}
+
+/// Rules 3–5 over one `.rs` file.
+fn lint_source(root: &Path, file: &Path, violations: &mut Vec<String>) {
+    let name = rel(root, file);
+    // The linter's own sources define the ban lists.
+    if name.starts_with("crates/srclint/") {
+        return;
+    }
+    let text = fs::read_to_string(file)
+        .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+
+    let in_crate_src = name.contains("/src/");
+    let crate_name = name
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or_default();
+    let clock_banned = in_crate_src && DETERMINISTIC_CRATES.contains(&crate_name);
+    let env_banned = in_crate_src && !ENV_ALLOWED.iter().any(|a| name.starts_with(a) || name == *a);
+    let shims_allowed = SHIM_FILES.contains(&name.as_str());
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim_start();
+        if line.starts_with("//") {
+            continue;
+        }
+        let at = |msg: String| format!("{name}:{}: {msg}", i + 1);
+        if env_banned && line.contains("env::var") {
+            violations.push(at(format!(
+                "environment read outside the CLI edge (move it to crates/bench/src/cli.rs): {line}"
+            )));
+        }
+        if clock_banned {
+            for token in ["Instant", "SystemTime"] {
+                if has_token(line, token) {
+                    violations.push(at(format!(
+                        "wall clock in deterministic crate `{crate_name}` \
+                         (outputs must be bit-stable): {line}"
+                    )));
+                }
+            }
+        }
+        for token in BANNED_EVERYWHERE {
+            if line.contains(token) {
+                violations.push(at(format!(
+                    "call site of deleted API {token}* (use plan::MatrixPlan): {line}"
+                )));
+            }
+        }
+        if !shims_allowed {
+            for token in BANNED_OUTSIDE_SHIMS {
+                if has_token(line, token) {
+                    violations.push(at(format!(
+                        "call site of deprecated env shim {token} \
+                         (use the typed cli::env_* parsers): {line}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+
+    let manifests = manifests(&root);
+    assert!(
+        manifests.len() >= 10,
+        "expected the root + crate manifests, found {} — srclint is scanning the wrong root",
+        manifests.len()
+    );
+    for manifest in &manifests {
+        lint_manifest(&root, manifest, &mut violations);
+    }
+
+    let mut sources = Vec::new();
+    for dir in ["crates", "src", "tests", "examples"] {
+        rust_files(&root.join(dir), &mut sources);
+    }
+    sources.retain(|p| !rel(&root, p).contains("target/"));
+    sources.sort();
+    for file in &sources {
+        lint_source(&root, file, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!(
+            "srclint: clean — {} manifest(s), {} source file(s)",
+            manifests.len(),
+            sources.len()
+        );
+    } else {
+        for v in &violations {
+            eprintln!("srclint: {v}");
+        }
+        eprintln!("srclint: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("srclint-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn lint_one(root: &Path, rel_path: &str, body: &str) -> Vec<String> {
+        let file = root.join(rel_path);
+        fs::create_dir_all(file.parent().unwrap()).unwrap();
+        fs::write(&file, body).unwrap();
+        let mut v = Vec::new();
+        lint_source(root, &file, &mut v);
+        v
+    }
+
+    #[test]
+    fn hermetic_spec_accepts_path_and_workspace_only() {
+        assert!(hermetic_spec(" { path = \"crates/sim\" }"));
+        assert!(hermetic_spec(" { workspace = true }"));
+        assert!(hermetic_spec(".workspace = true".trim_start_matches('.')));
+        assert!(!hermetic_spec(" \"0.8\""));
+        assert!(!hermetic_spec(" { git = \"https://example.com/x\" }"));
+    }
+
+    #[test]
+    fn token_matching_respects_identifier_boundaries() {
+        assert!(has_token("let t = Instant::now();", "Instant"));
+        assert!(has_token("use std::time::{Instant};", "Instant"));
+        assert!(!has_token("fn instantiate() {}", "Instant"));
+        assert!(!has_token("let MyInstant = 3;", "Instant"));
+    }
+
+    #[test]
+    fn clock_reads_in_deterministic_crates_are_flagged() {
+        let root = scratch("clock");
+        let v = lint_one(&root, "crates/sim/src/bad.rs", "let t = std::time::Instant::now();\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("wall clock"), "{v:?}");
+        // The harness crate may measure wall time.
+        let v = lint_one(&root, "crates/bench/src/ok.rs", "let t = std::time::Instant::now();\n");
+        assert!(v.is_empty(), "{v:?}");
+        // Comments may discuss clocks anywhere.
+        let v = lint_one(&root, "crates/sim/src/doc.rs", "// an Instant would be wrong here\n");
+        assert!(v.is_empty(), "{v:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn env_reads_outside_the_cli_edge_are_flagged() {
+        let root = scratch("env");
+        let v = lint_one(&root, "crates/sim/src/bad.rs", "let x = std::env::var(\"X\");\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("environment read"), "{v:?}");
+        let v = lint_one(&root, "crates/bench/src/cli.rs", "let x = std::env::var(\"X\");\n");
+        assert!(v.is_empty(), "{v:?}");
+        let v = lint_one(&root, "crates/simtest/src/check.rs", "std::env::var(\"SEED\")\n");
+        assert!(v.is_empty(), "{v:?}");
+        // Integration tests and benches are harness edges.
+        let v = lint_one(&root, "tests/golden.rs", "let x = std::env::var(\"GOLDEN\");\n");
+        assert!(v.is_empty(), "{v:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn deleted_and_deprecated_api_call_sites_are_flagged() {
+        let root = scratch("shim");
+        let v = lint_one(&root, "tests/x.rs", "let j = orchestrator::expand_all(scale);\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("deleted API"), "{v:?}");
+        let v = lint_one(&root, "crates/bench/tests/y.rs", "let n = jobs_from_env();\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("deprecated env shim"), "{v:?}");
+        // The defining files may mention their own shims.
+        let v = lint_one(&root, "crates/bench/src/orchestrator.rs", "pub fn jobs_from_env() {}\n");
+        assert!(v.is_empty(), "{v:?}");
+        // simtest's unrelated Harness::from_env is not a shim token.
+        let v = lint_one(&root, "crates/bench/benches/z.rs", "let h = Harness::from_env();\n");
+        assert!(v.is_empty(), "{v:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_lints_flag_registry_and_banned_deps() {
+        let root = scratch("manifest");
+        let manifest = root.join("Cargo.toml");
+        fs::write(
+            &manifest,
+            "[package]\nname = \"x\"\n[dependencies]\nrand = \"0.8\"\nsim = { path = \"s\" }\n\
+             [dev-dependencies]\ncriterion = { version = \"0.5\" }\n# proptest = \"1\"\n",
+        )
+        .unwrap();
+        let mut v = Vec::new();
+        lint_manifest(&root, &manifest, &mut v);
+        // rand: banned + non-path; criterion: banned + non-path. The
+        // commented proptest line is skipped.
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("crate rand")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("criterion")), "{v:?}");
+        assert!(!v.iter().any(|m| m.contains("proptest")), "{v:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

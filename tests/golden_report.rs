@@ -49,8 +49,9 @@ fn golden_json() -> String {
 /// Digest of the full JSON document, captured when the exporter landed.
 /// Re-captured when `RevocationRequested` events gained a `reason` tag
 /// and `must_block` switched to gating on the open (accumulating)
-/// quarantine buffer.
-const GOLDEN_DIGEST: u64 = 0xde2a_a1d3_017a_cc51;
+/// quarantine buffer; re-captured again when the stale-chase instrument
+/// began journaling `StaleChase` events under `record_events`.
+const GOLDEN_DIGEST: u64 = 0xd48a_bd4d_fcfd_8335;
 
 #[test]
 fn report_json_matches_golden_digest_and_schema() {

@@ -5,9 +5,11 @@
 //! benchmarking facilities that would otherwise come from `rand`,
 //! `proptest`, and `criterion`.
 //!
-//! `tools/check_hermetic.sh` performs the same scan from the shell (plus a
-//! `cargo build --offline` proof); this test keeps the invariant enforced
-//! even when only `cargo test` runs.
+//! The `srclint` binary (`cargo run -p srclint`, run by `tools/ci.sh`)
+//! performs the same manifest scan plus source-level lints (clock bans in
+//! deterministic crates, env-read confinement, deprecated-API call
+//! sites); this test keeps the core invariant enforced even when only
+//! `cargo test` runs.
 
 use std::fs;
 use std::path::{Path, PathBuf};

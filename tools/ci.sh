@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build + full test suite, the hermetic-build
-# guard, and a quick-mode smoke of the bench harnesses (micro + sweep)
-# so benchmark bit-rot is caught without paying for a full measurement
-# run. Run from anywhere.
+# Tier-1 CI gate: release build + full test suite, the srclint source
+# gate (hermetic manifests, determinism lints), static-analyzer smokes
+# (opcheck digest stability, --preflight quarantine), and a quick-mode
+# smoke of the bench harnesses so benchmark bit-rot is caught without
+# paying for a full measurement run. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +16,10 @@ cargo test -q --offline
 echo "== lint (clippy, warnings fatal) =="
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "== hermetic guard =="
-tools/check_hermetic.sh
+echo "== source lints (srclint: hermetic manifests, clock/env/deprecated-API bans) =="
+cargo run --release --offline -q -p srclint
+# The resolver proof: this fails fast if anything needs the registry.
+cargo build --offline --workspace --quiet
 
 echo "== telemetry smoke (deterministic report export) =="
 # The exporter must produce well-formed report JSON, and two separate
@@ -33,6 +36,39 @@ grep -q '"spans":\[{' "$report_a" \
     || { echo "telemetry smoke: report has no phase spans" >&2; exit 1; }
 cmp -s "$report_a" "$report_b" \
     || { echo "telemetry smoke: reports differ across invocations" >&2; exit 1; }
+
+echo "== opcheck smoke (static analyzer over the smoke matrix) =="
+# The analyzer must find every generated program well-formed (exit 0 —
+# nonzero means malformed-program diagnostics), and its diagnostics JSON
+# must be byte-stable across invocations.
+opcheck_a="$(mktemp)"
+opcheck_b="$(mktemp)"
+cargo run --release --offline -q -p rev-bench --bin opcheck -- \
+    --smoke --out "$opcheck_a" 2>/dev/null \
+    || { echo "opcheck smoke: malformed program(s) in the smoke matrix" >&2; exit 1; }
+cargo run --release --offline -q -p rev-bench --bin opcheck -- \
+    --smoke --out "$opcheck_b" 2>/dev/null
+head -c 12 "$opcheck_a" | grep -q '{"version":1' \
+    || { echo "opcheck smoke: output is not v1 JSON" >&2; exit 1; }
+grep -q '"malformed_programs":0' "$opcheck_a" \
+    || { echo "opcheck smoke: analyzer reports malformed programs" >&2; exit 1; }
+cmp -s "$opcheck_a" "$opcheck_b" \
+    || { echo "opcheck smoke: diagnostics JSON differs across invocations" >&2; exit 1; }
+rm -f "$opcheck_a" "$opcheck_b"
+
+echo "== preflight smoke (static-analysis gate quarantines corrupt programs) =="
+# An injected double-free must surface as a zero-attempt typed failure
+# with a repro file — never simulated, never retried.
+pf_dir="$(mktemp -d)"
+REPRO_INJECT_MALFORMED='pgbench|pgbench|Cornucopia' \
+    cargo run --release --offline -q -p rev-bench --bin run_matrix -- \
+    --smoke --suites pgbench --preflight --out "$pf_dir/pf.md" \
+    --repro-dir "$pf_dir/repro" 2>"$pf_dir/pf.log"
+grep -q "after 0 attempts: preflight: " "$pf_dir/pf.log" \
+    || { echo "preflight smoke: corrupt cell not quarantined with 0 attempts" >&2; exit 1; }
+ls "$pf_dir"/repro/pgbench_pgbench_Cornucopia*.json >/dev/null 2>&1 \
+    || { echo "preflight smoke: quarantined cell left no repro file" >&2; exit 1; }
+rm -rf "$pf_dir"
 
 echo "== bench smoke (quick mode) =="
 SIMBENCH_QUICK=1 cargo bench --offline -p rev-bench --bench micro
